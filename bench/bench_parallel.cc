@@ -1,0 +1,51 @@
+// Parallel-execution ablation: the full-matrix HeteSim computation is
+// row-parallel (SpGEMM of the two reachable matrices + normalization
+// sweep). Expected shape: near-linear speedup while chunks stay larger
+// than the per-thread fixed cost, saturating at the hardware thread count;
+// results are bitwise identical at any thread count (tested in
+// test_parallel.cc), so this trades nothing for the speed.
+
+#include <benchmark/benchmark.h>
+
+#include "core/hetesim.h"
+#include "datagen/random_hin.h"
+#include "hin/metapath.h"
+
+namespace {
+
+using namespace hetesim;
+
+const HinGraph& BigGraph() {
+  static const HinGraph* const kGraph =
+      new HinGraph(RandomTripartite(1500, 1500, 400, 0.01, 31));
+  return *kGraph;
+}
+
+void BM_ComputeThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const HinGraph& g = BigGraph();
+  MetaPath path = MetaPath::Parse(g.schema(), "ABCBA").value();
+  HeteSimOptions options;
+  options.num_threads = threads;
+  HeteSimEngine engine(g, options);
+  for (auto _ : state) {
+    DenseMatrix scores = engine.Compute(path);
+    benchmark::DoNotOptimize(scores.data().data());
+  }
+}
+BENCHMARK(BM_ComputeThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_SpGemmThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  SparseMatrix a = RandomBipartiteAdjacency(3000, 3000, 0.004, 32);
+  SparseMatrix b = RandomBipartiteAdjacency(3000, 3000, 0.004, 33);
+  for (auto _ : state) {
+    SparseMatrix product = a.MultiplyParallel(b, threads);
+    benchmark::DoNotOptimize(product.NumNonZeros());
+  }
+}
+BENCHMARK(BM_SpGemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

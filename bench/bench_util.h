@@ -1,0 +1,53 @@
+#ifndef HETESIM_BENCH_BENCH_UTIL_H_
+#define HETESIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/topk.h"
+#include "datagen/acm_generator.h"
+#include "datagen/dblp_generator.h"
+
+namespace hetesim::bench {
+
+/// The shared ACM-style network for the Table 1-4 / Fig 6-7 benches.
+/// Built once per process; the default config matches DESIGN.md §4.
+inline const AcmDataset& Acm() {
+  static const AcmDataset* const kAcm = [] {
+    AcmConfig config;
+    return new AcmDataset(*GenerateAcm(config));
+  }();
+  return *kAcm;
+}
+
+/// The shared DBLP-style network for the Table 5-6 benches.
+inline const DblpDataset& Dblp() {
+  static const DblpDataset* const kDblp = [] {
+    DblpConfig config;
+    return new DblpDataset(*GenerateDblp(config));
+  }();
+  return *kDblp;
+}
+
+/// Prints one paper-style ranked list: "rank. name  score".
+inline void PrintTopK(const HinGraph& graph, TypeId type,
+                      const std::vector<Scored>& items, const char* header) {
+  std::printf("%s\n", header);
+  int rank = 1;
+  for (const Scored& item : items) {
+    std::printf("  %2d. %-18s %.4f\n", rank++,
+                graph.NodeName(type, item.id).c_str(), item.score);
+  }
+}
+
+/// Prints a section banner so bench output reads like the paper's tables.
+inline void Banner(const std::string& title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("============================================================\n");
+}
+
+}  // namespace hetesim::bench
+
+#endif  // HETESIM_BENCH_BENCH_UTIL_H_

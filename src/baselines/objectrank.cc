@@ -1,0 +1,67 @@
+#include "baselines/objectrank.h"
+
+namespace hetesim {
+
+Result<SparseMatrix> AuthorityTransition(const HinGraph& graph,
+                                         const AuthorityTransfer& transfer) {
+  const Schema& schema = graph.schema();
+  if (transfer.rates.size() != static_cast<size_t>(schema.NumRelations())) {
+    return Status::InvalidArgument("need one authority rate per relation");
+  }
+  double total_rate = 0.0;
+  for (double rate : transfer.rates) {
+    if (rate < 0.0) {
+      return Status::InvalidArgument("authority rates must be non-negative");
+    }
+    total_rate += rate;
+  }
+  if (total_rate == 0.0) {
+    return Status::InvalidArgument("at least one authority rate must be positive");
+  }
+
+  HomogeneousView view = BuildHomogeneousView(graph);
+  // Unnormalized transfer mass: rate_r * U_r for both orientations, where
+  // U_r splits a node's rate uniformly among its relation-r neighbors.
+  std::vector<Triplet> triplets;
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    const double rate = transfer.rates[static_cast<size_t>(r)];
+    if (rate == 0.0) continue;
+    const TypeId src_type = schema.RelationSource(r);
+    const TypeId dst_type = schema.RelationTarget(r);
+    for (const bool forward : {true, false}) {
+      const SparseMatrix u = graph.StepTransition({r, forward});
+      const TypeId from_type = forward ? src_type : dst_type;
+      const TypeId to_type = forward ? dst_type : src_type;
+      for (Index i = 0; i < u.rows(); ++i) {
+        auto indices = u.RowIndices(i);
+        auto values = u.RowValues(i);
+        for (size_t k = 0; k < indices.size(); ++k) {
+          triplets.push_back({view.GlobalId(from_type, i),
+                              view.GlobalId(to_type, indices[k]),
+                              rate * values[k]});
+        }
+      }
+    }
+  }
+  // Row-normalize the combined mass into the walker's transition matrix.
+  return SparseMatrix::FromTriplets(view.TotalNodes(), view.TotalNodes(),
+                                    std::move(triplets))
+      .RowNormalized();
+}
+
+Result<std::vector<double>> ObjectRank(const HinGraph& graph,
+                                       const AuthorityTransfer& transfer,
+                                       TypeId source_type, Index source_id,
+                                       const RwrOptions& options) {
+  if (!graph.schema().IsValidType(source_type) || source_id < 0 ||
+      source_id >= graph.NumNodes(source_type)) {
+    return Status::OutOfRange("source object out of range");
+  }
+  HETESIM_ASSIGN_OR_RETURN(SparseMatrix transition,
+                           AuthorityTransition(graph, transfer));
+  HomogeneousView view = BuildHomogeneousView(graph);
+  return RandomWalkWithRestart(transition, view.GlobalId(source_type, source_id),
+                               options);
+}
+
+}  // namespace hetesim

@@ -1,0 +1,49 @@
+#ifndef HETESIM_BASELINES_OBJECTRANK_H_
+#define HETESIM_BASELINES_OBJECTRANK_H_
+
+#include <vector>
+
+#include "baselines/rwr.h"
+#include "hin/graph.h"
+#include "hin/homogeneous.h"
+
+namespace hetesim {
+
+/// \brief ObjectRank-style authority-transfer ranking (Balmin et al.,
+/// VLDB 2004 — cited by the paper's related work as an approach that
+/// "noticed that heterogeneous relationships could affect the similarity"
+/// but does not capture per-path semantics).
+///
+/// A random walk with restart over the whole network where each relation
+/// carries an *authority transfer rate*: from any node, the walker first
+/// picks an incident relation orientation proportional to its rate, then a
+/// uniform neighbor within it. Setting every rate to 1 degenerates to the
+/// plain type-blind RWR baseline; skewing rates expresses domain knowledge
+/// ("citations transfer more authority than co-terms") without the path
+/// semantics HeteSim provides — which is exactly the contrast the related
+/// work draws.
+
+/// Per-relation authority transfer rates, applied to both orientations.
+struct AuthorityTransfer {
+  /// rate[r] >= 0 for relation r; size must equal NumRelations(). Rates
+  /// need not sum to anything — they are normalized per node.
+  std::vector<double> rates;
+};
+
+/// Builds the authority-weighted global transition matrix over the
+/// homogeneous node space of `graph` (see `HomogeneousView` for the id
+/// layout). Errors if `transfer.rates` is missized or any rate < 0, or if
+/// every rate is zero.
+Result<SparseMatrix> AuthorityTransition(const HinGraph& graph,
+                                         const AuthorityTransfer& transfer);
+
+/// ObjectRank score of every object (global ids per `HomogeneousView`)
+/// from a restart at `source_id` of `source_type`.
+Result<std::vector<double>> ObjectRank(const HinGraph& graph,
+                                       const AuthorityTransfer& transfer,
+                                       TypeId source_type, Index source_id,
+                                       const RwrOptions& options = {});
+
+}  // namespace hetesim
+
+#endif  // HETESIM_BASELINES_OBJECTRANK_H_

@@ -1,0 +1,35 @@
+#ifndef HETESIM_BASELINES_PCRW_H_
+#define HETESIM_BASELINES_PCRW_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "hin/graph.h"
+#include "hin/metapath.h"
+#include "matrix/dense.h"
+
+namespace hetesim {
+
+/// \brief Path-Constrained Random Walk proximity (Lao & Cohen, Machine
+/// Learning 2010): the probability that a random walker starting at `a` and
+/// constrained to follow `path` ends at `b` — i.e. the reachable probability
+/// matrix `PM_P` of Definition 9 read as a similarity.
+///
+/// PCRW is *asymmetric*: `PCRW(a, b | P) != PCRW(b, a | P^-1)` in general,
+/// which is exactly the deficiency HeteSim's symmetry (Property 3) fixes
+/// (Tables 3-5, Fig 6 of the paper compare against it).
+
+/// Full |A1| x |A(l+1)| PCRW proximity matrix along `path`.
+DenseMatrix PcrwMatrix(const HinGraph& graph, const MetaPath& path);
+
+/// PCRW proximity from `source` to every target object.
+Result<std::vector<double>> PcrwSingleSource(const HinGraph& graph,
+                                             const MetaPath& path, Index source);
+
+/// PCRW proximity of a single (source, target) pair.
+Result<double> PcrwPair(const HinGraph& graph, const MetaPath& path, Index source,
+                        Index target);
+
+}  // namespace hetesim
+
+#endif  // HETESIM_BASELINES_PCRW_H_

@@ -1,0 +1,44 @@
+#include "baselines/rwr.h"
+
+#include <cmath>
+
+namespace hetesim {
+
+Result<std::vector<double>> RandomWalkWithRestart(const SparseMatrix& adjacency,
+                                                  Index source,
+                                                  const RwrOptions& options) {
+  if (adjacency.rows() != adjacency.cols()) {
+    return Status::InvalidArgument("RWR needs a square adjacency matrix");
+  }
+  if (source < 0 || source >= adjacency.rows()) {
+    return Status::OutOfRange("source id out of range");
+  }
+  if (options.restart <= 0.0 || options.restart >= 1.0) {
+    return Status::InvalidArgument("restart probability must lie in (0, 1)");
+  }
+  const SparseMatrix transition = adjacency.RowNormalized();
+  const size_t n = static_cast<size_t>(adjacency.rows());
+  std::vector<double> r(n, 0.0);
+  r[static_cast<size_t>(source)] = 1.0;
+  for (int iteration = 0; iteration < options.max_iterations; ++iteration) {
+    std::vector<double> next = transition.LeftMultiplyVector(r);
+    double change = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double value = (1.0 - options.restart) * next[i];
+      if (i == static_cast<size_t>(source)) value += options.restart;
+      change += std::abs(value - r[i]);
+      r[i] = value;
+    }
+    if (change <= options.tolerance) break;
+  }
+  return r;
+}
+
+Result<std::vector<double>> RandomWalkWithRestart(const HomogeneousView& view,
+                                                  TypeId source_type, Index source_id,
+                                                  const RwrOptions& options) {
+  return RandomWalkWithRestart(view.adjacency, view.GlobalId(source_type, source_id),
+                               options);
+}
+
+}  // namespace hetesim

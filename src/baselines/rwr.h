@@ -1,0 +1,42 @@
+#ifndef HETESIM_BASELINES_RWR_H_
+#define HETESIM_BASELINES_RWR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "hin/homogeneous.h"
+#include "matrix/sparse.h"
+
+namespace hetesim {
+
+/// Options for random walk with restart.
+struct RwrOptions {
+  /// Restart (teleport) probability back to the source each step.
+  double restart = 0.15;
+  /// Maximum power iterations.
+  int max_iterations = 100;
+  /// Early-stop threshold on the L1 change of the distribution.
+  double tolerance = 1e-10;
+};
+
+/// \brief Random Walk with Restart / Personalized PageRank (Jeh & Widom,
+/// WWW 2003; Tong et al., ICDM 2006) over a homogeneous graph.
+///
+/// Iterates `r <- (1 - c) * r P + c * e_source` where `P` is the
+/// row-normalized `adjacency` and `c` the restart probability, returning the
+/// stationary visiting distribution. A type-blind baseline: on a HIN it
+/// mixes all path semantics together, which is what the paper's
+/// path-constrained measures improve upon.
+Result<std::vector<double>> RandomWalkWithRestart(const SparseMatrix& adjacency,
+                                                  Index source,
+                                                  const RwrOptions& options = {});
+
+/// RWR over a collapsed heterogeneous network from node `source_id` of
+/// `source_type`. The result is indexed by global ids (`view.GlobalId`).
+Result<std::vector<double>> RandomWalkWithRestart(const HomogeneousView& view,
+                                                  TypeId source_type, Index source_id,
+                                                  const RwrOptions& options = {});
+
+}  // namespace hetesim
+
+#endif  // HETESIM_BASELINES_RWR_H_

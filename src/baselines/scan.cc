@@ -1,0 +1,122 @@
+#include "baselines/scan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <set>
+
+namespace hetesim {
+
+namespace {
+
+/// Sorted closed neighborhood N[u] (neighbors plus u itself).
+std::vector<Index> ClosedNeighborhood(const SparseMatrix& adjacency, Index u) {
+  std::vector<Index> neighborhood(adjacency.RowIndices(u).begin(),
+                                  adjacency.RowIndices(u).end());
+  auto self = std::lower_bound(neighborhood.begin(), neighborhood.end(), u);
+  if (self == neighborhood.end() || *self != u) neighborhood.insert(self, u);
+  return neighborhood;
+}
+
+/// |a ∩ b| for sorted vectors.
+size_t IntersectionSize(const std::vector<Index>& a, const std::vector<Index>& b) {
+  size_t count = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (a[i] > b[j]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+Result<ScanResult> ScanCluster(const SparseMatrix& adjacency,
+                               const ScanOptions& options) {
+  if (adjacency.rows() != adjacency.cols()) {
+    return Status::InvalidArgument("SCAN needs a square adjacency matrix");
+  }
+  if (options.epsilon <= 0.0 || options.epsilon > 1.0) {
+    return Status::InvalidArgument("epsilon must lie in (0, 1]");
+  }
+  if (options.mu < 1) {
+    return Status::InvalidArgument("mu must be at least 1");
+  }
+  const SparseMatrix graph = adjacency.Add(adjacency.Transpose());
+  const Index n = graph.rows();
+
+  // Precompute closed neighborhoods and each node's epsilon-neighbors.
+  std::vector<std::vector<Index>> neighborhoods(static_cast<size_t>(n));
+  for (Index u = 0; u < n; ++u) neighborhoods[static_cast<size_t>(u)] =
+      ClosedNeighborhood(graph, u);
+  auto sigma = [&](Index u, Index v) {
+    const auto& nu = neighborhoods[static_cast<size_t>(u)];
+    const auto& nv = neighborhoods[static_cast<size_t>(v)];
+    return static_cast<double>(IntersectionSize(nu, nv)) /
+           std::sqrt(static_cast<double>(nu.size()) *
+                     static_cast<double>(nv.size()));
+  };
+  std::vector<std::vector<Index>> epsilon_neighbors(static_cast<size_t>(n));
+  std::vector<bool> is_core(static_cast<size_t>(n), false);
+  for (Index u = 0; u < n; ++u) {
+    for (Index v : neighborhoods[static_cast<size_t>(u)]) {
+      if (sigma(u, v) >= options.epsilon) {
+        epsilon_neighbors[static_cast<size_t>(u)].push_back(v);
+      }
+    }
+    is_core[static_cast<size_t>(u)] =
+        static_cast<int>(epsilon_neighbors[static_cast<size_t>(u)].size()) >=
+        options.mu;
+  }
+
+  // Grow clusters from cores by structural reachability (BFS over cores'
+  // epsilon-neighbors).
+  ScanResult result;
+  result.labels.assign(static_cast<size_t>(n), -1);
+  for (Index seed = 0; seed < n; ++seed) {
+    if (!is_core[static_cast<size_t>(seed)] ||
+        result.labels[static_cast<size_t>(seed)] != -1) {
+      continue;
+    }
+    const int cluster = result.num_clusters++;
+    std::deque<Index> frontier = {seed};
+    result.labels[static_cast<size_t>(seed)] = cluster;
+    while (!frontier.empty()) {
+      const Index u = frontier.front();
+      frontier.pop_front();
+      if (!is_core[static_cast<size_t>(u)]) continue;  // border: absorb, no growth
+      for (Index v : epsilon_neighbors[static_cast<size_t>(u)]) {
+        if (result.labels[static_cast<size_t>(v)] == -1) {
+          result.labels[static_cast<size_t>(v)] = cluster;
+          frontier.push_back(v);
+        }
+      }
+    }
+  }
+
+  // Classify the leftovers: hubs touch >= 2 clusters, outliers don't.
+  for (Index u = 0; u < n; ++u) {
+    if (result.labels[static_cast<size_t>(u)] != -1) continue;
+    std::set<int> adjacent_clusters;
+    for (Index v : graph.RowIndices(u)) {
+      const int label = result.labels[static_cast<size_t>(v)];
+      if (label != -1) adjacent_clusters.insert(label);
+    }
+    if (adjacent_clusters.size() >= 2) {
+      result.hubs.push_back(u);
+    } else {
+      result.outliers.push_back(u);
+    }
+  }
+  return result;
+}
+
+}  // namespace hetesim

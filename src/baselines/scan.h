@@ -1,0 +1,49 @@
+#ifndef HETESIM_BASELINES_SCAN_H_
+#define HETESIM_BASELINES_SCAN_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "matrix/sparse.h"
+
+namespace hetesim {
+
+/// Options for SCAN structural clustering.
+struct ScanOptions {
+  /// Minimum structural similarity for two adjacent nodes to be
+  /// "epsilon-neighbors", in (0, 1].
+  double epsilon = 0.7;
+  /// Minimum epsilon-neighborhood size (including the node itself) for a
+  /// node to be a cluster core.
+  int mu = 2;
+};
+
+/// Result of a SCAN run.
+struct ScanResult {
+  /// Cluster id per node, or -1 for non-members (hubs and outliers).
+  std::vector<int> labels;
+  /// Non-member nodes adjacent to two or more clusters.
+  std::vector<Index> hubs;
+  /// Non-member nodes adjacent to at most one cluster.
+  std::vector<Index> outliers;
+  /// Number of clusters found.
+  int num_clusters = 0;
+};
+
+/// \brief SCAN — Structural Clustering Algorithm for Networks (Xu et al.,
+/// KDD 2007; the paper's related work cites it as a same-typed,
+/// neighbor-set similarity measure that "cannot be applied in
+/// heterogeneous networks").
+///
+/// Structural similarity of adjacent nodes u, v uses closed neighborhoods:
+///   sigma(u, v) = |N[u] ∩ N[v]| / sqrt(|N[u]| |N[v]|).
+/// Cores (>= mu epsilon-neighbors) grow clusters by structural
+/// reachability; leftover nodes are hubs (bridging >= 2 clusters) or
+/// outliers. `adjacency` must be square and is treated as an undirected
+/// unweighted graph (any non-zero is an edge; it is symmetrized first).
+Result<ScanResult> ScanCluster(const SparseMatrix& adjacency,
+                               const ScanOptions& options = {});
+
+}  // namespace hetesim
+
+#endif  // HETESIM_BASELINES_SCAN_H_

@@ -1,0 +1,62 @@
+#ifndef HETESIM_COMMON_CHECK_H_
+#define HETESIM_COMMON_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace hetesim::internal_check {
+
+/// Accumulates a fatal diagnostic and aborts the process when destroyed.
+/// Used only via the HETESIM_CHECK* macros below for internal invariants —
+/// recoverable errors go through Status/Result instead.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed message on the non-failing path. `operator&&` has
+/// lower precedence than `<<`, which lets the macro discard the whole chain.
+struct CheckVoidify {
+  void operator&&(const CheckFailureStream&) const {}
+};
+
+}  // namespace hetesim::internal_check
+
+/// Aborts with a diagnostic when `condition` is false. For internal
+/// invariants and programmer errors only; user-facing validation must
+/// return Status.
+#define HETESIM_CHECK(condition)                                       \
+  (condition) ? (void)0                                                \
+              : ::hetesim::internal_check::CheckVoidify() &&           \
+                    ::hetesim::internal_check::CheckFailureStream(     \
+                        __FILE__, __LINE__, #condition)
+
+#define HETESIM_CHECK_EQ(a, b) HETESIM_CHECK((a) == (b))
+#define HETESIM_CHECK_NE(a, b) HETESIM_CHECK((a) != (b))
+#define HETESIM_CHECK_LT(a, b) HETESIM_CHECK((a) < (b))
+#define HETESIM_CHECK_LE(a, b) HETESIM_CHECK((a) <= (b))
+#define HETESIM_CHECK_GT(a, b) HETESIM_CHECK((a) > (b))
+#define HETESIM_CHECK_GE(a, b) HETESIM_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define HETESIM_DCHECK(condition) HETESIM_CHECK(true || (condition))
+#else
+#define HETESIM_DCHECK(condition) HETESIM_CHECK(condition)
+#endif
+
+#endif  // HETESIM_COMMON_CHECK_H_

@@ -1,0 +1,44 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+#include <string_view>
+
+namespace hetesim {
+
+namespace {
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+std::string_view LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Logger::SetLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel Logger::GetLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < g_min_level.load(std::memory_order_relaxed)) {
+    return;
+  }
+  std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+}
+
+}  // namespace hetesim

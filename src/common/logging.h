@@ -1,0 +1,52 @@
+#ifndef HETESIM_COMMON_LOGGING_H_
+#define HETESIM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hetesim {
+
+/// Severity levels for the library logger, in increasing order.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Minimal process-wide logger.
+///
+/// Messages below the configured threshold are discarded; everything else is
+/// written to stderr as `[LEVEL] message`. The library logs sparingly (data
+/// generation progress, numeric warnings); benchmarks and examples write
+/// their results to stdout directly.
+class Logger {
+ public:
+  /// Sets the global minimum severity that will be emitted.
+  static void SetLevel(LogLevel level);
+  /// Returns the global minimum severity.
+  static LogLevel GetLevel();
+  /// Emits `message` at `level` if it passes the threshold.
+  static void Log(LogLevel level, const std::string& message);
+};
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it on destruction.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { Logger::Log(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace hetesim
+
+#define HETESIM_LOG(level) \
+  ::hetesim::internal_logging::LogStream(::hetesim::LogLevel::k##level)
+
+#endif  // HETESIM_COMMON_LOGGING_H_

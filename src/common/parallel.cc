@@ -1,0 +1,38 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+namespace hetesim {
+
+int HardwareThreads() {
+  const unsigned reported = std::thread::hardware_concurrency();
+  return reported == 0 ? 1 : static_cast<int>(reported);
+}
+
+void ParallelChunks(int64_t begin, int64_t end, int num_threads,
+                    const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  const int chunks = static_cast<int>(
+      std::min<int64_t>(std::max(num_threads, 1), range));
+  if (chunks <= 1) {
+    body(begin, end);
+    return;
+  }
+  const int64_t chunk_size = (range + chunks - 1) / chunks;
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(chunks));
+  for (int c = 0; c < chunks; ++c) {
+    const int64_t chunk_begin = begin + c * chunk_size;
+    const int64_t chunk_end = std::min(end, chunk_begin + chunk_size);
+    if (chunk_begin >= chunk_end) break;
+    workers.emplace_back([&body, chunk_begin, chunk_end] {
+      body(chunk_begin, chunk_end);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace hetesim

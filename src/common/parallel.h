@@ -1,0 +1,24 @@
+#ifndef HETESIM_COMMON_PARALLEL_H_
+#define HETESIM_COMMON_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace hetesim {
+
+/// Number of hardware threads, at least 1.
+int HardwareThreads();
+
+/// \brief Runs `body(chunk_begin, chunk_end)` over a contiguous index
+/// range split into up to `num_threads` chunks, one thread per chunk.
+///
+/// `num_threads <= 1` (or a range smaller than 2 elements per chunk) runs
+/// inline on the calling thread — no spawn cost for the sequential case.
+/// `body` must be safe to run concurrently on disjoint chunks; chunks
+/// partition `[begin, end)` exactly. Blocks until every chunk finishes.
+void ParallelChunks(int64_t begin, int64_t end, int num_threads,
+                    const std::function<void(int64_t, int64_t)>& body);
+
+}  // namespace hetesim
+
+#endif  // HETESIM_COMMON_PARALLEL_H_

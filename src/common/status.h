@@ -1,0 +1,109 @@
+#ifndef HETESIM_COMMON_STATUS_H_
+#define HETESIM_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hetesim {
+
+/// \brief Machine-readable category of a `Status`.
+///
+/// The set mirrors the categories used by Arrow/RocksDB-style database
+/// libraries: the public API never throws; every fallible operation returns
+/// a `Status` (or a `Result<T>`, see result.h) carrying one of these codes.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kFailedPrecondition = 5,
+  kIOError = 6,
+  kNotImplemented = 7,
+  kInternal = 8,
+};
+
+/// \brief Returns a stable human-readable name for a status code
+/// (e.g. "Invalid argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of a fallible operation: a code plus a diagnostic message.
+///
+/// `Status` is cheap to pass by value: the OK state is represented by a null
+/// pointer, so success costs one pointer copy and no allocation.
+///
+/// Typical use:
+/// \code
+///   Status s = graph.AddEdge("writes", a, p);
+///   if (!s.ok()) return s;
+/// \endcode
+/// or with the convenience macro:
+/// \code
+///   HETESIM_RETURN_NOT_OK(graph.AddEdge("writes", a, p));
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  /// Constructs a status with the given code and message. A `kOk` code with
+  /// a message is collapsed to the plain OK status.
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&& other) noexcept = default;
+  Status& operator=(Status&& other) noexcept = default;
+
+  /// Factory helpers, one per non-OK code.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message);
+  static Status NotFound(std::string message);
+  static Status AlreadyExists(std::string message);
+  static Status OutOfRange(std::string message);
+  static Status FailedPrecondition(std::string message);
+  static Status IOError(std::string message);
+  static Status NotImplemented(std::string message);
+  static Status Internal(std::string message);
+
+  /// True iff the status carries no error.
+  bool ok() const { return state_ == nullptr; }
+  /// The status code (`kOk` when `ok()`).
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// The diagnostic message (empty when `ok()`).
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsFailedPrecondition() const { return code() == StatusCode::kFailedPrecondition; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Two statuses compare equal when code and message both match.
+  friend bool operator==(const Status& a, const Status& b);
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::unique_ptr<State> state_;  // null <=> OK
+};
+
+}  // namespace hetesim
+
+/// Propagates a non-OK `Status` to the caller.
+#define HETESIM_RETURN_NOT_OK(expr)                   \
+  do {                                                \
+    ::hetesim::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                        \
+  } while (0)
+
+#endif  // HETESIM_COMMON_STATUS_H_

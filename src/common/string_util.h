@@ -1,0 +1,32 @@
+#ifndef HETESIM_COMMON_STRING_UTIL_H_
+#define HETESIM_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetesim {
+
+/// Splits `text` on `delimiter`, keeping empty fields. `"a--b"` split on
+/// `'-'` yields `{"a", "", "b"}`.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Splits and drops empty fields after trimming each piece.
+std::vector<std::string> SplitSkipEmpty(std::string_view text, char delimiter);
+
+/// Joins `parts` with `separator`.
+std::string Join(const std::vector<std::string>& parts, std::string_view separator);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True iff `text` starts with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// printf-style formatting into a std::string (libstdc++ 12 lacks
+/// `<format>`, so this is the project's formatting primitive).
+std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace hetesim
+
+#endif  // HETESIM_COMMON_STRING_UTIL_H_

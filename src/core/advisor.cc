@@ -1,0 +1,149 @@
+#include "core/advisor.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/path_matrix.h"
+#include "matrix/ops.h"
+
+namespace hetesim {
+
+namespace {
+
+/// Multiply-add count of one sparse product `a * b`: for every stored
+/// entry (i, k) of `a`, one multiply-add per stored entry of `b`'s row k.
+double ProductFlops(const SparseMatrix& a, const SparseMatrix& b) {
+  std::vector<double> row_nnz(static_cast<size_t>(b.rows()));
+  for (Index r = 0; r < b.rows(); ++r) {
+    row_nnz[static_cast<size_t>(r)] = static_cast<double>(b.RowNnz(r));
+  }
+  double flops = 0.0;
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index k : a.RowIndices(i)) {
+      flops += row_nnz[static_cast<size_t>(k)];
+    }
+  }
+  return flops;
+}
+
+/// Approximate CSR footprint: one Index + one double per entry plus the
+/// row-pointer array.
+size_t MatrixBytes(const SparseMatrix& m) {
+  return static_cast<size_t>(m.NumNonZeros()) * (sizeof(Index) + sizeof(double)) +
+         (static_cast<size_t>(m.rows()) + 1) * sizeof(Index);
+}
+
+struct Candidate {
+  size_t bytes = 0;
+  double flops = 0.0;
+  double frequency = 0.0;
+};
+
+}  // namespace
+
+double ChainProductFlops(const std::vector<SparseMatrix>& chain) {
+  if (chain.empty()) return 0.0;
+  double flops = 0.0;
+  SparseMatrix product = chain[0];
+  for (size_t i = 1; i < chain.size(); ++i) {
+    flops += ProductFlops(product, chain[i]);
+    product = product.Multiply(chain[i]);
+  }
+  return flops;
+}
+
+Result<MaterializationPlan> AdviseMaterialization(
+    const HinGraph& graph, const std::vector<WorkloadEntry>& workload,
+    const AdvisorOptions& options) {
+  if (workload.empty()) {
+    return Status::InvalidArgument("workload must be non-empty");
+  }
+  for (const WorkloadEntry& entry : workload) {
+    if (entry.frequency <= 0.0) {
+      return Status::InvalidArgument("workload frequencies must be positive");
+    }
+  }
+
+  // Gather candidates: both halves of every workload path, pooled by
+  // canonical key. std::map keeps the plan deterministic.
+  std::map<std::string, Candidate> candidates;
+  for (const WorkloadEntry& entry : workload) {
+    PathDecomposition decomposition = DecomposePath(graph, entry.path);
+    struct Half {
+      std::string key;
+      const std::vector<SparseMatrix>* chain;
+    };
+    const Half halves[] = {
+        {PathMatrixCache::LeftKey(entry.path), &decomposition.left_transitions},
+        {PathMatrixCache::RightKey(entry.path), &decomposition.right_transitions},
+    };
+    for (const Half& half : halves) {
+      Candidate& candidate = candidates[half.key];
+      candidate.frequency += entry.frequency;
+      if (candidate.bytes == 0) {  // first sighting: measure cost and size
+        candidate.flops = ChainProductFlops(*half.chain);
+        candidate.bytes = MatrixBytes(MultiplyChain(*half.chain));
+      }
+    }
+  }
+
+  // Greedy knapsack by benefit per byte.
+  MaterializationPlan plan;
+  plan.candidates = candidates.size();
+  std::vector<MaterializationChoice> ranked;
+  ranked.reserve(candidates.size());
+  for (const auto& [key, candidate] : candidates) {
+    ranked.push_back({key, candidate.bytes, candidate.frequency * candidate.flops});
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const MaterializationChoice& a, const MaterializationChoice& b) {
+              const double density_a =
+                  a.benefit / static_cast<double>(std::max<size_t>(a.bytes, 1));
+              const double density_b =
+                  b.benefit / static_cast<double>(std::max<size_t>(b.bytes, 1));
+              if (density_a != density_b) return density_a > density_b;
+              return a.key < b.key;
+            });
+  for (const MaterializationChoice& choice : ranked) {
+    if (options.memory_budget_bytes != 0 &&
+        plan.total_bytes + choice.bytes > options.memory_budget_bytes) {
+      continue;  // try smaller candidates further down the ranking
+    }
+    plan.choices.push_back(choice);
+    plan.total_bytes += choice.bytes;
+    plan.total_benefit += choice.benefit;
+  }
+  return plan;
+}
+
+Status ApplyMaterializationPlan(const HinGraph& graph,
+                                const std::vector<WorkloadEntry>& workload,
+                                const MaterializationPlan& plan,
+                                PathMatrixCache* cache) {
+  if (cache == nullptr) {
+    return Status::InvalidArgument("cache must be non-null");
+  }
+  std::set<std::string> chosen;
+  for (const MaterializationChoice& choice : plan.choices) chosen.insert(choice.key);
+  std::set<std::string> touched;
+  for (const WorkloadEntry& entry : workload) {
+    const std::string left_key = PathMatrixCache::LeftKey(entry.path);
+    if (chosen.count(left_key) != 0) {
+      cache->GetLeft(graph, entry.path);
+      touched.insert(left_key);
+    }
+    const std::string right_key = PathMatrixCache::RightKey(entry.path);
+    if (chosen.count(right_key) != 0) {
+      cache->GetRight(graph, entry.path);
+      touched.insert(right_key);
+    }
+  }
+  if (touched.size() < chosen.size()) {
+    return Status::InvalidArgument(
+        "plan references halves not derivable from this workload");
+  }
+  return Status::OK();
+}
+
+}  // namespace hetesim

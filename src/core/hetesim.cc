@@ -1,0 +1,221 @@
+#include "core/hetesim.h"
+
+#include <cmath>
+#include <unordered_map>
+#include <utility>
+
+#include "common/check.h"
+#include "common/parallel.h"
+#include "common/string_util.h"
+#include "core/materialize.h"
+#include "matrix/ops.h"
+
+namespace hetesim {
+
+HeteSimEngine::HeteSimEngine(const HinGraph& graph, HeteSimOptions options,
+                             std::shared_ptr<PathMatrixCache> cache)
+    : graph_(graph), options_(options), cache_(std::move(cache)) {}
+
+void HeteSimEngine::GetReachMatrices(const MetaPath& path, SparseMatrix* left,
+                                     SparseMatrix* right) const {
+  if (cache_ != nullptr) {
+    *left = *cache_->GetLeft(graph_, path);
+    *right = *cache_->GetRight(graph_, path);
+    return;
+  }
+  PathDecomposition decomposition = DecomposePath(graph_, path);
+  *left = LeftReachMatrix(decomposition);
+  *right = RightReachMatrix(decomposition);
+}
+
+DenseMatrix HeteSimEngine::Compute(const MetaPath& path) const {
+  HETESIM_CHECK(&path.schema() == &graph_.schema())
+      << "meta-path was parsed against a different schema object";
+  SparseMatrix left;
+  SparseMatrix right;
+  GetReachMatrices(path, &left, &right);
+  // Equation 6: HeteSim(A1, A(l+1) | P) = PM_PL * PM_(PR^-1)'. Relevance
+  // matrices of connected networks are dense, so the product is densified.
+  DenseMatrix scores =
+      left.MultiplyParallel(right.Transpose(), options_.num_threads).ToDense();
+  if (!options_.normalized) return scores;
+  // Definition 10: divide entry (a, b) by |PM_PL(a,:)| * |PM_(PR^-1)(b,:)|.
+  std::vector<double> left_norms(static_cast<size_t>(left.rows()));
+  for (Index a = 0; a < left.rows(); ++a) left_norms[static_cast<size_t>(a)] = left.RowNorm(a);
+  std::vector<double> right_norms(static_cast<size_t>(right.rows()));
+  for (Index b = 0; b < right.rows(); ++b) right_norms[static_cast<size_t>(b)] = right.RowNorm(b);
+  ParallelChunks(0, scores.rows(), options_.num_threads,
+                 [&](int64_t row_begin, int64_t row_end) {
+                   for (Index a = row_begin; a < row_end; ++a) {
+                     double* row = scores.RowData(a);
+                     const double na = left_norms[static_cast<size_t>(a)];
+                     if (na == 0.0) continue;  // unreachable source row
+                     for (Index b = 0; b < scores.cols(); ++b) {
+                       const double nb = right_norms[static_cast<size_t>(b)];
+                       if (nb != 0.0) row[b] /= na * nb;
+                     }
+                   }
+                 });
+  return scores;
+}
+
+Result<std::vector<double>> HeteSimEngine::ComputeSingleSource(const MetaPath& path,
+                                                               Index source) const {
+  if (&path.schema() != &graph_.schema()) {
+    return Status::InvalidArgument(
+        "meta-path was parsed against a different schema object");
+  }
+  const Index num_sources = graph_.NumNodes(path.SourceType());
+  if (source < 0 || source >= num_sources) {
+    return Status::OutOfRange(StrFormat(
+        "source id %lld out of range [0, %lld) for type '%s'",
+        static_cast<long long>(source), static_cast<long long>(num_sources),
+        graph_.schema().TypeName(path.SourceType()).c_str()));
+  }
+  PathDecomposition decomposition;
+  SparseMatrix right;
+  std::vector<double> u;
+  if (cache_ != nullptr) {
+    std::shared_ptr<const SparseMatrix> left = cache_->GetLeft(graph_, path);
+    u = left->RowDense(source);
+    right = *cache_->GetRight(graph_, path);
+  } else {
+    decomposition = DecomposePath(graph_, path);
+    u.assign(static_cast<size_t>(num_sources), 0.0);
+    u[static_cast<size_t>(source)] = 1.0;
+    u = VectorThroughChainTruncated(std::move(u), decomposition.left_transitions,
+                                    options_.truncation);
+    right = RightReachMatrix(decomposition);
+  }
+  // scores[t] = u . PM_R(t,:), then cosine-normalize per Definition 10.
+  std::vector<double> scores = right.MultiplyVector(u);
+  if (options_.normalized) {
+    const double nu = Norm2(u);
+    if (nu == 0.0) {
+      // Source cannot reach the middle type at all: relevance is 0 to
+      // everything (the paper's O(s|R1) = empty convention).
+      return std::vector<double>(scores.size(), 0.0);
+    }
+    for (Index t = 0; t < right.rows(); ++t) {
+      const double nt = right.RowNorm(t);
+      if (nt != 0.0) scores[static_cast<size_t>(t)] /= nu * nt;
+    }
+  }
+  return scores;
+}
+
+Result<double> HeteSimEngine::ComputePair(const MetaPath& path, Index source,
+                                          Index target) const {
+  if (&path.schema() != &graph_.schema()) {
+    return Status::InvalidArgument(
+        "meta-path was parsed against a different schema object");
+  }
+  const Index num_sources = graph_.NumNodes(path.SourceType());
+  const Index num_targets = graph_.NumNodes(path.TargetType());
+  if (source < 0 || source >= num_sources) {
+    return Status::OutOfRange("source id out of range");
+  }
+  if (target < 0 || target >= num_targets) {
+    return Status::OutOfRange("target id out of range");
+  }
+  if (cache_ != nullptr) {
+    std::shared_ptr<const SparseMatrix> left = cache_->GetLeft(graph_, path);
+    std::shared_ptr<const SparseMatrix> right = cache_->GetRight(graph_, path);
+    return options_.normalized ? left->RowCosine(source, *right, target)
+                               : left->RowDot(source, *right, target);
+  }
+  // Cache-less path: propagate both indicator vectors to the middle type;
+  // no matrix products at all (Equation 7 evaluated directly).
+  PathDecomposition decomposition = DecomposePath(graph_, path);
+  std::vector<double> u(static_cast<size_t>(num_sources), 0.0);
+  u[static_cast<size_t>(source)] = 1.0;
+  u = VectorThroughChainTruncated(std::move(u), decomposition.left_transitions,
+                                  options_.truncation);
+  std::vector<double> v(static_cast<size_t>(num_targets), 0.0);
+  v[static_cast<size_t>(target)] = 1.0;
+  v = VectorThroughChainTruncated(std::move(v), decomposition.right_transitions,
+                                  options_.truncation);
+  return options_.normalized ? CosineSimilarity(u, v) : Dot(u, v);
+}
+
+Result<std::vector<double>> HeteSimEngine::ComputePairs(
+    const MetaPath& path, const std::vector<std::pair<Index, Index>>& pairs) const {
+  if (&path.schema() != &graph_.schema()) {
+    return Status::InvalidArgument(
+        "meta-path was parsed against a different schema object");
+  }
+  const Index num_sources = graph_.NumNodes(path.SourceType());
+  const Index num_targets = graph_.NumNodes(path.TargetType());
+  for (const auto& [source, target] : pairs) {
+    if (source < 0 || source >= num_sources) {
+      return Status::OutOfRange("source id out of range");
+    }
+    if (target < 0 || target >= num_targets) {
+      return Status::OutOfRange("target id out of range");
+    }
+  }
+  if (cache_ != nullptr) {
+    std::shared_ptr<const SparseMatrix> left = cache_->GetLeft(graph_, path);
+    std::shared_ptr<const SparseMatrix> right = cache_->GetRight(graph_, path);
+    std::vector<double> scores;
+    scores.reserve(pairs.size());
+    for (const auto& [source, target] : pairs) {
+      scores.push_back(options_.normalized ? left->RowCosine(source, *right, target)
+                                           : left->RowDot(source, *right, target));
+    }
+    return scores;
+  }
+  // One decomposition; distributions propagated once per distinct id.
+  PathDecomposition decomposition = DecomposePath(graph_, path);
+  std::unordered_map<Index, std::vector<double>> source_distributions;
+  std::unordered_map<Index, std::vector<double>> target_distributions;
+  auto distribution_of = [&](Index id, Index dimension,
+                             const std::vector<SparseMatrix>& chain,
+                             std::unordered_map<Index, std::vector<double>>& memo)
+      -> const std::vector<double>& {
+    auto it = memo.find(id);
+    if (it != memo.end()) return it->second;
+    std::vector<double> indicator(static_cast<size_t>(dimension), 0.0);
+    indicator[static_cast<size_t>(id)] = 1.0;
+    return memo
+        .emplace(id, VectorThroughChainTruncated(std::move(indicator), chain,
+                                                 options_.truncation))
+        .first->second;
+  };
+  std::vector<double> scores;
+  scores.reserve(pairs.size());
+  for (const auto& [source, target] : pairs) {
+    const std::vector<double>& u = distribution_of(
+        source, num_sources, decomposition.left_transitions, source_distributions);
+    const std::vector<double>& v = distribution_of(
+        target, num_targets, decomposition.right_transitions, target_distributions);
+    scores.push_back(options_.normalized ? CosineSimilarity(u, v) : Dot(u, v));
+  }
+  return scores;
+}
+
+Result<double> HeteSimEngine::SimRankSeries(RelationId relation, Index a1, Index a2,
+                                            int depth) const {
+  const Schema& schema = graph_.schema();
+  if (!schema.IsValidRelation(relation)) {
+    return Status::InvalidArgument("invalid relation id");
+  }
+  if (depth < 1) {
+    return Status::InvalidArgument("depth must be >= 1");
+  }
+  HeteSimOptions raw_options = options_;
+  raw_options.normalized = false;
+  HeteSimEngine raw(graph_, raw_options, cache_);
+  double total = 0.0;
+  std::vector<RelationStep> steps;
+  for (int k = 1; k <= depth; ++k) {
+    steps.push_back({relation, /*forward=*/true});
+    steps.push_back({relation, /*forward=*/false});
+    HETESIM_ASSIGN_OR_RETURN(MetaPath path, MetaPath::FromSteps(schema, steps));
+    HETESIM_ASSIGN_OR_RETURN(double term, raw.ComputePair(path, a1, a2));
+    total += term;
+  }
+  return total;
+}
+
+}  // namespace hetesim

@@ -1,0 +1,107 @@
+#ifndef HETESIM_CORE_HETESIM_H_
+#define HETESIM_CORE_HETESIM_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/path_matrix.h"
+#include "hin/graph.h"
+#include "hin/metapath.h"
+#include "matrix/dense.h"
+
+namespace hetesim {
+
+class PathMatrixCache;  // materialize.h
+
+/// Options controlling HeteSim evaluation.
+struct HeteSimOptions {
+  /// When true (the default, and what the paper calls "HeteSim" from
+  /// Section 4.4 on), scores are cosine-normalized per Definition 10 and lie
+  /// in [0, 1] with self-maximum on symmetric paths (Property 4). When
+  /// false, the raw pairwise meeting probability of Equation 5 is returned —
+  /// needed for the SimRank connection (Property 5).
+  bool normalized = true;
+
+  /// Approximate truncation threshold for the cache-less pair and
+  /// single-source queries (Section 4.6: "approximate algorithms ... with
+  /// a small loss of accuracy"): reachable-probability entries below this
+  /// are dropped after each propagation step, keeping the frontier sparse
+  /// on hub-heavy networks. 0 (the default) is exact. The absolute score
+  /// error is bounded by `path length * truncation * middle-type size`.
+  double truncation = 0.0;
+
+  /// Threads used by the full-matrix `Compute` (the SpGEMM of the two
+  /// reachable matrices and the normalization sweep are row-parallel).
+  /// 1 (the default) runs fully sequentially; results are identical.
+  int num_threads = 1;
+};
+
+/// \brief The HeteSim relevance measure (Section 4 of the paper).
+///
+/// `HeteSimEngine` evaluates the relatedness of heterogeneous objects —
+/// same-typed or different-typed — along a user-chosen relevance path.
+/// It implements:
+///  * full relevance matrices `HeteSim(A1, A(l+1) | P)` (Equation 6),
+///  * single-source queries (one row of the matrix, computed lazily),
+///  * single-pair queries (one dot product given materialized halves),
+/// with an optional `PathMatrixCache` for cross-query reuse of partial
+/// reachable-probability products (the Section 4.6 acceleration).
+///
+/// The engine holds a non-owning reference to the graph, which must outlive
+/// it. Engines are cheap to construct; all heavy state lives in the cache.
+class HeteSimEngine {
+ public:
+  /// Creates an engine over `graph`. If `cache` is non-null, left/right
+  /// reachable-probability products are stored there and reused across
+  /// queries (including by other engines sharing the cache).
+  explicit HeteSimEngine(const HinGraph& graph, HeteSimOptions options = {},
+                         std::shared_ptr<PathMatrixCache> cache = nullptr);
+
+  /// Full relevance matrix between all sources and all targets of `path`:
+  /// entry (a, b) is HeteSim(a, b | P). Shape |A1| x |A(l+1)|.
+  DenseMatrix Compute(const MetaPath& path) const;
+
+  /// Relevance of `source` to every target object: one row of `Compute`.
+  /// Errors when `source` is out of range for the path's source type.
+  Result<std::vector<double>> ComputeSingleSource(const MetaPath& path,
+                                                  Index source) const;
+
+  /// Relevance of the single pair (`source`, `target`).
+  Result<double> ComputePair(const MetaPath& path, Index source, Index target) const;
+
+  /// Relevance of many pairs along one path, sharing one path
+  /// decomposition and reusing the propagated distribution of every
+  /// repeated source/target — the right call shape for scoring candidate
+  /// lists (e.g. recommendation rerankers). Returns scores aligned with
+  /// `pairs`. Errors if any id is out of range (nothing partial is
+  /// returned).
+  Result<std::vector<double>> ComputePairs(
+      const MetaPath& path, const std::vector<std::pair<Index, Index>>& pairs) const;
+
+  /// Sum of unnormalized HeteSim over the paths `(R R^-1)^k`, k = 1..depth,
+  /// for two objects of the relation's source type. By Property 5 this
+  /// converges to SimRank(a1, a2) with damping C = 1 on the bipartite graph
+  /// of `relation`. Exposed mainly for tests and the SimRank benches.
+  Result<double> SimRankSeries(RelationId relation, Index a1, Index a2,
+                               int depth) const;
+
+  /// The graph this engine evaluates against.
+  const HinGraph& graph() const { return graph_; }
+  /// The options this engine was created with.
+  const HeteSimOptions& options() const { return options_; }
+
+ private:
+  /// Left/right reachable matrices for `path`, via the cache when present.
+  void GetReachMatrices(const MetaPath& path, SparseMatrix* left,
+                        SparseMatrix* right) const;
+
+  const HinGraph& graph_;
+  HeteSimOptions options_;
+  std::shared_ptr<PathMatrixCache> cache_;
+};
+
+}  // namespace hetesim
+
+#endif  // HETESIM_CORE_HETESIM_H_

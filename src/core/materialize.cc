@@ -1,0 +1,177 @@
+#include "core/materialize.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+#include "matrix/serialize.h"
+
+namespace hetesim {
+
+namespace {
+
+/// Joins the rendered steps in `[begin, end)` of `path` with commas.
+std::string StepRangeString(const MetaPath& path, int begin, int end) {
+  std::vector<std::string> parts;
+  parts.reserve(static_cast<size_t>(end - begin));
+  for (int i = begin; i < end; ++i) {
+    parts.push_back(path.schema().StepToString(path.StepAt(i)));
+  }
+  return Join(parts, ",");
+}
+
+/// Joins the *inverted, reversed* steps in `[begin, end)` — the canonical
+/// rendering of walking that segment backwards.
+std::string InverseStepRangeString(const MetaPath& path, int begin, int end) {
+  std::vector<std::string> parts;
+  parts.reserve(static_cast<size_t>(end - begin));
+  for (int i = end - 1; i >= begin; --i) {
+    parts.push_back(path.schema().StepToString(path.StepAt(i).Inverse()));
+  }
+  return Join(parts, ",");
+}
+
+}  // namespace
+
+std::string PathMatrixCache::ReachKey(const MetaPath& path) {
+  return "PM:" + path.ToRelationString();
+}
+
+std::string PathMatrixCache::LeftKey(const MetaPath& path) {
+  const int l = path.length();
+  if (l % 2 == 0) {
+    // Even: the left half is the plain reachable matrix of the prefix, so
+    // it shares its entry with GetReach of that prefix and with the left
+    // half of ANY path starting with the same steps.
+    return "PM:" + StepRangeString(path, 0, l / 2);
+  }
+  // Odd: prefix transitions followed by the source half of the decomposed
+  // middle atomic relation (Definition 6).
+  return "PM:" + StepRangeString(path, 0, l / 2) + "|EO+:" +
+         path.schema().StepToString(path.StepAt(l / 2));
+}
+
+std::string PathMatrixCache::RightKey(const MetaPath& path) {
+  const int l = path.length();
+  if (l % 2 == 0) {
+    return "PM:" + InverseStepRangeString(path, l / 2, l);
+  }
+  return "PM:" + InverseStepRangeString(path, l / 2 + 1, l) + "|EO-:" +
+         path.schema().StepToString(path.StepAt(l / 2));
+}
+
+std::shared_ptr<const SparseMatrix> PathMatrixCache::GetLeft(const HinGraph& graph,
+                                                             const MetaPath& path) {
+  return GetOrCompute(LeftKey(path), [&graph, &path] {
+    return LeftReachMatrix(DecomposePath(graph, path));
+  });
+}
+
+std::shared_ptr<const SparseMatrix> PathMatrixCache::GetRight(const HinGraph& graph,
+                                                              const MetaPath& path) {
+  return GetOrCompute(RightKey(path), [&graph, &path] {
+    return RightReachMatrix(DecomposePath(graph, path));
+  });
+}
+
+std::shared_ptr<const SparseMatrix> PathMatrixCache::GetReach(const HinGraph& graph,
+                                                              const MetaPath& path) {
+  return GetOrCompute(ReachKey(path),
+                      [&graph, &path] { return ReachProbability(graph, path); });
+}
+
+PathMatrixCache::Stats PathMatrixCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return Stats{hits_, misses_, entries_.size()};
+}
+
+void PathMatrixCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+Status PathMatrixCache::SaveToDirectory(const std::string& directory) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create cache directory '" + directory +
+                           "': " + ec.message());
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ofstream manifest(fs::path(directory) / "manifest.txt");
+  if (!manifest.is_open()) {
+    return Status::IOError("cannot write cache manifest in '" + directory + "'");
+  }
+  int sequence = 0;
+  for (const auto& [key, matrix] : entries_) {
+    const std::string file_name = StrFormat("entry_%04d.hsm", sequence++);
+    // Keys contain no newlines (relation names reject none, but be safe).
+    if (key.find('\n') != std::string::npos) {
+      return Status::InvalidArgument("cache key contains a newline");
+    }
+    manifest << file_name << "\t" << key << "\n";
+    HETESIM_RETURN_NOT_OK(WriteSparseMatrixToFile(
+        *matrix, (fs::path(directory) / file_name).string()));
+  }
+  if (!manifest.good()) {
+    return Status::IOError("cache manifest write failed");
+  }
+  return Status::OK();
+}
+
+Status PathMatrixCache::LoadFromDirectory(const std::string& directory) {
+  namespace fs = std::filesystem;
+  std::ifstream manifest(fs::path(directory) / "manifest.txt");
+  if (!manifest.is_open()) {
+    return Status::IOError("cannot read cache manifest in '" + directory + "'");
+  }
+  std::unordered_map<std::string, std::shared_ptr<const SparseMatrix>> loaded;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(manifest, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    const size_t tab = line.find('\t');
+    if (tab == std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("manifest line %d: missing tab separator", line_number));
+    }
+    const std::string file_name = line.substr(0, tab);
+    const std::string key = line.substr(tab + 1);
+    Result<SparseMatrix> matrix =
+        ReadSparseMatrixFromFile((fs::path(directory) / file_name).string());
+    if (!matrix.ok()) return matrix.status();
+    loaded.emplace(key,
+                   std::make_shared<const SparseMatrix>(*std::move(matrix)));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_ = std::move(loaded);
+  hits_ = 0;
+  misses_ = 0;
+  return Status::OK();
+}
+
+std::shared_ptr<const SparseMatrix> PathMatrixCache::GetOrCompute(
+    const std::string& key, const std::function<SparseMatrix()>& compute) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Compute outside the lock so concurrent misses on different paths do not
+  // serialize; a racing duplicate insert for the same key is harmless (the
+  // first entry wins and the duplicate work is discarded).
+  auto computed = std::make_shared<const SparseMatrix>(compute());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.emplace(key, std::move(computed)).first;
+  return it->second;
+}
+
+}  // namespace hetesim

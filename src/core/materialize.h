@@ -1,0 +1,94 @@
+#ifndef HETESIM_CORE_MATERIALIZE_H_
+#define HETESIM_CORE_MATERIALIZE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/path_matrix.h"
+#include "hin/graph.h"
+#include "hin/metapath.h"
+#include "matrix/sparse.h"
+
+namespace hetesim {
+
+/// \brief Cache of materialized reachable-probability products, the
+/// Section 4.6 acceleration: "for frequently-used relevance paths, the
+/// relatedness matrix can be calculated off-line" and "the concatenation of
+/// partially materialized reachable probability matrices also helps to
+/// fasten the computation".
+///
+/// Entries are keyed by the *half's* canonical step string (see `LeftKey`
+/// / `RightKey` / `ReachKey`), so partial products are shared across every
+/// full path whose decomposition produces them: the left half of A-P-C-P-A
+/// serves A-P-C-P-C, the reachable matrix of A-P serves as the left half
+/// of A-P-P'-style paths, and the right half of P equals the left half of
+/// P reversed. Thread-safe; share one cache across engines via
+/// `std::shared_ptr`.
+class PathMatrixCache {
+ public:
+  PathMatrixCache() = default;
+  PathMatrixCache(const PathMatrixCache&) = delete;
+  PathMatrixCache& operator=(const PathMatrixCache&) = delete;
+
+  /// Canonical cache key of `path`'s left reachable matrix (the `PM_PL` of
+  /// Definition 5's decomposition). Equal keys <=> equal matrices.
+  static std::string LeftKey(const MetaPath& path);
+  /// Canonical key of the right reachable matrix `PM_(PR^-1)`.
+  static std::string RightKey(const MetaPath& path);
+  /// Canonical key of the full reachable probability matrix `PM_P`.
+  static std::string ReachKey(const MetaPath& path);
+
+  /// Left reachable matrix `PM_PL` of the decomposition of `path`
+  /// (|source type| x |middle|), computed on first use.
+  std::shared_ptr<const SparseMatrix> GetLeft(const HinGraph& graph,
+                                              const MetaPath& path);
+
+  /// Right reachable matrix `PM_(PR^-1)` of the decomposition of `path`
+  /// (|target type| x |middle|), computed on first use.
+  std::shared_ptr<const SparseMatrix> GetRight(const HinGraph& graph,
+                                               const MetaPath& path);
+
+  /// Full reachable probability matrix `PM_P` (Definition 9), used by PCRW
+  /// and the Fig-7 style distribution queries.
+  std::shared_ptr<const SparseMatrix> GetReach(const HinGraph& graph,
+                                               const MetaPath& path);
+
+  /// Cache effectiveness counters.
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+  /// Drops all entries and resets counters.
+  void Clear();
+
+  /// Persists every cached matrix under `directory` (created if missing):
+  /// one `entry_NNNN.hsm` file per matrix plus a `manifest.txt` mapping
+  /// files back to path keys. This is the paper's offline materialization:
+  /// compute the reachable-probability products for the frequently-used
+  /// relevance paths once, then serve queries from the reloaded cache.
+  Status SaveToDirectory(const std::string& directory) const;
+
+  /// Loads a previously saved cache, replacing the current contents.
+  /// Counters are reset; loaded entries count as neither hits nor misses
+  /// until queried.
+  Status LoadFromDirectory(const std::string& directory);
+
+ private:
+  std::shared_ptr<const SparseMatrix> GetOrCompute(
+      const std::string& key, const std::function<SparseMatrix()>& compute);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_ptr<const SparseMatrix>> entries_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace hetesim
+
+#endif  // HETESIM_CORE_MATERIALIZE_H_

@@ -1,0 +1,110 @@
+#include "core/path_matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "matrix/ops.h"
+
+namespace hetesim {
+
+std::vector<SparseMatrix> TransitionChain(const HinGraph& graph, const MetaPath& path) {
+  std::vector<SparseMatrix> chain;
+  chain.reserve(static_cast<size_t>(path.length()));
+  for (int i = 0; i < path.length(); ++i) {
+    chain.push_back(graph.StepTransition(path.StepAt(i)));
+  }
+  return chain;
+}
+
+SparseMatrix ReachProbability(const HinGraph& graph, const MetaPath& path) {
+  return MultiplyChain(TransitionChain(graph, path));
+}
+
+std::vector<double> ReachDistribution(const HinGraph& graph, const MetaPath& path,
+                                      Index source) {
+  HETESIM_CHECK(source >= 0 && source < graph.NumNodes(path.SourceType()));
+  std::vector<double> x(static_cast<size_t>(graph.NumNodes(path.SourceType())), 0.0);
+  x[static_cast<size_t>(source)] = 1.0;
+  return VectorThroughChain(std::move(x), TransitionChain(graph, path));
+}
+
+AtomicDecomposition DecomposeAtomicRelation(const HinGraph& graph,
+                                            const RelationStep& step) {
+  const SparseMatrix& w = graph.StepAdjacency(step);
+  const Index num_instances = w.NumNonZeros();
+  std::vector<Triplet> out_triplets;
+  std::vector<Triplet> in_triplets;
+  out_triplets.reserve(static_cast<size_t>(num_instances));
+  in_triplets.reserve(static_cast<size_t>(num_instances));
+  Index edge_id = 0;
+  for (Index a = 0; a < w.rows(); ++a) {
+    auto indices = w.RowIndices(a);
+    auto values = w.RowValues(a);
+    for (size_t k = 0; k < indices.size(); ++k) {
+      // w(a,e) = w(e,b) = sqrt(w(a,b)) so that W_out * W_in == W exactly.
+      const double half_weight = std::sqrt(values[k]);
+      out_triplets.push_back({a, edge_id, half_weight});
+      in_triplets.push_back({edge_id, indices[k], half_weight});
+      ++edge_id;
+    }
+  }
+  AtomicDecomposition result;
+  result.num_instances = num_instances;
+  result.out = SparseMatrix::FromTriplets(w.rows(), num_instances,
+                                          std::move(out_triplets));
+  result.in = SparseMatrix::FromTriplets(num_instances, w.cols(),
+                                         std::move(in_triplets));
+  return result;
+}
+
+PathDecomposition DecomposePath(const HinGraph& graph, const MetaPath& path) {
+  PathDecomposition result;
+  const int l = path.length();
+  if (l % 2 == 0) {
+    // Even length: split at the middle type M = TypeAt(l/2).
+    const int mid = l / 2;
+    for (int i = 0; i < mid; ++i) {
+      result.left_transitions.push_back(graph.StepTransition(path.StepAt(i)));
+    }
+    // PR^-1 walks the second half backwards: steps l-1 .. mid, inverted.
+    for (int i = l - 1; i >= mid; --i) {
+      result.right_transitions.push_back(
+          graph.StepTransition(path.StepAt(i).Inverse()));
+    }
+    result.middle_dimension = graph.NumNodes(path.TypeAt(mid));
+    result.edge_object_inserted = false;
+    return result;
+  }
+
+  // Odd length: decompose the middle atomic relation (step index l/2)
+  // through an edge-object type E, then split as in the even case with
+  // M = E (Definitions 5 and 6).
+  const int mid_step = l / 2;
+  AtomicDecomposition atomic =
+      DecomposeAtomicRelation(graph, path.StepAt(mid_step));
+  for (int i = 0; i < mid_step; ++i) {
+    result.left_transitions.push_back(graph.StepTransition(path.StepAt(i)));
+  }
+  result.left_transitions.push_back(atomic.out.RowNormalized());
+  for (int i = l - 1; i > mid_step; --i) {
+    result.right_transitions.push_back(
+        graph.StepTransition(path.StepAt(i).Inverse()));
+  }
+  // Final right-hand step enters E against R_I: row-normalize W_EB'.
+  result.right_transitions.push_back(atomic.in.Transpose().RowNormalized());
+  result.middle_dimension = atomic.num_instances;
+  result.edge_object_inserted = true;
+  return result;
+}
+
+SparseMatrix LeftReachMatrix(const PathDecomposition& decomposition) {
+  HETESIM_CHECK(!decomposition.left_transitions.empty());
+  return MultiplyChain(decomposition.left_transitions);
+}
+
+SparseMatrix RightReachMatrix(const PathDecomposition& decomposition) {
+  HETESIM_CHECK(!decomposition.right_transitions.empty());
+  return MultiplyChain(decomposition.right_transitions);
+}
+
+}  // namespace hetesim

@@ -1,0 +1,75 @@
+#ifndef HETESIM_CORE_PATH_MATRIX_H_
+#define HETESIM_CORE_PATH_MATRIX_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "hin/graph.h"
+#include "hin/metapath.h"
+#include "matrix/sparse.h"
+
+namespace hetesim {
+
+/// Transition probability matrices `U` (Definition 8) for every step of
+/// `path`, in order. `chain[i]` is `|TypeAt(i)| x |TypeAt(i+1)|` and
+/// row-stochastic (up to all-zero rows for nodes with no out-neighbors).
+std::vector<SparseMatrix> TransitionChain(const HinGraph& graph, const MetaPath& path);
+
+/// Reachable probability matrix `PM_P = U_1 U_2 ... U_l` (Definition 9).
+/// `PM(i, j)` is the probability that a random walker starting at object `i`
+/// of the source type reaches object `j` of the target type walking along
+/// `path`. This is also exactly the PCRW proximity matrix.
+SparseMatrix ReachProbability(const HinGraph& graph, const MetaPath& path);
+
+/// Single-source row of `ReachProbability`: the distribution over the target
+/// type reached from `source`. O(edges touched), no matrix products.
+std::vector<double> ReachDistribution(const HinGraph& graph, const MetaPath& path,
+                                      Index source);
+
+/// \brief Decomposition of an atomic relation `R = R_O ∘ R_I` through an
+/// inserted edge-object type `E` (Definition 6).
+///
+/// `E` has one object per *relation instance* (per stored adjacency entry,
+/// enumerated in CSR order of the step adjacency). Weights satisfy
+/// `w(a,e) = w(e,b) = sqrt(w(a,b))`, so `W_out * W_in` reconstructs the
+/// original adjacency exactly (Property 1: the decomposition is unique).
+struct AtomicDecomposition {
+  SparseMatrix out;       ///< `W_AE`, |src| x |instances|
+  SparseMatrix in;        ///< `W_EB`, |instances| x |dst|
+  Index num_instances{};  ///< |E|
+};
+
+/// Decomposes the adjacency of `step` per Definition 6.
+AtomicDecomposition DecomposeAtomicRelation(const HinGraph& graph,
+                                            const RelationStep& step);
+
+/// \brief Decomposition of a relevance path into two equal-length halves
+/// meeting at a middle type `M` (Definition 5).
+///
+/// For an even-length path `P = PL PR`, `M = A(l/2 + 1)` and both chains are
+/// ordinary transition chains. For an odd-length path the middle atomic
+/// relation is split through an edge-object type `E` (Definition 6), making
+/// the effective length even; `M = E`.
+///
+/// `left_transitions` maps the source type `A1` to `M` along `PL`;
+/// `right_transitions` maps the target type `A(l+1)` to `M` along `PR^-1`.
+/// HeteSim(a, b | P) is then the (normalized) dot product of row `a` of the
+/// left chain product and row `b` of the right chain product (Equation 6/8).
+struct PathDecomposition {
+  std::vector<SparseMatrix> left_transitions;
+  std::vector<SparseMatrix> right_transitions;
+  Index middle_dimension = 0;       ///< |M|
+  bool edge_object_inserted = false;  ///< true iff the path length was odd
+};
+
+/// Builds the decomposition of `path` over `graph`.
+PathDecomposition DecomposePath(const HinGraph& graph, const MetaPath& path);
+
+/// Product of the left chain: `PM_PL`, |A1| x |M|.
+SparseMatrix LeftReachMatrix(const PathDecomposition& decomposition);
+/// Product of the right chain: `PM_(PR^-1)`, |A(l+1)| x |M|.
+SparseMatrix RightReachMatrix(const PathDecomposition& decomposition);
+
+}  // namespace hetesim
+
+#endif  // HETESIM_CORE_PATH_MATRIX_H_

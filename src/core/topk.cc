@@ -1,0 +1,143 @@
+#include "core/topk.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "matrix/ops.h"
+
+namespace hetesim {
+
+std::vector<Scored> TopK(const std::vector<double>& scores, int k) {
+  HETESIM_CHECK_GE(k, 0);
+  std::vector<Scored> all;
+  all.reserve(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    all.push_back({static_cast<Index>(i), scores[i]});
+  }
+  const size_t keep = std::min(static_cast<size_t>(k), all.size());
+  auto by_score_desc = [](const Scored& a, const Scored& b) {
+    return a.score != b.score ? a.score > b.score : a.id < b.id;
+  };
+  std::partial_sort(all.begin(), all.begin() + static_cast<ptrdiff_t>(keep),
+                    all.end(), by_score_desc);
+  all.resize(keep);
+  return all;
+}
+
+Result<std::vector<ScoredPair>> TopKPairs(const HinGraph& graph,
+                                          const MetaPath& path, int k,
+                                          bool exclude_diagonal,
+                                          HeteSimOptions options) {
+  if (k < 0) {
+    return Status::InvalidArgument("k must be non-negative");
+  }
+  const bool same_type = path.SourceType() == path.TargetType();
+  TopKSearcher searcher(graph, path, options);
+  auto by_score_desc = [](const ScoredPair& a, const ScoredPair& b) {
+    if (a.score != b.score) return a.score > b.score;
+    if (a.source != b.source) return a.source < b.source;
+    return a.target < b.target;
+  };
+  // Collect each source's top-k (more than enough to fill the global k)
+  // and keep the best k overall.
+  std::vector<ScoredPair> best;
+  const Index num_sources = graph.NumNodes(path.SourceType());
+  for (Index s = 0; s < num_sources; ++s) {
+    // Request one extra so a skipped diagonal hit cannot starve the pool.
+    HETESIM_ASSIGN_OR_RETURN(TopKResult result, searcher.Query(s, k + 1));
+    for (const Scored& item : result.items) {
+      if (exclude_diagonal && same_type && item.id == s) continue;
+      best.push_back({s, item.id, item.score});
+    }
+    if (best.size() > 4 * static_cast<size_t>(k) + 16) {
+      std::sort(best.begin(), best.end(), by_score_desc);
+      best.resize(static_cast<size_t>(k));
+    }
+  }
+  std::sort(best.begin(), best.end(), by_score_desc);
+  if (best.size() > static_cast<size_t>(k)) best.resize(static_cast<size_t>(k));
+  return best;
+}
+
+TopKSearcher::TopKSearcher(const HinGraph& graph, const MetaPath& path,
+                           HeteSimOptions options)
+    : graph_(graph), options_(options),
+      num_sources_(graph.NumNodes(path.SourceType())) {
+  PathDecomposition decomposition = DecomposePath(graph, path);
+  left_transitions_ = std::move(decomposition.left_transitions);
+  right_ = MultiplyChain(decomposition.right_transitions);
+  right_transpose_ = right_.Transpose();
+  right_norms_.resize(static_cast<size_t>(right_.rows()));
+  for (Index t = 0; t < right_.rows(); ++t) {
+    right_norms_[static_cast<size_t>(t)] = right_.RowNorm(t);
+  }
+}
+
+Result<std::vector<double>> TopKSearcher::SourceDistribution(Index source) const {
+  if (source < 0 || source >= num_sources_) {
+    return Status::OutOfRange("source id out of range");
+  }
+  std::vector<double> u(static_cast<size_t>(num_sources_), 0.0);
+  u[static_cast<size_t>(source)] = 1.0;
+  return VectorThroughChain(std::move(u), left_transitions_);
+}
+
+Result<TopKResult> TopKSearcher::Query(Index source, int k) const {
+  HETESIM_ASSIGN_OR_RETURN(std::vector<double> u, SourceDistribution(source));
+  const double nu = Norm2(u);
+  TopKResult result;
+  if (nu == 0.0) return result;  // source reaches nothing: empty answer
+  // Accumulate scores only for targets that share a middle object with u.
+  // `right_transpose_` maps each middle object to the targets reaching it.
+  std::vector<double> scores(static_cast<size_t>(right_.rows()), 0.0);
+  std::vector<Index> touched;
+  for (size_t m = 0; m < u.size(); ++m) {
+    const double um = u[m];
+    if (um == 0.0) continue;
+    auto targets = right_transpose_.RowIndices(static_cast<Index>(m));
+    auto weights = right_transpose_.RowValues(static_cast<Index>(m));
+    for (size_t j = 0; j < targets.size(); ++j) {
+      if (scores[static_cast<size_t>(targets[j])] == 0.0) touched.push_back(targets[j]);
+      scores[static_cast<size_t>(targets[j])] += um * weights[j];
+    }
+  }
+  result.candidates_examined = static_cast<Index>(touched.size());
+  std::vector<Scored> candidates;
+  candidates.reserve(touched.size());
+  for (Index t : touched) {
+    double s = scores[static_cast<size_t>(t)];
+    if (options_.normalized) {
+      const double nt = right_norms_[static_cast<size_t>(t)];
+      if (nt != 0.0) s /= nu * nt;
+    }
+    if (s != 0.0) candidates.push_back({t, s});
+  }
+  auto by_score_desc = [](const Scored& a, const Scored& b) {
+    return a.score != b.score ? a.score > b.score : a.id < b.id;
+  };
+  const size_t keep = std::min(static_cast<size_t>(std::max(k, 0)), candidates.size());
+  std::partial_sort(candidates.begin(),
+                    candidates.begin() + static_cast<ptrdiff_t>(keep),
+                    candidates.end(), by_score_desc);
+  candidates.resize(keep);
+  result.items = std::move(candidates);
+  return result;
+}
+
+Result<TopKResult> TopKSearcher::QueryExhaustive(Index source, int k) const {
+  HETESIM_ASSIGN_OR_RETURN(std::vector<double> u, SourceDistribution(source));
+  const double nu = Norm2(u);
+  std::vector<double> scores = right_.MultiplyVector(u);
+  if (options_.normalized && nu != 0.0) {
+    for (size_t t = 0; t < scores.size(); ++t) {
+      const double nt = right_norms_[t];
+      if (nt != 0.0) scores[t] /= nu * nt;
+    }
+  }
+  TopKResult result;
+  result.candidates_examined = right_.rows();
+  result.items = TopK(scores, k);
+  return result;
+}
+
+}  // namespace hetesim

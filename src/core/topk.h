@@ -1,0 +1,102 @@
+#ifndef HETESIM_CORE_TOPK_H_
+#define HETESIM_CORE_TOPK_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "core/hetesim.h"
+#include "hin/graph.h"
+#include "hin/metapath.h"
+#include "matrix/sparse.h"
+
+namespace hetesim {
+
+/// A ranked object: per-type node id plus its relevance score.
+struct Scored {
+  Index id = -1;
+  double score = 0.0;
+
+  friend bool operator==(const Scored& a, const Scored& b) {
+    return a.id == b.id && a.score == b.score;
+  }
+};
+
+/// The `k` highest-scoring entries of `scores`, descending, ties broken by
+/// ascending id (stable across platforms). `k` larger than the input size
+/// returns everything ranked.
+std::vector<Scored> TopK(const std::vector<double>& scores, int k);
+
+/// Result of a pruned top-k query, with the work counter used by the
+/// pruning ablation bench.
+struct TopKResult {
+  std::vector<Scored> items;
+  /// Number of candidate targets actually scored. Exhaustive search scores
+  /// every object of the target type; pruned search only those reachable
+  /// from the source's middle-type distribution (Section 4.6: "the related
+  /// objects to a searched object are a very small percentage ... pruning
+  /// techniques can be used").
+  Index candidates_examined = 0;
+};
+
+/// A scored (source, target) pair for global top-k joins.
+struct ScoredPair {
+  Index source = -1;
+  Index target = -1;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredPair& a, const ScoredPair& b) {
+    return a.source == b.source && a.target == b.target && a.score == b.score;
+  }
+};
+
+/// \brief Global top-k relevance join: the `k` most related
+/// (source, target) pairs along `path` across ALL sources, descending by
+/// score (ties by ascending source then target). The per-source pruned
+/// search keeps this at "touched candidates" cost rather than |A| x |B|.
+/// `k < 0` is an error; self-pairs are included (on symmetric paths they
+/// dominate, so callers ranking cross-object affinity may want
+/// `exclude_diagonal`).
+Result<std::vector<ScoredPair>> TopKPairs(const HinGraph& graph,
+                                          const MetaPath& path, int k,
+                                          bool exclude_diagonal = false,
+                                          HeteSimOptions options = {});
+
+/// \brief Prepared single-source top-k HeteSim search along a fixed path.
+///
+/// Preparation materializes the path decomposition, the right reachable
+/// matrix, its transpose (an inverted index from middle objects to targets)
+/// and per-target norms, so each query costs one sparse vector propagation
+/// plus work proportional to the candidate set.
+class TopKSearcher {
+ public:
+  /// Prepares the searcher; O(path matrix products) once.
+  TopKSearcher(const HinGraph& graph, const MetaPath& path,
+               HeteSimOptions options = {});
+
+  /// Pruned query: scores only targets sharing at least one middle object
+  /// with the source's reachable distribution. Exact — objects outside the
+  /// candidate set provably score 0.
+  Result<TopKResult> Query(Index source, int k) const;
+
+  /// Exhaustive reference query scoring every target.
+  Result<TopKResult> QueryExhaustive(Index source, int k) const;
+
+  /// Number of target-type objects.
+  Index num_targets() const { return right_.rows(); }
+
+ private:
+  /// Propagates the indicator of `source` through the left chain.
+  Result<std::vector<double>> SourceDistribution(Index source) const;
+
+  const HinGraph& graph_;
+  HeteSimOptions options_;
+  Index num_sources_;
+  std::vector<SparseMatrix> left_transitions_;
+  SparseMatrix right_;            // |targets| x |middle|
+  SparseMatrix right_transpose_;  // |middle| x |targets| (inverted index)
+  std::vector<double> right_norms_;
+};
+
+}  // namespace hetesim
+
+#endif  // HETESIM_CORE_TOPK_H_

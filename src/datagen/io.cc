@@ -1,0 +1,151 @@
+#include "datagen/io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "hin/builder.h"
+
+namespace hetesim {
+
+Status SaveHinGraph(const HinGraph& graph, std::ostream& stream) {
+  const Schema& schema = graph.schema();
+  stream << "hin v1\n";
+  stream << "# " << graph.TotalNodes() << " nodes, " << graph.TotalEdges()
+         << " edges\n";
+  for (TypeId t = 0; t < schema.NumObjectTypes(); ++t) {
+    stream << "type " << schema.TypeName(t) << " " << schema.TypeCode(t) << "\n";
+  }
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    stream << "relation " << schema.RelationName(r) << " "
+           << schema.TypeName(schema.RelationSource(r)) << " "
+           << schema.TypeName(schema.RelationTarget(r)) << "\n";
+  }
+  for (TypeId t = 0; t < schema.NumObjectTypes(); ++t) {
+    for (Index i = 0; i < graph.NumNodes(t); ++i) {
+      const std::string& name = graph.NodeName(t, i);
+      if (name.empty()) {
+        return Status::InvalidArgument(StrFormat(
+            "node %lld of type '%s' is anonymous and cannot be serialized",
+            static_cast<long long>(i), schema.TypeName(t).c_str()));
+      }
+      stream << "node " << schema.TypeName(t) << " " << name << "\n";
+    }
+  }
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    const SparseMatrix& w = graph.Adjacency(r);
+    const TypeId src_type = schema.RelationSource(r);
+    const TypeId dst_type = schema.RelationTarget(r);
+    for (Index i = 0; i < w.rows(); ++i) {
+      auto indices = w.RowIndices(i);
+      auto values = w.RowValues(i);
+      for (size_t k = 0; k < indices.size(); ++k) {
+        stream << "edge " << schema.RelationName(r) << " "
+               << graph.NodeName(src_type, i) << " "
+               << graph.NodeName(dst_type, indices[k]);
+        if (values[k] != 1.0) stream << " " << values[k];
+        stream << "\n";
+      }
+    }
+  }
+  if (!stream.good()) {
+    return Status::IOError("write failed");
+  }
+  return Status::OK();
+}
+
+Status SaveHinGraphToFile(const HinGraph& graph, const std::string& path) {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return SaveHinGraph(graph, file);
+}
+
+namespace {
+
+Status ParseError(int line_number, const std::string& message) {
+  return Status::InvalidArgument(StrFormat("line %d: %s", line_number,
+                                           message.c_str()));
+}
+
+}  // namespace
+
+Result<HinGraph> LoadHinGraph(std::istream& stream) {
+  HinGraphBuilder builder;
+  std::string line;
+  int line_number = 0;
+  bool saw_header = false;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    std::vector<std::string> tokens = SplitSkipEmpty(trimmed, ' ');
+    if (!saw_header) {
+      if (tokens.size() != 2 || tokens[0] != "hin" || tokens[1] != "v1") {
+        return ParseError(line_number, "expected header 'hin v1'");
+      }
+      saw_header = true;
+      continue;
+    }
+    const std::string& keyword = tokens[0];
+    if (keyword == "type") {
+      if (tokens.size() != 3 || tokens[2].size() != 1) {
+        return ParseError(line_number, "expected 'type <name> <code>'");
+      }
+      Result<TypeId> added = builder.AddObjectType(tokens[1], tokens[2][0]);
+      if (!added.ok()) return ParseError(line_number, added.status().message());
+    } else if (keyword == "relation") {
+      if (tokens.size() != 4) {
+        return ParseError(line_number, "expected 'relation <name> <src> <dst>'");
+      }
+      Result<TypeId> src = builder.schema().TypeByName(tokens[2]);
+      if (!src.ok()) return ParseError(line_number, src.status().message());
+      Result<TypeId> dst = builder.schema().TypeByName(tokens[3]);
+      if (!dst.ok()) return ParseError(line_number, dst.status().message());
+      Result<RelationId> added = builder.AddRelation(tokens[1], *src, *dst);
+      if (!added.ok()) return ParseError(line_number, added.status().message());
+    } else if (keyword == "node") {
+      if (tokens.size() != 3) {
+        return ParseError(line_number, "expected 'node <type> <name>'");
+      }
+      Result<TypeId> type = builder.schema().TypeByName(tokens[1]);
+      if (!type.ok()) return ParseError(line_number, type.status().message());
+      builder.AddNode(*type, tokens[2]);
+    } else if (keyword == "edge") {
+      if (tokens.size() != 4 && tokens.size() != 5) {
+        return ParseError(line_number,
+                          "expected 'edge <relation> <src> <dst> [weight]'");
+      }
+      Result<RelationId> relation = builder.schema().RelationByName(tokens[1]);
+      if (!relation.ok()) return ParseError(line_number, relation.status().message());
+      double weight = 1.0;
+      if (tokens.size() == 5) {
+        std::istringstream parse(tokens[4]);
+        parse >> weight;
+        if (parse.fail() || !parse.eof()) {
+          return ParseError(line_number, "bad edge weight '" + tokens[4] + "'");
+        }
+      }
+      Status added = builder.AddEdgeByName(*relation, tokens[2], tokens[3], weight);
+      if (!added.ok()) return ParseError(line_number, added.message());
+    } else {
+      return ParseError(line_number, "unknown keyword '" + keyword + "'");
+    }
+  }
+  if (!saw_header) {
+    return Status::InvalidArgument("empty input: missing 'hin v1' header");
+  }
+  return std::move(builder).Build();
+}
+
+Result<HinGraph> LoadHinGraphFromFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return LoadHinGraph(file);
+}
+
+}  // namespace hetesim

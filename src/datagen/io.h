@@ -1,0 +1,41 @@
+#ifndef HETESIM_DATAGEN_IO_H_
+#define HETESIM_DATAGEN_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "hin/graph.h"
+
+namespace hetesim {
+
+/// \brief Plain-text serialization of heterogeneous information networks.
+///
+/// Line-oriented format (`#` starts a comment; blank lines ignored):
+/// \code
+///   hin v1
+///   type <name> <code>
+///   relation <name> <source-type> <target-type>
+///   node <type> <name>
+///   edge <relation> <source-name> <target-name> [weight]
+/// \endcode
+/// Declarations must precede use (types before relations, etc.); nodes are
+/// auto-created by `edge` lines, so explicit `node` lines are only needed
+/// for isolated nodes. Every node must be named — anonymous nodes cannot
+/// round-trip, so `SaveHinGraph` rejects graphs containing them.
+
+/// Writes `graph` to `stream`. Fails on anonymous (unnamed) nodes.
+Status SaveHinGraph(const HinGraph& graph, std::ostream& stream);
+
+/// Writes `graph` to `path`.
+Status SaveHinGraphToFile(const HinGraph& graph, const std::string& path);
+
+/// Parses a graph from `stream`. Errors carry the offending line number.
+Result<HinGraph> LoadHinGraph(std::istream& stream);
+
+/// Parses a graph from the file at `path`.
+Result<HinGraph> LoadHinGraphFromFile(const std::string& path);
+
+}  // namespace hetesim
+
+#endif  // HETESIM_DATAGEN_IO_H_

@@ -1,0 +1,81 @@
+#include "datagen/random_hin.h"
+
+#include "common/check.h"
+#include "common/random.h"
+#include "hin/builder.h"
+
+namespace hetesim {
+
+HinGraph RandomTripartite(Index na, Index nb, Index nc, double p, uint64_t seed) {
+  HETESIM_CHECK(na > 0 && nb > 0 && nc > 0);
+  HETESIM_CHECK(p >= 0.0 && p <= 1.0);
+  Rng rng(seed);
+  HinGraphBuilder builder;
+  TypeId a = builder.AddObjectType("alpha", 'A').value();
+  TypeId b = builder.AddObjectType("beta", 'B').value();
+  TypeId c = builder.AddObjectType("gamma", 'C').value();
+  RelationId ab = builder.AddRelation("ab", a, b).value();
+  RelationId bc = builder.AddRelation("bc", b, c).value();
+  builder.AddNodes(a, na);
+  builder.AddNodes(b, nb);
+  builder.AddNodes(c, nc);
+  auto fill_relation = [&](RelationId rel, Index rows, Index cols) {
+    std::vector<bool> col_covered(static_cast<size_t>(cols), false);
+    for (Index i = 0; i < rows; ++i) {
+      bool any = false;
+      for (Index j = 0; j < cols; ++j) {
+        if (rng.Bernoulli(p)) {
+          HETESIM_CHECK(builder.AddEdge(rel, i, j).ok());
+          col_covered[static_cast<size_t>(j)] = true;
+          any = true;
+        }
+      }
+      if (!any) {
+        Index j = static_cast<Index>(rng.Uniform(static_cast<uint64_t>(cols)));
+        HETESIM_CHECK(builder.AddEdge(rel, i, j).ok());
+        col_covered[static_cast<size_t>(j)] = true;
+      }
+    }
+    for (Index j = 0; j < cols; ++j) {
+      if (!col_covered[static_cast<size_t>(j)]) {
+        Index i = static_cast<Index>(rng.Uniform(static_cast<uint64_t>(rows)));
+        HETESIM_CHECK(builder.AddEdge(rel, i, j).ok());
+      }
+    }
+  };
+  fill_relation(ab, na, nb);
+  fill_relation(bc, nb, nc);
+  return std::move(builder).Build();
+}
+
+SparseMatrix RandomBipartiteAdjacency(Index na, Index nb, double p, uint64_t seed) {
+  HETESIM_CHECK(na > 0 && nb > 0);
+  HETESIM_CHECK(p >= 0.0 && p <= 1.0);
+  Rng rng(seed);
+  std::vector<Triplet> triplets;
+  std::vector<bool> col_covered(static_cast<size_t>(nb), false);
+  for (Index i = 0; i < na; ++i) {
+    bool any = false;
+    for (Index j = 0; j < nb; ++j) {
+      if (rng.Bernoulli(p)) {
+        triplets.push_back({i, j, 1.0});
+        col_covered[static_cast<size_t>(j)] = true;
+        any = true;
+      }
+    }
+    if (!any) {
+      Index j = static_cast<Index>(rng.Uniform(static_cast<uint64_t>(nb)));
+      triplets.push_back({i, j, 1.0});
+      col_covered[static_cast<size_t>(j)] = true;
+    }
+  }
+  for (Index j = 0; j < nb; ++j) {
+    if (!col_covered[static_cast<size_t>(j)]) {
+      triplets.push_back(
+          {static_cast<Index>(rng.Uniform(static_cast<uint64_t>(na))), j, 1.0});
+    }
+  }
+  return SparseMatrix::FromTriplets(na, nb, std::move(triplets));
+}
+
+}  // namespace hetesim

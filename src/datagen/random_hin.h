@@ -1,0 +1,27 @@
+#ifndef HETESIM_DATAGEN_RANDOM_HIN_H_
+#define HETESIM_DATAGEN_RANDOM_HIN_H_
+
+#include <cstdint>
+
+#include "hin/graph.h"
+#include "matrix/sparse.h"
+
+namespace hetesim {
+
+/// \brief Erdős–Rényi-style random heterogeneous networks, used by the
+/// property-test sweeps and the scaling benchmarks.
+
+/// A random three-type network `A -ab-> B -bc-> C` with Bernoulli(p) unit
+/// edges. Every node is guaranteed at least one incident edge in each
+/// relation touching its type (no empty rows or columns), so every
+/// meta-path over the schema reaches somewhere from every node.
+/// Deterministic in `seed`.
+HinGraph RandomTripartite(Index na, Index nb, Index nc, double p, uint64_t seed);
+
+/// A random bipartite adjacency matrix (`na` x `nb`, Bernoulli(p) unit
+/// edges, no empty rows or columns). Deterministic in `seed`.
+SparseMatrix RandomBipartiteAdjacency(Index na, Index nb, double p, uint64_t seed);
+
+}  // namespace hetesim
+
+#endif  // HETESIM_DATAGEN_RANDOM_HIN_H_

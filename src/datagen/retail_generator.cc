@@ -1,0 +1,136 @@
+#include "datagen/retail_generator.h"
+
+#include "common/random.h"
+#include "common/string_util.h"
+#include "hin/builder.h"
+
+namespace hetesim {
+
+namespace {
+
+Status ValidateConfig(const RetailConfig& config) {
+  if (config.num_customers < 1 || config.num_products < 1 ||
+      config.num_brands < 1 || config.num_categories < 1 ||
+      config.purchases_per_customer < 1) {
+    return Status::InvalidArgument("retail generator needs positive sizes");
+  }
+  if (config.num_brands < config.num_categories) {
+    return Status::InvalidArgument("need at least one brand per category");
+  }
+  if (config.num_products < config.num_brands) {
+    return Status::InvalidArgument("need at least one product per brand");
+  }
+  for (double p : {config.category_affinity, config.brand_loyalty}) {
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("probabilities must lie in [0, 1]");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<RetailDataset> GenerateRetail(const RetailConfig& config) {
+  HETESIM_RETURN_NOT_OK(ValidateConfig(config));
+  Rng rng(config.seed);
+  HinGraphBuilder builder;
+
+  HETESIM_ASSIGN_OR_RETURN(TypeId customer, builder.AddObjectType("customer", 'U'));
+  HETESIM_ASSIGN_OR_RETURN(TypeId product, builder.AddObjectType("product", 'P'));
+  HETESIM_ASSIGN_OR_RETURN(TypeId brand, builder.AddObjectType("brand", 'B'));
+  HETESIM_ASSIGN_OR_RETURN(TypeId category, builder.AddObjectType("category", 'G'));
+  HETESIM_ASSIGN_OR_RETURN(RelationId bought,
+                           builder.AddRelation("bought", customer, product));
+  HETESIM_ASSIGN_OR_RETURN(RelationId made_by,
+                           builder.AddRelation("made_by", product, brand));
+  HETESIM_ASSIGN_OR_RETURN(RelationId in_category,
+                           builder.AddRelation("in_category", product, category));
+
+  // Categories and brands (round-robin focus keeps every category served).
+  for (int g = 0; g < config.num_categories; ++g) {
+    builder.AddNode(category, StrFormat("category_%02d", g));
+  }
+  std::vector<int> brand_category(static_cast<size_t>(config.num_brands));
+  std::vector<std::vector<Index>> category_brands(
+      static_cast<size_t>(config.num_categories));
+  for (int b = 0; b < config.num_brands; ++b) {
+    const Index id = builder.AddNode(brand, StrFormat("brand_%03d", b));
+    const int g = b % config.num_categories;
+    brand_category[static_cast<size_t>(b)] = g;
+    category_brands[static_cast<size_t>(g)].push_back(id);
+  }
+
+  // Products: assigned to a brand (Zipf-ish: earlier brands are larger),
+  // inheriting the brand's category.
+  std::vector<int> product_category(static_cast<size_t>(config.num_products));
+  std::vector<std::vector<Index>> brand_products(
+      static_cast<size_t>(config.num_brands));
+  ZipfSampler brand_sampler(static_cast<uint64_t>(config.num_brands), 1.1);
+  for (int p = 0; p < config.num_products; ++p) {
+    const Index id = builder.AddNode(product, StrFormat("product_%05d", p));
+    // First pass guarantees every brand at least one product.
+    const Index b = p < config.num_brands
+                        ? p
+                        : static_cast<Index>(brand_sampler.Sample(rng) - 1);
+    brand_products[static_cast<size_t>(b)].push_back(id);
+    product_category[static_cast<size_t>(p)] =
+        brand_category[static_cast<size_t>(b)];
+    HETESIM_RETURN_NOT_OK(builder.AddEdge(made_by, id, b));
+    HETESIM_RETURN_NOT_OK(builder.AddEdge(
+        in_category, id, brand_category[static_cast<size_t>(b)]));
+  }
+  std::vector<std::vector<Index>> category_products(
+      static_cast<size_t>(config.num_categories));
+  for (int p = 0; p < config.num_products; ++p) {
+    category_products[static_cast<size_t>(product_category[static_cast<size_t>(p)])]
+        .push_back(p);
+  }
+
+  // Customers and purchases.
+  std::vector<int> customer_segment(static_cast<size_t>(config.num_customers));
+  std::vector<Index> customer_home_brand(static_cast<size_t>(config.num_customers));
+  for (int u = 0; u < config.num_customers; ++u) {
+    builder.AddNode(customer, StrFormat("customer_%05d", u));
+    const int segment = static_cast<int>(rng.Uniform(config.num_categories));
+    customer_segment[static_cast<size_t>(u)] = segment;
+    const auto& home_pool = category_brands[static_cast<size_t>(segment)];
+    customer_home_brand[static_cast<size_t>(u)] =
+        home_pool[rng.Uniform(static_cast<uint64_t>(home_pool.size()))];
+    for (int k = 0; k < config.purchases_per_customer; ++k) {
+      Index chosen_product;
+      if (rng.Bernoulli(config.category_affinity)) {
+        // Primary category; within it, home-brand loyalty.
+        const Index home = customer_home_brand[static_cast<size_t>(u)];
+        const auto& home_products = brand_products[static_cast<size_t>(home)];
+        if (rng.Bernoulli(config.brand_loyalty) && !home_products.empty()) {
+          chosen_product =
+              home_products[rng.Uniform(static_cast<uint64_t>(home_products.size()))];
+        } else {
+          const auto& pool = category_products[static_cast<size_t>(segment)];
+          chosen_product = pool[rng.Uniform(static_cast<uint64_t>(pool.size()))];
+        }
+      } else {
+        chosen_product =
+            static_cast<Index>(rng.Uniform(static_cast<uint64_t>(config.num_products)));
+      }
+      // Repeat purchases accumulate edge weight.
+      HETESIM_RETURN_NOT_OK(builder.AddEdge(bought, u, chosen_product));
+    }
+  }
+
+  RetailDataset dataset{std::move(builder).Build(),
+                        customer,
+                        product,
+                        brand,
+                        category,
+                        bought,
+                        made_by,
+                        in_category,
+                        std::move(customer_segment),
+                        std::move(product_category),
+                        std::move(brand_category),
+                        std::move(customer_home_brand)};
+  return dataset;
+}
+
+}  // namespace hetesim

@@ -1,0 +1,63 @@
+#ifndef HETESIM_DATAGEN_RETAIL_GENERATOR_H_
+#define HETESIM_DATAGEN_RETAIL_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "hin/graph.h"
+
+namespace hetesim {
+
+/// \brief Knobs for the synthetic retail network (customers, products,
+/// brands, categories) — the commerce scenario of the paper's Section 4.1
+/// ("customers are more faithful to brands that manufacture many products
+/// purchased by the customers") and the recommendation use case of the
+/// introduction, at benchmark scale.
+///
+/// Planted structure: every brand focuses on one category; every customer
+/// has a primary category (their *segment*) and a *home brand* within it;
+/// purchases concentrate on the primary category (`category_affinity`) and
+/// on the home brand inside it (`brand_loyalty`). Purchase multiplicity is
+/// recorded as edge weight.
+struct RetailConfig {
+  int num_customers = 800;
+  int num_products = 600;
+  int num_brands = 40;
+  int num_categories = 8;
+  /// Purchases drawn per customer.
+  int purchases_per_customer = 12;
+  /// Probability a purchase falls in the customer's primary category.
+  double category_affinity = 0.8;
+  /// Probability, within the primary category, of buying the home brand.
+  double brand_loyalty = 0.6;
+  uint64_t seed = 17;
+};
+
+/// A generated retail network plus planted ground truth.
+struct RetailDataset {
+  HinGraph graph;
+
+  TypeId customer;
+  TypeId product;
+  TypeId brand;
+  TypeId category;
+
+  RelationId bought;       ///< customer -> product (weight = multiplicity)
+  RelationId made_by;      ///< product -> brand
+  RelationId in_category;  ///< product -> category
+
+  /// Primary category of each customer / product / brand.
+  std::vector<int> customer_segment;
+  std::vector<int> product_category;
+  std::vector<int> brand_category;
+  /// Home brand of each customer.
+  std::vector<Index> customer_home_brand;
+};
+
+/// Generates a synthetic retail network. Deterministic in `config.seed`.
+Result<RetailDataset> GenerateRetail(const RetailConfig& config);
+
+}  // namespace hetesim
+
+#endif  // HETESIM_DATAGEN_RETAIL_GENERATOR_H_

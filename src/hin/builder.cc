@@ -1,0 +1,99 @@
+#include "hin/builder.h"
+
+#include "common/check.h"
+
+namespace hetesim {
+
+Result<TypeId> HinGraphBuilder::AddObjectType(const std::string& name, char code) {
+  Result<TypeId> id = schema_.AddObjectType(name, code);
+  if (id.ok()) {
+    node_names_.emplace_back();
+    node_index_.emplace_back();
+  }
+  return id;
+}
+
+Result<RelationId> HinGraphBuilder::AddRelation(const std::string& name, TypeId src,
+                                                TypeId dst) {
+  Result<RelationId> id = schema_.AddRelation(name, src, dst);
+  if (id.ok()) {
+    edges_.emplace_back();
+  }
+  return id;
+}
+
+Index HinGraphBuilder::AddNode(TypeId type, const std::string& name) {
+  HETESIM_CHECK(schema_.IsValidType(type));
+  auto& names = node_names_[static_cast<size_t>(type)];
+  auto& index = node_index_[static_cast<size_t>(type)];
+  if (!name.empty()) {
+    auto it = index.find(name);
+    if (it != index.end()) return it->second;
+  }
+  const Index id = static_cast<Index>(names.size());
+  names.push_back(name);
+  if (!name.empty()) index.emplace(name, id);
+  return id;
+}
+
+Index HinGraphBuilder::AddNodes(TypeId type, Index count) {
+  HETESIM_CHECK(schema_.IsValidType(type));
+  HETESIM_CHECK_GE(count, 0);
+  auto& names = node_names_[static_cast<size_t>(type)];
+  const Index first = static_cast<Index>(names.size());
+  names.resize(names.size() + static_cast<size_t>(count));
+  return first;
+}
+
+Status HinGraphBuilder::AddEdge(RelationId relation, Index src, Index dst,
+                                double weight) {
+  if (!schema_.IsValidRelation(relation)) {
+    return Status::InvalidArgument("invalid relation id");
+  }
+  const TypeId src_type = schema_.RelationSource(relation);
+  const TypeId dst_type = schema_.RelationTarget(relation);
+  if (src < 0 || src >= NumNodes(src_type)) {
+    return Status::OutOfRange("source node id out of range for relation '" +
+                              schema_.RelationName(relation) + "'");
+  }
+  if (dst < 0 || dst >= NumNodes(dst_type)) {
+    return Status::OutOfRange("target node id out of range for relation '" +
+                              schema_.RelationName(relation) + "'");
+  }
+  if (weight <= 0.0) {
+    return Status::InvalidArgument("edge weight must be positive");
+  }
+  edges_[static_cast<size_t>(relation)].push_back({src, dst, weight});
+  return Status::OK();
+}
+
+Status HinGraphBuilder::AddEdgeByName(RelationId relation, const std::string& src,
+                                      const std::string& dst, double weight) {
+  if (!schema_.IsValidRelation(relation)) {
+    return Status::InvalidArgument("invalid relation id");
+  }
+  if (src.empty() || dst.empty()) {
+    return Status::InvalidArgument("node names must be non-empty");
+  }
+  const Index src_id = AddNode(schema_.RelationSource(relation), src);
+  const Index dst_id = AddNode(schema_.RelationTarget(relation), dst);
+  return AddEdge(relation, src_id, dst_id, weight);
+}
+
+Index HinGraphBuilder::NumNodes(TypeId type) const {
+  HETESIM_CHECK(schema_.IsValidType(type));
+  return static_cast<Index>(node_names_[static_cast<size_t>(type)].size());
+}
+
+HinGraph HinGraphBuilder::Build() && {
+  std::vector<SparseMatrix> adjacency;
+  adjacency.reserve(edges_.size());
+  for (RelationId r = 0; r < schema_.NumRelations(); ++r) {
+    adjacency.push_back(SparseMatrix::FromTriplets(
+        NumNodes(schema_.RelationSource(r)), NumNodes(schema_.RelationTarget(r)),
+        std::move(edges_[static_cast<size_t>(r)])));
+  }
+  return HinGraph(std::move(schema_), std::move(node_names_), std::move(adjacency));
+}
+
+}  // namespace hetesim

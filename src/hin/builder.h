@@ -1,0 +1,72 @@
+#ifndef HETESIM_HIN_BUILDER_H_
+#define HETESIM_HIN_BUILDER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "hin/graph.h"
+#include "hin/schema.h"
+
+namespace hetesim {
+
+/// \brief Incremental constructor for `HinGraph`.
+///
+/// Usage:
+/// \code
+///   HinGraphBuilder b;
+///   TypeId author = *b.AddObjectType("author");
+///   TypeId paper  = *b.AddObjectType("paper");
+///   RelationId writes = *b.AddRelation("writes", author, paper);
+///   Index tom = b.AddNode(author, "Tom");
+///   Index p1  = b.AddNode(paper, "p1");
+///   b.AddEdge(writes, tom, p1);
+///   HinGraph g = std::move(b).Build();
+/// \endcode
+///
+/// Edges may be added by node id or by node name (names are auto-created on
+/// first use by `AddEdgeByName`). Duplicate edges sum their weights, which
+/// matches the weighted-adjacency semantics of Definition 8.
+class HinGraphBuilder {
+ public:
+  HinGraphBuilder() = default;
+
+  /// See Schema::AddObjectType.
+  Result<TypeId> AddObjectType(const std::string& name, char code = 0);
+  /// See Schema::AddRelation.
+  Result<RelationId> AddRelation(const std::string& name, TypeId src, TypeId dst);
+
+  /// Adds one node of `type`; `name` may be empty (anonymous). Returns its
+  /// per-type id. Duplicate names within one type return the existing id.
+  Index AddNode(TypeId type, const std::string& name = "");
+
+  /// Adds `count` anonymous nodes of `type`, returning the id of the first.
+  Index AddNodes(TypeId type, Index count);
+
+  /// Adds a weighted edge instance of `relation` between existing node ids.
+  Status AddEdge(RelationId relation, Index src, Index dst, double weight = 1.0);
+
+  /// Adds an edge, creating the named endpoints if needed.
+  Status AddEdgeByName(RelationId relation, const std::string& src,
+                       const std::string& dst, double weight = 1.0);
+
+  /// Number of nodes of `type` added so far.
+  Index NumNodes(TypeId type) const;
+
+  /// Read access to the evolving schema.
+  const Schema& schema() const { return schema_; }
+
+  /// Materializes the immutable graph. The builder is consumed.
+  HinGraph Build() &&;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<std::string>> node_names_;
+  std::vector<std::unordered_map<std::string, Index>> node_index_;
+  std::vector<std::vector<Triplet>> edges_;  // indexed by RelationId
+};
+
+}  // namespace hetesim
+
+#endif  // HETESIM_HIN_BUILDER_H_

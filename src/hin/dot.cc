@@ -1,0 +1,116 @@
+#include "hin/dot.h"
+
+#include <deque>
+#include <set>
+#include <sstream>
+
+#include "common/result.h"
+#include "common/string_util.h"
+
+namespace hetesim {
+
+namespace {
+
+/// Escapes double quotes for DOT string literals.
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+std::string NodeLabel(const HinGraph& graph, TypeId type, Index id) {
+  const std::string& name = graph.NodeName(type, id);
+  if (!name.empty()) {
+    return StrFormat("%c:%s", graph.schema().TypeCode(type), Escape(name).c_str());
+  }
+  return StrFormat("%c:%lld", graph.schema().TypeCode(type),
+                   static_cast<long long>(id));
+}
+
+std::string NodeId(TypeId type, Index id) {
+  return StrFormat("n_%d_%lld", type, static_cast<long long>(id));
+}
+
+}  // namespace
+
+std::string SchemaToDot(const Schema& schema) {
+  std::ostringstream out;
+  out << "digraph schema {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (TypeId t = 0; t < schema.NumObjectTypes(); ++t) {
+    out << "  t" << t << " [label=\"" << Escape(schema.TypeName(t)) << " ("
+        << schema.TypeCode(t) << ")\"];\n";
+  }
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    out << "  t" << schema.RelationSource(r) << " -> t" << schema.RelationTarget(r)
+        << " [label=\"" << Escape(schema.RelationName(r)) << "\"];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+Result<std::string> NeighborhoodToDot(const HinGraph& graph, TypeId type, Index id,
+                                      int radius, int max_nodes) {
+  const Schema& schema = graph.schema();
+  if (!schema.IsValidType(type) || id < 0 || id >= graph.NumNodes(type)) {
+    return Status::OutOfRange("seed node out of range");
+  }
+  if (radius < 0 || max_nodes < 1) {
+    return Status::InvalidArgument("radius/max_nodes must be positive");
+  }
+
+  struct Visit {
+    TypeId type;
+    Index id;
+    int depth;
+  };
+  std::set<std::pair<TypeId, Index>> seen = {{type, id}};
+  std::deque<Visit> frontier = {{type, id, 0}};
+  std::ostringstream edges;
+  std::set<std::string> edge_lines;  // dedupe both orientations
+  while (!frontier.empty() && static_cast<int>(seen.size()) < max_nodes) {
+    Visit current = frontier.front();
+    frontier.pop_front();
+    if (current.depth >= radius) continue;
+    for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+      for (bool forward : {true, false}) {
+        RelationStep step{r, forward};
+        if (schema.StepSource(step) != current.type) continue;
+        const SparseMatrix& adjacency = graph.StepAdjacency(step);
+        const TypeId next_type = schema.StepTarget(step);
+        for (Index next : adjacency.RowIndices(current.id)) {
+          // Render the edge in the relation's canonical direction.
+          const std::string from =
+              forward ? NodeId(current.type, current.id) : NodeId(next_type, next);
+          const std::string to =
+              forward ? NodeId(next_type, next) : NodeId(current.type, current.id);
+          if (seen.count({next_type, next}) == 0) {
+            if (static_cast<int>(seen.size()) >= max_nodes) break;
+            seen.insert({next_type, next});
+            frontier.push_back({next_type, next, current.depth + 1});
+          }
+          if (seen.count({next_type, next}) != 0) {
+            edge_lines.insert(StrFormat("  %s -> %s [label=\"%s\"];\n",
+                                        from.c_str(), to.c_str(),
+                                        Escape(schema.RelationName(r)).c_str()));
+          }
+        }
+      }
+    }
+  }
+
+  std::ostringstream out;
+  out << "digraph neighborhood {\n";
+  for (const auto& [node_type, node_id] : seen) {
+    out << "  " << NodeId(node_type, node_id) << " [label=\""
+        << NodeLabel(graph, node_type, node_id) << "\"];\n";
+  }
+  for (const std::string& line : edge_lines) out << line;
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace hetesim

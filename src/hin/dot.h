@@ -1,0 +1,27 @@
+#ifndef HETESIM_HIN_DOT_H_
+#define HETESIM_HIN_DOT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "hin/graph.h"
+
+namespace hetesim {
+
+/// \brief Graphviz DOT exports for visual inspection: the network schema
+/// (one node per object type, one labeled edge per relation — the Fig. 3
+/// view) and bounded instance neighborhoods.
+
+/// DOT rendering of `schema` (a directed graph of types).
+std::string SchemaToDot(const Schema& schema);
+
+/// DOT rendering of the `radius`-hop neighborhood of node `id` of `type`
+/// (edges traversed in both orientations), capped at `max_nodes` nodes.
+/// Node labels are "<type code>:<name or id>". Errors if the seed node is
+/// invalid or the limits are non-positive.
+Result<std::string> NeighborhoodToDot(const HinGraph& graph, TypeId type, Index id,
+                                      int radius = 2, int max_nodes = 50);
+
+}  // namespace hetesim
+
+#endif  // HETESIM_HIN_DOT_H_

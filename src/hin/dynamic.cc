@@ -1,0 +1,122 @@
+#include "hin/dynamic.h"
+
+#include "common/check.h"
+
+namespace hetesim {
+
+DynamicHinGraph::DynamicHinGraph(HinGraph base) : snapshot_(std::move(base)) {
+  pending_nodes_.resize(static_cast<size_t>(schema().NumObjectTypes()));
+  pending_index_.resize(static_cast<size_t>(schema().NumObjectTypes()));
+  pending_edges_.resize(static_cast<size_t>(schema().NumRelations()));
+}
+
+Result<Index> DynamicHinGraph::AddNode(TypeId type, const std::string& name) {
+  if (!schema().IsValidType(type)) {
+    return Status::InvalidArgument("invalid type id");
+  }
+  if (!name.empty()) {
+    // Existing snapshot node with this name?
+    Result<Index> existing = snapshot_.FindNode(type, name);
+    if (existing.ok()) return existing;
+    // Pending node with this name?
+    auto it = pending_index_[static_cast<size_t>(type)].find(name);
+    if (it != pending_index_[static_cast<size_t>(type)].end()) return it->second;
+  }
+  const Index id = NumNodes(type);
+  pending_nodes_[static_cast<size_t>(type)].push_back(name);
+  if (!name.empty()) pending_index_[static_cast<size_t>(type)].emplace(name, id);
+  return id;
+}
+
+Status DynamicHinGraph::AddEdge(RelationId relation, Index src, Index dst,
+                                double weight) {
+  if (!schema().IsValidRelation(relation)) {
+    return Status::InvalidArgument("invalid relation id");
+  }
+  if (weight <= 0.0) {
+    return Status::InvalidArgument("edge weight must be positive");
+  }
+  const TypeId src_type = schema().RelationSource(relation);
+  const TypeId dst_type = schema().RelationTarget(relation);
+  if (src < 0 || src >= NumNodes(src_type)) {
+    return Status::OutOfRange("source node id out of range");
+  }
+  if (dst < 0 || dst >= NumNodes(dst_type)) {
+    return Status::OutOfRange("target node id out of range");
+  }
+  pending_edges_[static_cast<size_t>(relation)].push_back({src, dst, weight});
+  ++pending_edge_count_;
+  return Status::OK();
+}
+
+Index DynamicHinGraph::NumNodes(TypeId type) const {
+  HETESIM_CHECK(schema().IsValidType(type));
+  return snapshot_.NumNodes(type) +
+         static_cast<Index>(pending_nodes_[static_cast<size_t>(type)].size());
+}
+
+Index DynamicHinGraph::PendingEdges() const { return pending_edge_count_; }
+
+bool DynamicHinGraph::IsDirty() const {
+  if (pending_edge_count_ > 0) return true;
+  for (const auto& nodes : pending_nodes_) {
+    if (!nodes.empty()) return true;
+  }
+  return false;
+}
+
+const HinGraph& DynamicHinGraph::snapshot() {
+  if (IsDirty()) Compact();
+  return snapshot_;
+}
+
+void DynamicHinGraph::Compact() {
+  if (!IsDirty()) return;
+  const Schema& old_schema = schema();
+  // Extended node-name table: snapshot nodes followed by pending ones.
+  std::vector<std::vector<std::string>> node_names(
+      static_cast<size_t>(old_schema.NumObjectTypes()));
+  for (TypeId t = 0; t < old_schema.NumObjectTypes(); ++t) {
+    auto& names = node_names[static_cast<size_t>(t)];
+    names.reserve(static_cast<size_t>(NumNodes(t)));
+    for (Index i = 0; i < snapshot_.NumNodes(t); ++i) {
+      names.push_back(snapshot_.NodeName(t, i));
+    }
+    for (const std::string& name : pending_nodes_[static_cast<size_t>(t)]) {
+      names.push_back(name);
+    }
+  }
+  // Rebuilt adjacency: existing entries plus pending deltas, resized to the
+  // new node counts.
+  std::vector<SparseMatrix> adjacency;
+  adjacency.reserve(static_cast<size_t>(old_schema.NumRelations()));
+  for (RelationId r = 0; r < old_schema.NumRelations(); ++r) {
+    const SparseMatrix& old = snapshot_.Adjacency(r);
+    std::vector<Triplet> triplets;
+    triplets.reserve(static_cast<size_t>(old.NumNonZeros()) +
+                     pending_edges_[static_cast<size_t>(r)].size());
+    for (Index i = 0; i < old.rows(); ++i) {
+      auto indices = old.RowIndices(i);
+      auto values = old.RowValues(i);
+      for (size_t k = 0; k < indices.size(); ++k) {
+        triplets.push_back({i, indices[k], values[k]});
+      }
+    }
+    for (const Triplet& t : pending_edges_[static_cast<size_t>(r)]) {
+      triplets.push_back(t);
+    }
+    adjacency.push_back(SparseMatrix::FromTriplets(
+        NumNodes(old_schema.RelationSource(r)), NumNodes(old_schema.RelationTarget(r)),
+        std::move(triplets)));
+  }
+  Schema schema_copy = old_schema;
+  snapshot_ = HinGraph(std::move(schema_copy), std::move(node_names),
+                       std::move(adjacency));
+  for (auto& nodes : pending_nodes_) nodes.clear();
+  for (auto& index : pending_index_) index.clear();
+  for (auto& edges : pending_edges_) edges.clear();
+  pending_edge_count_ = 0;
+  ++version_;
+}
+
+}  // namespace hetesim

@@ -1,0 +1,86 @@
+#ifndef HETESIM_HIN_DYNAMIC_H_
+#define HETESIM_HIN_DYNAMIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "hin/graph.h"
+
+namespace hetesim {
+
+/// \brief A mutable heterogeneous network: an immutable `HinGraph`
+/// snapshot plus a buffered delta of new nodes and edges.
+///
+/// Production bibliographic networks grow continuously (new papers,
+/// authors, citations); `DynamicHinGraph` supports that without giving up
+/// the immutable, cache-friendly snapshot the query engines are built on:
+///
+///  * mutations (`AddNode`, `AddEdge`) buffer into a delta in O(1);
+///  * `snapshot()` returns the current immutable graph, compacting the
+///    delta into a fresh snapshot first if one is pending;
+///  * `version()` increments on every compaction, so query-side caches
+///    (e.g. `PathMatrixCache`) know when their materialized matrices are
+///    stale — one cache per version.
+///
+/// The schema is fixed at construction (types and relations cannot be
+/// added after the fact); only objects and links grow, which matches the
+/// paper's setting where the network schema is a design-time artifact.
+class DynamicHinGraph {
+ public:
+  /// Starts from an existing snapshot.
+  explicit DynamicHinGraph(HinGraph base);
+
+  DynamicHinGraph(const DynamicHinGraph&) = delete;
+  DynamicHinGraph& operator=(const DynamicHinGraph&) = delete;
+  DynamicHinGraph(DynamicHinGraph&&) noexcept = default;
+  DynamicHinGraph& operator=(DynamicHinGraph&&) noexcept = default;
+
+  /// The schema (never changes).
+  const Schema& schema() const { return snapshot_.schema(); }
+
+  /// Adds a node of `type`; returns its id (stable across compactions).
+  /// A non-empty `name` that already exists returns the existing id.
+  Result<Index> AddNode(TypeId type, const std::string& name = "");
+
+  /// Buffers a weighted edge; endpoints may be snapshot nodes or nodes
+  /// added since. Duplicate edges sum their weights at compaction.
+  Status AddEdge(RelationId relation, Index src, Index dst, double weight = 1.0);
+
+  /// Number of nodes of `type`, including pending additions.
+  Index NumNodes(TypeId type) const;
+
+  /// Number of buffered, not-yet-compacted edges.
+  Index PendingEdges() const;
+
+  /// True iff mutations are buffered since the last compaction.
+  bool IsDirty() const;
+
+  /// Current snapshot; compacts first when dirty. The returned reference
+  /// designates a member that is *replaced in place* on compaction, so a
+  /// long-lived reference observes future compactions — pair each
+  /// compaction version with its own `PathMatrixCache`, and do not mutate
+  /// concurrently with queries.
+  const HinGraph& snapshot();
+
+  /// Forces compaction now (no-op when clean).
+  void Compact();
+
+  /// Monotonic snapshot version; bumps on every compaction.
+  uint64_t version() const { return version_; }
+
+ private:
+  HinGraph snapshot_;
+  uint64_t version_ = 0;
+  // Pending node names per type (appended after the snapshot's nodes).
+  std::vector<std::vector<std::string>> pending_nodes_;
+  std::vector<std::unordered_map<std::string, Index>> pending_index_;
+  // Pending edges per relation.
+  std::vector<std::vector<Triplet>> pending_edges_;
+  Index pending_edge_count_ = 0;
+};
+
+}  // namespace hetesim
+
+#endif  // HETESIM_HIN_DYNAMIC_H_

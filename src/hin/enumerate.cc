@@ -1,0 +1,62 @@
+#include "hin/enumerate.h"
+
+#include <algorithm>
+
+namespace hetesim {
+
+namespace {
+
+/// Depth-first expansion of step sequences from `current` toward `target`.
+void Expand(const Schema& schema, TypeId current, TypeId target,
+            const EnumerateOptions& options, std::vector<RelationStep>& prefix,
+            std::vector<MetaPath>& out) {
+  if (out.size() >= options.max_paths) return;
+  if (!prefix.empty() && current == target) {
+    Result<MetaPath> path = MetaPath::FromSteps(schema, prefix);
+    if (path.ok() && (!options.symmetric_only || path->IsSymmetric())) {
+      out.push_back(*std::move(path));
+    }
+  }
+  if (static_cast<int>(prefix.size()) >= options.max_length) return;
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    for (bool forward : {true, false}) {
+      RelationStep step{r, forward};
+      if (schema.StepSource(step) != current) continue;
+      if (options.forbid_backtrack && !prefix.empty() &&
+          step == prefix.back().Inverse()) {
+        // A symmetric path reflects at its center; allow the reversal there
+        // (prefix length exactly half the final length is unknowable here,
+        // so we allow it whenever symmetric paths are requested).
+        if (!options.symmetric_only) continue;
+      }
+      prefix.push_back(step);
+      Expand(schema, schema.StepTarget(step), target, options, prefix, out);
+      prefix.pop_back();
+      if (out.size() >= options.max_paths) return;
+    }
+  }
+}
+
+}  // namespace
+
+Result<std::vector<MetaPath>> EnumerateMetaPaths(const Schema& schema,
+                                                 TypeId source, TypeId target,
+                                                 const EnumerateOptions& options) {
+  if (!schema.IsValidType(source) || !schema.IsValidType(target)) {
+    return Status::InvalidArgument("enumeration endpoints must be schema types");
+  }
+  if (options.max_length < 1) {
+    return Status::InvalidArgument("max_length must be at least 1");
+  }
+  std::vector<MetaPath> out;
+  std::vector<RelationStep> prefix;
+  Expand(schema, source, target, options, prefix, out);
+  // Order by increasing length, stable within a length class (DFS emits
+  // lexicographic step order already).
+  std::stable_sort(out.begin(), out.end(), [](const MetaPath& a, const MetaPath& b) {
+    return a.length() < b.length();
+  });
+  return out;
+}
+
+}  // namespace hetesim

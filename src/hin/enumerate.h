@@ -1,0 +1,44 @@
+#ifndef HETESIM_HIN_ENUMERATE_H_
+#define HETESIM_HIN_ENUMERATE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "hin/metapath.h"
+#include "hin/schema.h"
+
+namespace hetesim {
+
+/// Options for meta-path enumeration.
+struct EnumerateOptions {
+  /// Maximum number of relations in a path (inclusive).
+  int max_length = 4;
+  /// Keep only symmetric paths (`P == P^-1`); useful for PathSim-style
+  /// tasks and clustering, which require symmetric paths.
+  bool symmetric_only = false;
+  /// Forbid immediately undoing a step (e.g. `writes, ~writes` as a prefix
+  /// of a longer path). Symmetric paths necessarily violate this at their
+  /// center, so the check exempts the middle reflection when
+  /// `symmetric_only` is set.
+  bool forbid_backtrack = false;
+  /// Safety cap on the number of returned paths.
+  size_t max_paths = 10000;
+};
+
+/// \brief Enumerates every meta-path from `source` to `target` over
+/// `schema` with length in `[1, max_length]`, in order of increasing
+/// length (ties: lexicographic step order).
+///
+/// This is the search space for path selection (Section 5.1 of the paper:
+/// "the user can try multiple relevance paths" / "supervised learning can
+/// be used to automatically select relevance paths"); feed the result to
+/// `LearnPathWeights` (learn/path_weights.h) to weight them from labels.
+///
+/// Errors on invalid types or a non-positive `max_length`.
+Result<std::vector<MetaPath>> EnumerateMetaPaths(const Schema& schema,
+                                                 TypeId source, TypeId target,
+                                                 const EnumerateOptions& options = {});
+
+}  // namespace hetesim
+
+#endif  // HETESIM_HIN_ENUMERATE_H_

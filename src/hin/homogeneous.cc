@@ -1,0 +1,34 @@
+#include "hin/homogeneous.h"
+
+namespace hetesim {
+
+HomogeneousView BuildHomogeneousView(const HinGraph& graph) {
+  const Schema& schema = graph.schema();
+  HomogeneousView view;
+  view.type_offset.resize(static_cast<size_t>(schema.NumObjectTypes()) + 1, 0);
+  for (TypeId t = 0; t < schema.NumObjectTypes(); ++t) {
+    view.type_offset[static_cast<size_t>(t) + 1] =
+        view.type_offset[static_cast<size_t>(t)] + graph.NumNodes(t);
+  }
+  const Index total = view.type_offset.back();
+  std::vector<Triplet> triplets;
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    const TypeId src_type = schema.RelationSource(r);
+    const TypeId dst_type = schema.RelationTarget(r);
+    const SparseMatrix& w = graph.Adjacency(r);
+    for (Index i = 0; i < w.rows(); ++i) {
+      auto indices = w.RowIndices(i);
+      auto values = w.RowValues(i);
+      for (size_t k = 0; k < indices.size(); ++k) {
+        const Index a = view.GlobalId(src_type, i);
+        const Index b = view.GlobalId(dst_type, indices[k]);
+        triplets.push_back({a, b, values[k]});
+        triplets.push_back({b, a, values[k]});
+      }
+    }
+  }
+  view.adjacency = SparseMatrix::FromTriplets(total, total, std::move(triplets));
+  return view;
+}
+
+}  // namespace hetesim

@@ -1,0 +1,39 @@
+#ifndef HETESIM_HIN_HOMOGENEOUS_H_
+#define HETESIM_HIN_HOMOGENEOUS_H_
+
+#include <vector>
+
+#include "hin/graph.h"
+#include "matrix/sparse.h"
+
+namespace hetesim {
+
+/// \brief A heterogeneous network collapsed to a single homogeneous graph.
+///
+/// Baselines that ignore type semantics (SimRank over all objects, random
+/// walk with restart) operate on the union of all relations with global
+/// node ids. Type `t`'s node `i` maps to global id `type_offset[t] + i`.
+/// Every relation contributes its edges in both directions (link structure
+/// in HINs is semantically bidirectional: `writes` vs `written-by`), so the
+/// adjacency is symmetric.
+struct HomogeneousView {
+  /// Symmetric global adjacency, `total x total`.
+  SparseMatrix adjacency;
+  /// Global id of the first node of each type; size NumObjectTypes()+1,
+  /// the final entry being the total node count.
+  std::vector<Index> type_offset;
+
+  /// Global id of node `id` of `type`.
+  Index GlobalId(TypeId type, Index id) const {
+    return type_offset[static_cast<size_t>(type)] + id;
+  }
+  /// Total number of nodes.
+  Index TotalNodes() const { return type_offset.back(); }
+};
+
+/// Collapses `graph` into a homogeneous view.
+HomogeneousView BuildHomogeneousView(const HinGraph& graph);
+
+}  // namespace hetesim
+
+#endif  // HETESIM_HIN_HOMOGENEOUS_H_

@@ -1,0 +1,120 @@
+#include "hin/schema.h"
+
+#include <cctype>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace hetesim {
+
+Result<TypeId> Schema::AddObjectType(const std::string& name, char code) {
+  if (name.empty()) {
+    return Status::InvalidArgument("object type name must be non-empty");
+  }
+  if (type_by_name_.count(name) != 0) {
+    return Status::AlreadyExists("object type '" + name + "' already registered");
+  }
+  if (code == 0) {
+    code = static_cast<char>(std::toupper(static_cast<unsigned char>(name[0])));
+  }
+  if (type_by_code_.count(code) != 0) {
+    return Status::AlreadyExists(
+        StrFormat("type code '%c' already used by '%s'; pass an explicit code",
+                  code, TypeName(type_by_code_.at(code)).c_str()));
+  }
+  const TypeId id = static_cast<TypeId>(type_names_.size());
+  type_names_.push_back(name);
+  type_codes_.push_back(code);
+  type_by_name_.emplace(name, id);
+  type_by_code_.emplace(code, id);
+  return id;
+}
+
+Result<RelationId> Schema::AddRelation(const std::string& name, TypeId src, TypeId dst) {
+  if (name.empty()) {
+    return Status::InvalidArgument("relation name must be non-empty");
+  }
+  if (!IsValidType(src) || !IsValidType(dst)) {
+    return Status::InvalidArgument("relation '" + name + "' references unknown type");
+  }
+  if (relation_by_name_.count(name) != 0) {
+    return Status::AlreadyExists("relation '" + name + "' already registered");
+  }
+  const RelationId id = static_cast<RelationId>(relations_.size());
+  relations_.push_back({name, src, dst});
+  relation_by_name_.emplace(name, id);
+  return id;
+}
+
+const std::string& Schema::TypeName(TypeId type) const {
+  HETESIM_CHECK(IsValidType(type)) << "type id" << type;
+  return type_names_[static_cast<size_t>(type)];
+}
+
+char Schema::TypeCode(TypeId type) const {
+  HETESIM_CHECK(IsValidType(type)) << "type id" << type;
+  return type_codes_[static_cast<size_t>(type)];
+}
+
+Result<TypeId> Schema::TypeByName(const std::string& name) const {
+  auto it = type_by_name_.find(name);
+  if (it == type_by_name_.end()) {
+    return Status::NotFound("no object type named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<TypeId> Schema::TypeByCode(char code) const {
+  auto it = type_by_code_.find(code);
+  if (it == type_by_code_.end()) {
+    return Status::NotFound(StrFormat("no object type with code '%c'", code));
+  }
+  return it->second;
+}
+
+const std::string& Schema::RelationName(RelationId relation) const {
+  HETESIM_CHECK(IsValidRelation(relation)) << "relation id" << relation;
+  return relations_[static_cast<size_t>(relation)].name;
+}
+
+TypeId Schema::RelationSource(RelationId relation) const {
+  HETESIM_CHECK(IsValidRelation(relation)) << "relation id" << relation;
+  return relations_[static_cast<size_t>(relation)].src;
+}
+
+TypeId Schema::RelationTarget(RelationId relation) const {
+  HETESIM_CHECK(IsValidRelation(relation)) << "relation id" << relation;
+  return relations_[static_cast<size_t>(relation)].dst;
+}
+
+Result<RelationId> Schema::RelationByName(const std::string& name) const {
+  auto it = relation_by_name_.find(name);
+  if (it == relation_by_name_.end()) {
+    return Status::NotFound("no relation named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<RelationStep> Schema::StepsBetween(TypeId src, TypeId dst) const {
+  std::vector<RelationStep> steps;
+  for (RelationId r = 0; r < NumRelations(); ++r) {
+    const Relation& rel = relations_[static_cast<size_t>(r)];
+    if (rel.src == src && rel.dst == dst) steps.push_back({r, /*forward=*/true});
+    if (rel.src == dst && rel.dst == src) steps.push_back({r, /*forward=*/false});
+  }
+  return steps;
+}
+
+TypeId Schema::StepSource(const RelationStep& step) const {
+  return step.forward ? RelationSource(step.relation) : RelationTarget(step.relation);
+}
+
+TypeId Schema::StepTarget(const RelationStep& step) const {
+  return step.forward ? RelationTarget(step.relation) : RelationSource(step.relation);
+}
+
+std::string Schema::StepToString(const RelationStep& step) const {
+  return step.forward ? RelationName(step.relation) : "~" + RelationName(step.relation);
+}
+
+}  // namespace hetesim

@@ -1,0 +1,116 @@
+#ifndef HETESIM_HIN_SCHEMA_H_
+#define HETESIM_HIN_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace hetesim {
+
+/// Identifier of an object (node) type within a schema.
+using TypeId = int32_t;
+/// Identifier of a relation (typed edge) within a schema.
+using RelationId = int32_t;
+
+/// \brief One directed traversal step over a relation.
+///
+/// A relation `R: A -> B` can be walked forward (A to B) or backward
+/// (B to A, i.e. along the inverse relation `R^-1` of the paper). Meta-paths
+/// are sequences of `RelationStep`s.
+struct RelationStep {
+  RelationId relation = -1;
+  bool forward = true;
+
+  /// The step along the inverse relation.
+  RelationStep Inverse() const { return {relation, !forward}; }
+
+  friend bool operator==(const RelationStep& a, const RelationStep& b) {
+    return a.relation == b.relation && a.forward == b.forward;
+  }
+};
+
+/// \brief Network schema `S = (A, R)` (Definition 1): the set of object
+/// types and the set of directed relations between them.
+///
+/// Each object type has a unique full name ("author") and a unique
+/// single-character code ('A') used in compact meta-path strings such as
+/// "APVC". Each relation has a unique name ("writes") plus source and target
+/// types; its inverse needs no separate registration — traversal direction
+/// is carried by `RelationStep::forward`.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Registers an object type. `code` must be unique; if 0, the first
+  /// character of `name`, uppercased, is used.
+  Result<TypeId> AddObjectType(const std::string& name, char code = 0);
+
+  /// Registers a directed relation `name: src -> dst`.
+  Result<RelationId> AddRelation(const std::string& name, TypeId src, TypeId dst);
+
+  /// Number of registered object types.
+  int32_t NumObjectTypes() const { return static_cast<int32_t>(type_names_.size()); }
+  /// Number of registered relations.
+  int32_t NumRelations() const { return static_cast<int32_t>(relations_.size()); }
+
+  /// Full name of a type.
+  const std::string& TypeName(TypeId type) const;
+  /// Single-character code of a type.
+  char TypeCode(TypeId type) const;
+  /// Looks up a type by full name.
+  Result<TypeId> TypeByName(const std::string& name) const;
+  /// Looks up a type by single-character code.
+  Result<TypeId> TypeByCode(char code) const;
+
+  /// Name of a relation.
+  const std::string& RelationName(RelationId relation) const;
+  /// Source type of a relation (the `R.S` of the paper).
+  TypeId RelationSource(RelationId relation) const;
+  /// Target type of a relation (the `R.T` of the paper).
+  TypeId RelationTarget(RelationId relation) const;
+  /// Looks up a relation by name.
+  Result<RelationId> RelationByName(const std::string& name) const;
+
+  /// All steps leading from `src` to `dst`: forward relations `src -> dst`
+  /// and backward traversals of relations `dst -> src`.
+  std::vector<RelationStep> StepsBetween(TypeId src, TypeId dst) const;
+
+  /// The type a step starts from.
+  TypeId StepSource(const RelationStep& step) const;
+  /// The type a step ends at.
+  TypeId StepTarget(const RelationStep& step) const;
+  /// Human-readable rendering of a step, e.g. "writes" or "~writes".
+  std::string StepToString(const RelationStep& step) const;
+
+  /// True iff `type` is a valid type id.
+  bool IsValidType(TypeId type) const {
+    return type >= 0 && type < NumObjectTypes();
+  }
+  /// True iff `relation` is a valid relation id.
+  bool IsValidRelation(RelationId relation) const {
+    return relation >= 0 && relation < NumRelations();
+  }
+
+ private:
+  struct Relation {
+    std::string name;
+    TypeId src;
+    TypeId dst;
+  };
+
+  std::vector<std::string> type_names_;
+  std::vector<char> type_codes_;
+  std::unordered_map<std::string, TypeId> type_by_name_;
+  std::unordered_map<char, TypeId> type_by_code_;
+
+  std::vector<Relation> relations_;
+  std::unordered_map<std::string, RelationId> relation_by_name_;
+};
+
+}  // namespace hetesim
+
+#endif  // HETESIM_HIN_SCHEMA_H_

@@ -1,0 +1,79 @@
+#include "hin/stats.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hetesim {
+
+namespace {
+
+DegreeSummary Summarize(std::vector<Index> degrees) {
+  DegreeSummary summary;
+  if (degrees.empty()) return summary;
+  std::sort(degrees.begin(), degrees.end());
+  summary.min = degrees.front();
+  summary.max = degrees.back();
+  double total = 0.0;
+  for (Index d : degrees) {
+    total += static_cast<double>(d);
+    if (d == 0) ++summary.isolated;
+  }
+  summary.mean = total / static_cast<double>(degrees.size());
+  summary.median = degrees[degrees.size() / 2];
+  summary.p90 = degrees[degrees.size() * 9 / 10];
+  return summary;
+}
+
+std::vector<Index> RowDegrees(const SparseMatrix& m) {
+  std::vector<Index> degrees(static_cast<size_t>(m.rows()));
+  for (Index r = 0; r < m.rows(); ++r) degrees[static_cast<size_t>(r)] = m.RowNnz(r);
+  return degrees;
+}
+
+}  // namespace
+
+GraphStats ComputeGraphStats(const HinGraph& graph) {
+  GraphStats stats;
+  stats.total_nodes = graph.TotalNodes();
+  stats.total_edges = graph.TotalEdges();
+  const Schema& schema = graph.schema();
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    const SparseMatrix& w = graph.Adjacency(r);
+    RelationStats relation;
+    relation.relation = r;
+    relation.edges = w.NumNonZeros();
+    relation.out_degree = Summarize(RowDegrees(w));
+    relation.in_degree = Summarize(RowDegrees(graph.AdjacencyTranspose(r)));
+    relation.density = w.Density();
+    stats.relations.push_back(relation);
+  }
+  return stats;
+}
+
+std::string RenderGraphStats(const HinGraph& graph, const GraphStats& stats) {
+  const Schema& schema = graph.schema();
+  std::ostringstream out;
+  out << "nodes: " << stats.total_nodes << ", edges: " << stats.total_edges
+      << "\n";
+  for (const RelationStats& relation : stats.relations) {
+    out << StrFormat(
+        "%-16s %8lld edges, density %.5f\n",
+        schema.RelationName(relation.relation).c_str(),
+        static_cast<long long>(relation.edges), relation.density);
+    auto render_side = [&out](const char* label, const DegreeSummary& s) {
+      out << StrFormat(
+          "  %-4s degree: min %lld / median %lld / mean %.2f / p90 %lld / "
+          "max %lld, isolated %lld\n",
+          label, static_cast<long long>(s.min), static_cast<long long>(s.median),
+          s.mean, static_cast<long long>(s.p90), static_cast<long long>(s.max),
+          static_cast<long long>(s.isolated));
+    };
+    render_side("out", relation.out_degree);
+    render_side("in", relation.in_degree);
+  }
+  return out.str();
+}
+
+}  // namespace hetesim

@@ -1,0 +1,52 @@
+#ifndef HETESIM_HIN_STATS_H_
+#define HETESIM_HIN_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "hin/graph.h"
+
+namespace hetesim {
+
+/// Five-number-style summary of one relation's degree distribution.
+struct DegreeSummary {
+  Index min = 0;
+  Index max = 0;
+  double mean = 0.0;
+  Index median = 0;
+  Index p90 = 0;
+  /// Nodes with no incident edge in this relation/orientation.
+  Index isolated = 0;
+};
+
+/// Structural statistics of one relation.
+struct RelationStats {
+  RelationId relation = -1;
+  Index edges = 0;
+  /// Source-side (out) and target-side (in) degree summaries.
+  DegreeSummary out_degree;
+  DegreeSummary in_degree;
+  /// Fraction of stored entries vs the full |src| x |dst| rectangle.
+  double density = 0.0;
+};
+
+/// Structural statistics of a whole network.
+struct GraphStats {
+  Index total_nodes = 0;
+  Index total_edges = 0;
+  std::vector<RelationStats> relations;  // indexed by RelationId
+};
+
+/// Computes degree and density statistics for every relation of `graph`.
+/// The numbers drive dataset sanity checks (generators plant Zipf-ish
+/// degrees — visible as mean >> median) and capacity planning for
+/// materialization (density bounds PM product sizes).
+GraphStats ComputeGraphStats(const HinGraph& graph);
+
+/// Multi-line human-readable rendering of `stats` (relation names resolved
+/// against `graph`).
+std::string RenderGraphStats(const HinGraph& graph, const GraphStats& stats);
+
+}  // namespace hetesim
+
+#endif  // HETESIM_HIN_STATS_H_

@@ -1,0 +1,91 @@
+#include "learn/eigen_jacobi.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace hetesim {
+
+namespace {
+
+/// Sum of squares of strictly-off-diagonal entries.
+double OffDiagonalNormSquared(const DenseMatrix& a) {
+  double acc = 0.0;
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index j = 0; j < a.cols(); ++j) {
+      if (i != j) acc += a(i, j) * a(i, j);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+Result<EigenDecomposition> JacobiEigenSymmetric(const DenseMatrix& matrix,
+                                                const JacobiOptions& options) {
+  if (matrix.rows() != matrix.cols()) {
+    return Status::InvalidArgument("eigendecomposition needs a square matrix");
+  }
+  const Index n = matrix.rows();
+  const double scale = std::max(1.0, matrix.FrobeniusNorm());
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) {
+      if (std::abs(matrix(i, j) - matrix(j, i)) > 1e-8 * scale) {
+        return Status::InvalidArgument("matrix is not symmetric");
+      }
+    }
+  }
+
+  DenseMatrix a = matrix;
+  DenseMatrix v = DenseMatrix::Identity(n);
+  for (int sweep = 0; sweep < options.max_sweeps; ++sweep) {
+    if (std::sqrt(OffDiagonalNormSquared(a)) <= options.tolerance * scale) break;
+    for (Index p = 0; p < n; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        // Classic Jacobi rotation zeroing a(p, q).
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (Index k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (Index k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by ascending eigenvalue.
+  std::vector<Index> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&a](Index x, Index y) { return a(x, x) < a(y, y); });
+  EigenDecomposition result;
+  result.values.resize(static_cast<size_t>(n));
+  result.vectors = DenseMatrix(n, n);
+  for (Index rank = 0; rank < n; ++rank) {
+    const Index src = order[static_cast<size_t>(rank)];
+    result.values[static_cast<size_t>(rank)] = a(src, src);
+    for (Index k = 0; k < n; ++k) result.vectors(k, rank) = v(k, src);
+  }
+  return result;
+}
+
+}  // namespace hetesim

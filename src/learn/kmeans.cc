@@ -1,0 +1,148 @@
+#include "learn/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace hetesim {
+
+namespace {
+
+double SquaredDistance(const double* a, const double* b, Index dims) {
+  double acc = 0.0;
+  for (Index d = 0; d < dims; ++d) {
+    const double diff = a[d] - b[d];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+/// k-means++ seeding: first center uniform, later centers sampled
+/// proportionally to squared distance from the nearest chosen center.
+DenseMatrix SeedCenters(const DenseMatrix& points, int k, Rng& rng) {
+  const Index n = points.rows();
+  const Index dims = points.cols();
+  DenseMatrix centers(k, dims);
+  std::vector<double> min_distance(static_cast<size_t>(n),
+                                   std::numeric_limits<double>::max());
+  Index first = static_cast<Index>(rng.Uniform(static_cast<uint64_t>(n)));
+  for (Index d = 0; d < dims; ++d) centers(0, d) = points(first, d);
+  for (int c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (Index i = 0; i < n; ++i) {
+      const double dist =
+          SquaredDistance(points.RowData(i), centers.RowData(c - 1), dims);
+      min_distance[static_cast<size_t>(i)] =
+          std::min(min_distance[static_cast<size_t>(i)], dist);
+      total += min_distance[static_cast<size_t>(i)];
+    }
+    Index chosen = 0;
+    if (total > 0.0) {
+      double target = rng.UniformDouble() * total;
+      double acc = 0.0;
+      for (Index i = 0; i < n; ++i) {
+        acc += min_distance[static_cast<size_t>(i)];
+        if (target < acc) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<Index>(rng.Uniform(static_cast<uint64_t>(n)));
+    }
+    for (Index d = 0; d < dims; ++d) centers(c, d) = points(chosen, d);
+  }
+  return centers;
+}
+
+KMeansResult RunOnce(const DenseMatrix& points, int k, int max_iterations,
+                     Rng& rng) {
+  const Index n = points.rows();
+  const Index dims = points.cols();
+  DenseMatrix centers = SeedCenters(points, k, rng);
+  KMeansResult result;
+  result.assignments.assign(static_cast<size_t>(n), -1);
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    bool changed = false;
+    // Assignment step.
+    for (Index i = 0; i < n; ++i) {
+      int best = 0;
+      double best_distance = std::numeric_limits<double>::max();
+      for (int c = 0; c < k; ++c) {
+        const double dist =
+            SquaredDistance(points.RowData(i), centers.RowData(c), dims);
+        if (dist < best_distance) {
+          best_distance = dist;
+          best = c;
+        }
+      }
+      if (result.assignments[static_cast<size_t>(i)] != best) {
+        result.assignments[static_cast<size_t>(i)] = best;
+        changed = true;
+      }
+    }
+    result.iterations = iteration + 1;
+    if (!changed) break;
+    // Update step.
+    centers.Fill(0.0);
+    std::vector<Index> counts(static_cast<size_t>(k), 0);
+    for (Index i = 0; i < n; ++i) {
+      const int c = result.assignments[static_cast<size_t>(i)];
+      ++counts[static_cast<size_t>(c)];
+      for (Index d = 0; d < dims; ++d) centers(c, d) += points(i, d);
+    }
+    for (int c = 0; c < k; ++c) {
+      const Index count = counts[static_cast<size_t>(c)];
+      if (count == 0) {
+        // Re-seed an empty cluster with the point farthest from its center.
+        Index farthest = 0;
+        double farthest_distance = -1.0;
+        for (Index i = 0; i < n; ++i) {
+          const int ci = result.assignments[static_cast<size_t>(i)];
+          const double dist =
+              SquaredDistance(points.RowData(i), centers.RowData(ci), dims);
+          if (dist > farthest_distance) {
+            farthest_distance = dist;
+            farthest = i;
+          }
+        }
+        for (Index d = 0; d < dims; ++d) centers(c, d) = points(farthest, d);
+        continue;
+      }
+      for (Index d = 0; d < dims; ++d) {
+        centers(c, d) /= static_cast<double>(count);
+      }
+    }
+  }
+  // Final inertia.
+  result.inertia = 0.0;
+  for (Index i = 0; i < n; ++i) {
+    const int c = result.assignments[static_cast<size_t>(i)];
+    result.inertia += SquaredDistance(points.RowData(i), centers.RowData(c), dims);
+  }
+  result.centers = std::move(centers);
+  return result;
+}
+
+}  // namespace
+
+Result<KMeansResult> KMeans(const DenseMatrix& points, int k,
+                            const KMeansOptions& options) {
+  if (points.rows() == 0) {
+    return Status::InvalidArgument("k-means needs at least one point");
+  }
+  if (k < 1 || k > static_cast<int>(points.rows())) {
+    return Status::InvalidArgument("k must lie in [1, number of points]");
+  }
+  Rng rng(options.seed);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (int restart = 0; restart < std::max(1, options.restarts); ++restart) {
+    KMeansResult run = RunOnce(points, k, options.max_iterations, rng);
+    if (run.inertia < best.inertia) best = std::move(run);
+  }
+  return best;
+}
+
+}  // namespace hetesim

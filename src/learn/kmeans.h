@@ -1,0 +1,45 @@
+#ifndef HETESIM_LEARN_KMEANS_H_
+#define HETESIM_LEARN_KMEANS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "matrix/dense.h"
+
+namespace hetesim {
+
+/// Options for Lloyd's k-means with k-means++ seeding.
+struct KMeansOptions {
+  /// Cap on Lloyd iterations; a run also stops as soon as no assignment
+  /// changes.
+  int max_iterations = 100;
+  /// Seed for k-means++ sampling; runs are deterministic given the seed.
+  uint64_t seed = 42;
+  /// Independent restarts; the run with the lowest inertia wins.
+  int restarts = 5;
+};
+
+/// Result of a k-means run.
+struct KMeansResult {
+  /// Cluster label per row of the input, in `[0, k)`.
+  std::vector<int> assignments;
+  /// Cluster centers, `k x dims`.
+  DenseMatrix centers;
+  /// Sum of squared distances of points to their centers.
+  double inertia = 0.0;
+  /// Iterations used by the winning restart.
+  int iterations = 0;
+};
+
+/// \brief Lloyd's algorithm with k-means++ initialization on the rows of
+/// `points` (`n x dims`). Deterministic given `options.seed`.
+///
+/// `k` must satisfy `1 <= k <= n`. Empty clusters are re-seeded with the
+/// point farthest from its center, so exactly `k` clusters survive.
+Result<KMeansResult> KMeans(const DenseMatrix& points, int k,
+                            const KMeansOptions& options = {});
+
+}  // namespace hetesim
+
+#endif  // HETESIM_LEARN_KMEANS_H_

@@ -1,0 +1,125 @@
+#include "learn/lanczos.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/random.h"
+#include "matrix/ops.h"
+
+namespace hetesim {
+
+namespace {
+
+/// Removes the components of `w` along every vector in `basis` (classic
+/// Gram-Schmidt, applied twice by the caller for numerical robustness).
+void OrthogonalizeAgainst(const std::vector<std::vector<double>>& basis,
+                          std::vector<double>& w) {
+  for (const std::vector<double>& v : basis) {
+    const double projection = Dot(w, v);
+    for (size_t i = 0; i < w.size(); ++i) w[i] -= projection * v[i];
+  }
+}
+
+std::vector<double> RandomUnit(size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Normal();
+  NormalizeL2(v);
+  return v;
+}
+
+}  // namespace
+
+Result<EigenDecomposition> LanczosLargestEigenpairs(const SparseMatrix& matrix,
+                                                    int k,
+                                                    const LanczosOptions& options) {
+  const Index n = matrix.rows();
+  if (matrix.cols() != n) {
+    return Status::InvalidArgument("Lanczos needs a square matrix");
+  }
+  if (!matrix.ApproxEquals(matrix.Transpose(), 1e-9)) {
+    return Status::InvalidArgument("Lanczos needs a symmetric matrix");
+  }
+  if (k < 1 || k > static_cast<int>(n)) {
+    return Status::InvalidArgument("k must lie in [1, n]");
+  }
+  const int subspace =
+      options.subspace > 0
+          ? std::min<int>(options.subspace, static_cast<int>(n))
+          : std::min<int>(static_cast<int>(n), 4 * k + 40);
+  if (subspace < k) {
+    return Status::InvalidArgument("subspace dimension must be at least k");
+  }
+
+  Rng rng(options.seed);
+  std::vector<std::vector<double>> basis;  // v_1 .. v_m, orthonormal
+  basis.push_back(RandomUnit(static_cast<size_t>(n), rng));
+  std::vector<double> alpha;  // diagonal of the tridiagonal T
+  std::vector<double> beta;   // off-diagonal of T
+
+  for (int j = 0; j < subspace; ++j) {
+    std::vector<double> w = matrix.MultiplyVector(basis[static_cast<size_t>(j)]);
+    alpha.push_back(Dot(w, basis[static_cast<size_t>(j)]));
+    // Full reorthogonalization, twice ("twice is enough" — Parlett).
+    OrthogonalizeAgainst(basis, w);
+    OrthogonalizeAgainst(basis, w);
+    const double norm = Norm2(w);
+    if (j + 1 == subspace) break;
+    if (norm < options.breakdown_tolerance) {
+      // Invariant subspace found: restart with a fresh orthogonal vector
+      // (exact-breakdown handling; beta entry is 0).
+      std::vector<double> fresh = RandomUnit(static_cast<size_t>(n), rng);
+      OrthogonalizeAgainst(basis, fresh);
+      OrthogonalizeAgainst(basis, fresh);
+      const double fresh_norm = Norm2(fresh);
+      if (fresh_norm < options.breakdown_tolerance) break;  // space exhausted
+      for (double& x : fresh) x /= fresh_norm;
+      beta.push_back(0.0);
+      basis.push_back(std::move(fresh));
+      continue;
+    }
+    for (double& x : w) x /= norm;
+    beta.push_back(norm);
+    basis.push_back(std::move(w));
+  }
+
+  // Small dense solve of the tridiagonal T.
+  const int m = static_cast<int>(alpha.size());
+  if (m < k) {
+    return Status::Internal("Krylov space collapsed below k dimensions");
+  }
+  DenseMatrix tridiagonal(m, m);
+  for (int i = 0; i < m; ++i) {
+    tridiagonal(i, i) = alpha[static_cast<size_t>(i)];
+    if (i + 1 < m && static_cast<size_t>(i) < beta.size()) {
+      tridiagonal(i, i + 1) = beta[static_cast<size_t>(i)];
+      tridiagonal(i + 1, i) = beta[static_cast<size_t>(i)];
+    }
+  }
+  HETESIM_ASSIGN_OR_RETURN(EigenDecomposition small,
+                           JacobiEigenSymmetric(tridiagonal));
+
+  // Ritz pairs: the k largest eigenvalues of T with vectors V * s. Jacobi
+  // returns ascending, so take the trailing k columns but emit ascending.
+  EigenDecomposition result;
+  result.values.resize(static_cast<size_t>(k));
+  result.vectors = DenseMatrix(n, k);
+  for (int out = 0; out < k; ++out) {
+    const int ritz = m - k + out;  // ascending within the top-k block
+    result.values[static_cast<size_t>(out)] = small.values[static_cast<size_t>(ritz)];
+    std::vector<double> ritz_vector(static_cast<size_t>(n), 0.0);
+    for (int j = 0; j < m; ++j) {
+      const double coefficient = small.vectors(j, ritz);
+      const std::vector<double>& vj = basis[static_cast<size_t>(j)];
+      for (Index i = 0; i < n; ++i) {
+        ritz_vector[static_cast<size_t>(i)] += coefficient * vj[static_cast<size_t>(i)];
+      }
+    }
+    NormalizeL2(ritz_vector);
+    for (Index i = 0; i < n; ++i) {
+      result.vectors(i, out) = ritz_vector[static_cast<size_t>(i)];
+    }
+  }
+  return result;
+}
+
+}  // namespace hetesim

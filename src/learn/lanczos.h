@@ -1,0 +1,41 @@
+#ifndef HETESIM_LEARN_LANCZOS_H_
+#define HETESIM_LEARN_LANCZOS_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "learn/eigen_jacobi.h"
+#include "matrix/sparse.h"
+
+namespace hetesim {
+
+/// Options for the Lanczos eigensolver.
+struct LanczosOptions {
+  /// Krylov subspace dimension; 0 picks `min(n, 4k + 40)` automatically.
+  int subspace = 0;
+  /// Seed of the random start vector (deterministic given the seed).
+  uint64_t seed = 12345;
+  /// Breakdown threshold on the off-diagonal recurrence coefficient.
+  double breakdown_tolerance = 1e-12;
+};
+
+/// \brief Top-`k` (largest-eigenvalue) eigenpairs of a symmetric sparse
+/// matrix by the Lanczos method with full reorthogonalization.
+///
+/// One Krylov sweep of `subspace` matrix-vector products (O(subspace *
+/// nnz)), a Jacobi solve of the small tridiagonal, and Ritz-vector
+/// assembly — the standard recipe for the few extreme eigenpairs of the
+/// normalized affinity matrices spectral clustering needs, where the
+/// dense Jacobi solver's O(n^3) per sweep stops being viable.
+///
+/// Returns eigenvalues ascending (like `JacobiEigenSymmetric`), vectors as
+/// columns, all with unit norm. Requires a square symmetric matrix and
+/// `1 <= k <= rows`. Accuracy of interior pairs degrades as `k` approaches
+/// `n`; for `k` close to `n` use the dense solver.
+Result<EigenDecomposition> LanczosLargestEigenpairs(const SparseMatrix& matrix,
+                                                    int k,
+                                                    const LanczosOptions& options = {});
+
+}  // namespace hetesim
+
+#endif  // HETESIM_LEARN_LANCZOS_H_

@@ -1,0 +1,90 @@
+#include "learn/spectral.h"
+
+#include <cmath>
+
+#include "learn/eigen_jacobi.h"
+#include "learn/lanczos.h"
+
+namespace hetesim {
+
+Result<std::vector<int>> SpectralClusterNormalizedCut(const DenseMatrix& affinity,
+                                                      int k,
+                                                      const SpectralOptions& options) {
+  if (affinity.rows() != affinity.cols()) {
+    return Status::InvalidArgument("affinity matrix must be square");
+  }
+  const Index n = affinity.rows();
+  if (k < 1 || k > static_cast<int>(n)) {
+    return Status::InvalidArgument("k must lie in [1, n]");
+  }
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      if (affinity(i, j) < -1e-12) {
+        return Status::InvalidArgument("affinity entries must be non-negative");
+      }
+    }
+  }
+
+  // Symmetrize defensively and build D^{-1/2}.
+  DenseMatrix w = affinity.Add(affinity.Transpose()).Scale(0.5);
+  std::vector<double> inv_sqrt_degree(static_cast<size_t>(n), 0.0);
+  for (Index i = 0; i < n; ++i) {
+    double degree = 0.0;
+    for (Index j = 0; j < n; ++j) degree += w(i, j);
+    if (degree > 0.0) inv_sqrt_degree[static_cast<size_t>(i)] = 1.0 / std::sqrt(degree);
+  }
+
+  // Normalized affinity N = D^{-1/2} W D^{-1/2}. The NCut embedding is its
+  // k LARGEST eigenvectors (equivalently the smallest of L = I - N).
+  DenseMatrix normalized(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      normalized(i, j) = w(i, j) * inv_sqrt_degree[static_cast<size_t>(i)] *
+                         inv_sqrt_degree[static_cast<size_t>(j)];
+    }
+  }
+
+  const bool use_lanczos =
+      options.solver == EigenSolverKind::kLanczos ||
+      (options.solver == EigenSolverKind::kAuto &&
+       n > options.auto_lanczos_threshold);
+
+  DenseMatrix embedding(n, k);
+  if (use_lanczos) {
+    SparseMatrix sparse =
+        SparseMatrix::FromDense(normalized, options.lanczos_sparsify_threshold);
+    LanczosOptions lanczos_options;
+    lanczos_options.seed = options.kmeans.seed * 2654435761ULL + 97;
+    HETESIM_ASSIGN_OR_RETURN(EigenDecomposition eigen,
+                             LanczosLargestEigenpairs(sparse, k, lanczos_options));
+    for (Index i = 0; i < n; ++i) {
+      for (int c = 0; c < k; ++c) embedding(i, c) = eigen.vectors(i, c);
+    }
+  } else {
+    HETESIM_ASSIGN_OR_RETURN(EigenDecomposition eigen,
+                             JacobiEigenSymmetric(normalized));
+    // Jacobi returns ascending; the top-k live in the trailing columns.
+    for (Index i = 0; i < n; ++i) {
+      for (int c = 0; c < k; ++c) {
+        embedding(i, c) = eigen.vectors(i, n - k + c);
+      }
+    }
+  }
+
+  // Row-normalize the embedding (Ng-Jordan-Weiss variant of NCut; rows of
+  // zero norm stay zero and cluster together).
+  for (Index i = 0; i < n; ++i) {
+    double norm = 0.0;
+    for (int c = 0; c < k; ++c) norm += embedding(i, c) * embedding(i, c);
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      for (int c = 0; c < k; ++c) embedding(i, c) /= norm;
+    }
+  }
+
+  HETESIM_ASSIGN_OR_RETURN(KMeansResult kmeans,
+                           KMeans(embedding, k, options.kmeans));
+  return std::move(kmeans.assignments);
+}
+
+}  // namespace hetesim

@@ -1,0 +1,53 @@
+#ifndef HETESIM_LEARN_SPECTRAL_H_
+#define HETESIM_LEARN_SPECTRAL_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "learn/kmeans.h"
+#include "matrix/dense.h"
+
+namespace hetesim {
+
+/// Which eigensolver backs the spectral embedding.
+enum class EigenSolverKind {
+  /// Dense cyclic Jacobi below `kAutoLanczosThreshold` nodes, Lanczos above.
+  kAuto,
+  /// Dense cyclic Jacobi: exact, O(n^3) per sweep — small affinities.
+  kJacobi,
+  /// Sparse Lanczos on the normalized affinity: O(subspace * nnz) — large
+  /// affinities where Jacobi is prohibitive.
+  kLanczos,
+};
+
+/// Options for Normalized-Cut spectral clustering.
+struct SpectralOptions {
+  /// Passed through to the k-means stage on the spectral embedding.
+  KMeansOptions kmeans;
+  /// Eigensolver selection (see EigenSolverKind).
+  EigenSolverKind solver = EigenSolverKind::kAuto;
+  /// Node count at which kAuto switches from Jacobi to Lanczos.
+  Index auto_lanczos_threshold = 400;
+  /// Entries of the normalized affinity below this are dropped when
+  /// densifying for Lanczos (keeps the matvec sparse).
+  double lanczos_sparsify_threshold = 1e-12;
+};
+
+/// \brief Normalized Cut spectral clustering (Shi & Malik, PAMI 2000) —
+/// the clustering algorithm the paper applies to HeteSim/PathSim similarity
+/// matrices in Table 6.
+///
+/// Pipeline: symmetrize the affinity `W <- (W + W') / 2` (path-based
+/// similarity matrices are symmetric up to floating-point error; PCRW-style
+/// inputs are symmetrized explicitly), form the normalized Laplacian
+/// `L = I - D^{-1/2} W D^{-1/2}`, embed each object into the `k` smallest
+/// eigenvectors, row-normalize the embedding and run k-means.
+///
+/// `affinity` must be square with non-negative entries; `k` in
+/// `[1, n]`. Isolated rows (zero degree) are assigned to cluster 0.
+Result<std::vector<int>> SpectralClusterNormalizedCut(
+    const DenseMatrix& affinity, int k, const SpectralOptions& options = {});
+
+}  // namespace hetesim
+
+#endif  // HETESIM_LEARN_SPECTRAL_H_

@@ -1,0 +1,108 @@
+#include "matrix/ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace hetesim {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  HETESIM_CHECK_EQ(a.size(), b.size());
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const std::vector<double>& a) {
+  double acc = 0.0;
+  for (double v : a) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double Sum(const std::vector<double>& a) {
+  double acc = 0.0;
+  for (double v : a) acc += v;
+  return acc;
+}
+
+void NormalizeL1(std::vector<double>& a) {
+  double total = 0.0;
+  for (double v : a) total += std::abs(v);
+  if (total == 0.0) return;
+  for (double& v : a) v /= total;
+}
+
+void NormalizeL2(std::vector<double>& a) {
+  const double norm = Norm2(a);
+  if (norm == 0.0) return;
+  for (double& v : a) v /= norm;
+}
+
+double CosineSimilarity(const std::vector<double>& a, const std::vector<double>& b) {
+  const double na = Norm2(a);
+  const double nb = Norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+DenseMatrix MultiplyDenseSparse(const DenseMatrix& a, const SparseMatrix& b) {
+  HETESIM_CHECK_EQ(a.cols(), b.rows());
+  DenseMatrix out(a.rows(), b.cols());
+  for (Index r = 0; r < a.rows(); ++r) {
+    const double* in_row = a.RowData(r);
+    double* out_row = out.RowData(r);
+    for (Index k = 0; k < a.cols(); ++k) {
+      const double v = in_row[k];
+      if (v == 0.0) continue;
+      auto indices = b.RowIndices(k);
+      auto values = b.RowValues(k);
+      for (size_t t = 0; t < indices.size(); ++t) {
+        out_row[indices[t]] += v * values[t];
+      }
+    }
+  }
+  return out;
+}
+
+SparseMatrix MultiplyChain(const std::vector<SparseMatrix>& chain) {
+  HETESIM_CHECK(!chain.empty());
+  SparseMatrix product = chain[0];
+  for (size_t i = 1; i < chain.size(); ++i) {
+    product = product.Multiply(chain[i]);
+  }
+  return product;
+}
+
+DenseMatrix MultiplyChainDense(const std::vector<SparseMatrix>& chain) {
+  HETESIM_CHECK(!chain.empty());
+  if (chain.size() == 1) return chain[0].ToDense();
+  DenseMatrix product = chain[0].MultiplyDense(chain[1].ToDense());
+  for (size_t i = 2; i < chain.size(); ++i) {
+    product = MultiplyDenseSparse(product, chain[i]);
+  }
+  return product;
+}
+
+std::vector<double> VectorThroughChain(std::vector<double> x,
+                                       const std::vector<SparseMatrix>& chain) {
+  for (const SparseMatrix& m : chain) {
+    x = m.LeftMultiplyVector(x);
+  }
+  return x;
+}
+
+std::vector<double> VectorThroughChainTruncated(std::vector<double> x,
+                                                const std::vector<SparseMatrix>& chain,
+                                                double epsilon) {
+  for (const SparseMatrix& m : chain) {
+    x = m.LeftMultiplyVector(x);
+    if (epsilon > 0.0) {
+      for (double& v : x) {
+        if (std::abs(v) < epsilon) v = 0.0;
+      }
+    }
+  }
+  return x;
+}
+
+}  // namespace hetesim

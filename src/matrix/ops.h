@@ -1,0 +1,66 @@
+#ifndef HETESIM_MATRIX_OPS_H_
+#define HETESIM_MATRIX_OPS_H_
+
+#include <vector>
+
+#include "matrix/dense.h"
+#include "matrix/sparse.h"
+
+namespace hetesim {
+
+/// Dot product of two equal-length vectors.
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Euclidean (L2) norm.
+double Norm2(const std::vector<double>& a);
+
+/// Sum of entries (L1 norm for non-negative vectors).
+double Sum(const std::vector<double>& a);
+
+/// Scales `a` in place so it sums to 1; no-op for an all-zero vector.
+void NormalizeL1(std::vector<double>& a);
+
+/// Scales `a` in place to unit L2 norm; no-op for an all-zero vector.
+void NormalizeL2(std::vector<double>& a);
+
+/// Cosine similarity in [-1, 1]; 0 when either vector is all-zero. For two
+/// reachable-probability distributions this is the normalized HeteSim
+/// combination step (Definition 10 of the paper).
+double CosineSimilarity(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Dense-times-sparse product `a * b`, streaming the sparse rows of `b`.
+DenseMatrix MultiplyDenseSparse(const DenseMatrix& a, const SparseMatrix& b);
+
+/// Multiplies a chain of sparse matrices left-to-right:
+/// `chain[0] * chain[1] * ... * chain.back()`. Adjacent dimensions must
+/// agree; an empty chain is invalid. Left-to-right association is the right
+/// order for transition chains, whose products stay row-stochastic and thus
+/// reasonably sparse.
+SparseMatrix MultiplyChain(const std::vector<SparseMatrix>& chain);
+
+/// Multiplies a chain of sparse matrices into a dense result, densifying
+/// after the first product. Faster than `MultiplyChain` once intermediate
+/// products become dense (long paths on well-connected networks).
+DenseMatrix MultiplyChainDense(const std::vector<SparseMatrix>& chain);
+
+/// Row vector times a chain of sparse matrices:
+/// `x^T * chain[0] * ... * chain.back()`. This is the single-source
+/// reachable-probability computation — O(sum of nnz) instead of a full
+/// matrix product, the key to fast online queries (Section 4.6).
+std::vector<double> VectorThroughChain(std::vector<double> x,
+                                       const std::vector<SparseMatrix>& chain);
+
+/// `VectorThroughChain` with approximate truncation (the Section 4.6
+/// suggestion of "approximate algorithms ... with a small loss of
+/// accuracy"): after each step, entries below `epsilon` are dropped to
+/// keep the frontier sparse. For row-stochastic chains the total dropped
+/// probability mass — and hence the absolute error of any downstream dot
+/// product against a vector bounded by 1 — is at most
+/// `chain.size() * epsilon * x.size()`. `epsilon <= 0` is exact.
+std::vector<double> VectorThroughChainTruncated(std::vector<double> x,
+                                                const std::vector<SparseMatrix>& chain,
+                                                double epsilon);
+
+}  // namespace hetesim
+
+#endif  // HETESIM_MATRIX_OPS_H_

@@ -1,0 +1,164 @@
+#include "matrix/serialize.h"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace hetesim {
+
+namespace {
+
+constexpr char kSparseMagic[4] = {'H', 'S', 'M', '1'};
+constexpr char kDenseMagic[4] = {'H', 'D', 'M', '1'};
+// Refuse headers describing absurd shapes (corrupt or truncated files);
+// 2^31 also keeps dimension products inside int64.
+constexpr int64_t kMaxReasonableDimension = int64_t{1} << 31;
+
+void WriteInt64(std::ostream& stream, int64_t value) {
+  stream.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+bool ReadInt64(std::istream& stream, int64_t* value) {
+  stream.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return stream.good();
+}
+
+template <typename T>
+void WriteArray(std::ostream& stream, const std::vector<T>& values) {
+  stream.write(reinterpret_cast<const char*>(values.data()),
+               static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+// Reads `count` elements in bounded chunks so that a corrupt header
+// claiming an absurd size fails at the first missing chunk instead of
+// attempting one giant allocation up front.
+template <typename T>
+bool ReadArray(std::istream& stream, size_t count, std::vector<T>* values) {
+  constexpr size_t kChunkElements = size_t{1} << 20;
+  values->clear();
+  size_t remaining = count;
+  while (remaining > 0) {
+    const size_t chunk = std::min(remaining, kChunkElements);
+    const size_t old_size = values->size();
+    values->resize(old_size + chunk);
+    stream.read(reinterpret_cast<char*>(values->data() + old_size),
+                static_cast<std::streamsize>(chunk * sizeof(T)));
+    if (!stream.good()) return false;
+    remaining -= chunk;
+  }
+  return !stream.bad();
+}
+
+}  // namespace
+
+Status WriteSparseMatrix(const SparseMatrix& matrix, std::ostream& stream) {
+  stream.write(kSparseMagic, sizeof(kSparseMagic));
+  WriteInt64(stream, matrix.rows());
+  WriteInt64(stream, matrix.cols());
+  WriteInt64(stream, matrix.NumNonZeros());
+  WriteArray(stream, matrix.row_ptr());
+  WriteArray(stream, matrix.col_idx());
+  WriteArray(stream, matrix.values());
+  if (!stream.good()) return Status::IOError("sparse matrix write failed");
+  return Status::OK();
+}
+
+Result<SparseMatrix> ReadSparseMatrix(std::istream& stream) {
+  char magic[4];
+  stream.read(magic, sizeof(magic));
+  if (!stream.good() || std::memcmp(magic, kSparseMagic, 4) != 0) {
+    return Status::InvalidArgument("not an HSM1 sparse matrix stream");
+  }
+  int64_t rows = 0;
+  int64_t cols = 0;
+  int64_t nnz = 0;
+  if (!ReadInt64(stream, &rows) || !ReadInt64(stream, &cols) ||
+      !ReadInt64(stream, &nnz)) {
+    return Status::IOError("truncated sparse matrix header");
+  }
+  if (rows < 0 || cols < 0 || nnz < 0 || rows > kMaxReasonableDimension ||
+      cols > kMaxReasonableDimension || nnz > kMaxReasonableDimension ||
+      nnz > rows * cols) {
+    return Status::InvalidArgument("corrupt sparse matrix header");
+  }
+  std::vector<Index> row_ptr;
+  std::vector<Index> col_idx;
+  std::vector<double> values;
+  if (!ReadArray(stream, static_cast<size_t>(rows) + 1, &row_ptr) ||
+      !ReadArray(stream, static_cast<size_t>(nnz), &col_idx) ||
+      !ReadArray(stream, static_cast<size_t>(nnz), &values)) {
+    return Status::IOError("truncated sparse matrix payload");
+  }
+  // Validate CSR structure before handing it to FromTriplets.
+  if (row_ptr.front() != 0 || row_ptr.back() != nnz) {
+    return Status::InvalidArgument("corrupt CSR row pointers");
+  }
+  for (size_t r = 0; r + 1 < row_ptr.size(); ++r) {
+    if (row_ptr[r] > row_ptr[r + 1]) {
+      return Status::InvalidArgument("corrupt CSR row pointers");
+    }
+  }
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(nnz));
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t k = row_ptr[static_cast<size_t>(r)];
+         k < row_ptr[static_cast<size_t>(r) + 1]; ++k) {
+      const Index c = col_idx[static_cast<size_t>(k)];
+      if (c < 0 || c >= cols) {
+        return Status::InvalidArgument("corrupt CSR column index");
+      }
+      triplets.push_back({r, c, values[static_cast<size_t>(k)]});
+    }
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(triplets));
+}
+
+Status WriteDenseMatrix(const DenseMatrix& matrix, std::ostream& stream) {
+  stream.write(kDenseMagic, sizeof(kDenseMagic));
+  WriteInt64(stream, matrix.rows());
+  WriteInt64(stream, matrix.cols());
+  WriteArray(stream, matrix.data());
+  if (!stream.good()) return Status::IOError("dense matrix write failed");
+  return Status::OK();
+}
+
+Result<DenseMatrix> ReadDenseMatrix(std::istream& stream) {
+  char magic[4];
+  stream.read(magic, sizeof(magic));
+  if (!stream.good() || std::memcmp(magic, kDenseMagic, 4) != 0) {
+    return Status::InvalidArgument("not an HDM1 dense matrix stream");
+  }
+  int64_t rows = 0;
+  int64_t cols = 0;
+  if (!ReadInt64(stream, &rows) || !ReadInt64(stream, &cols)) {
+    return Status::IOError("truncated dense matrix header");
+  }
+  if (rows < 0 || cols < 0 || rows > kMaxReasonableDimension ||
+      cols > kMaxReasonableDimension) {
+    return Status::InvalidArgument("corrupt dense matrix header");
+  }
+  std::vector<double> data;
+  if (!ReadArray(stream, static_cast<size_t>(rows * cols), &data)) {
+    return Status::IOError("truncated dense matrix payload");
+  }
+  return DenseMatrix(rows, cols, std::move(data));
+}
+
+Status WriteSparseMatrixToFile(const SparseMatrix& matrix, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  return WriteSparseMatrix(matrix, file);
+}
+
+Result<SparseMatrix> ReadSparseMatrixFromFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for reading");
+  }
+  return ReadSparseMatrix(file);
+}
+
+}  // namespace hetesim

@@ -1,0 +1,39 @@
+#ifndef HETESIM_MATRIX_SERIALIZE_H_
+#define HETESIM_MATRIX_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "matrix/dense.h"
+#include "matrix/sparse.h"
+
+namespace hetesim {
+
+/// \brief Binary (de)serialization of matrices, the substrate for the
+/// Section 4.6 offline-materialization workflow: reachable-probability
+/// matrices for frequently-used relevance paths are computed once, written
+/// to disk and memory-mapped-style reloaded by query servers.
+///
+/// Format (little-endian, host order — files are machine-local artifacts):
+///   sparse: "HSM1" | rows i64 | cols i64 | nnz i64 | row_ptr | col_idx | values
+///   dense:  "HDM1" | rows i64 | cols i64 | values row-major
+/// Readers validate magic, sizes and CSR monotonicity before constructing.
+
+/// Writes `matrix` to `stream` in HSM1 format.
+Status WriteSparseMatrix(const SparseMatrix& matrix, std::ostream& stream);
+/// Reads an HSM1 sparse matrix.
+Result<SparseMatrix> ReadSparseMatrix(std::istream& stream);
+
+/// Writes `matrix` to `stream` in HDM1 format.
+Status WriteDenseMatrix(const DenseMatrix& matrix, std::ostream& stream);
+/// Reads an HDM1 dense matrix.
+Result<DenseMatrix> ReadDenseMatrix(std::istream& stream);
+
+/// File-path conveniences.
+Status WriteSparseMatrixToFile(const SparseMatrix& matrix, const std::string& path);
+Result<SparseMatrix> ReadSparseMatrixFromFile(const std::string& path);
+
+}  // namespace hetesim
+
+#endif  // HETESIM_MATRIX_SERIALIZE_H_

@@ -1,0 +1,401 @@
+#include "matrix/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+
+namespace hetesim {
+
+SparseMatrix::SparseMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols), row_ptr_(static_cast<size_t>(rows) + 1, 0) {
+  HETESIM_CHECK_GE(rows, 0);
+  HETESIM_CHECK_GE(cols, 0);
+}
+
+SparseMatrix SparseMatrix::FromTriplets(Index rows, Index cols,
+                                        std::vector<Triplet> triplets) {
+  SparseMatrix out(rows, cols);
+  for (const Triplet& t : triplets) {
+    HETESIM_CHECK(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols)
+        << "triplet (" << t.row << "," << t.col << ") out of bounds for "
+        << rows << "x" << cols;
+  }
+  std::sort(triplets.begin(), triplets.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  // Merge duplicates, dropping entries that cancel to exactly zero.
+  out.col_idx_.reserve(triplets.size());
+  out.values_.reserve(triplets.size());
+  size_t i = 0;
+  while (i < triplets.size()) {
+    const Index row = triplets[i].row;
+    const Index col = triplets[i].col;
+    double sum = 0.0;
+    while (i < triplets.size() && triplets[i].row == row && triplets[i].col == col) {
+      sum += triplets[i].value;
+      ++i;
+    }
+    if (sum != 0.0) {
+      out.col_idx_.push_back(col);
+      out.values_.push_back(sum);
+      ++out.row_ptr_[static_cast<size_t>(row) + 1];
+    }
+  }
+  for (size_t r = 0; r < static_cast<size_t>(rows); ++r) {
+    out.row_ptr_[r + 1] += out.row_ptr_[r];
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::FromDense(const DenseMatrix& dense, double threshold) {
+  std::vector<Triplet> triplets;
+  for (Index i = 0; i < dense.rows(); ++i) {
+    for (Index j = 0; j < dense.cols(); ++j) {
+      const double v = dense(i, j);
+      if (std::abs(v) > threshold) triplets.push_back({i, j, v});
+    }
+  }
+  return FromTriplets(dense.rows(), dense.cols(), std::move(triplets));
+}
+
+SparseMatrix SparseMatrix::Identity(Index n) {
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(n));
+  for (Index i = 0; i < n; ++i) triplets.push_back({i, i, 1.0});
+  return FromTriplets(n, n, std::move(triplets));
+}
+
+double SparseMatrix::At(Index r, Index c) const {
+  HETESIM_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  auto indices = RowIndices(r);
+  auto it = std::lower_bound(indices.begin(), indices.end(), c);
+  if (it == indices.end() || *it != c) return 0.0;
+  return values_[static_cast<size_t>(row_ptr_[static_cast<size_t>(r)] +
+                                     (it - indices.begin()))];
+}
+
+std::span<const Index> SparseMatrix::RowIndices(Index r) const {
+  HETESIM_DCHECK(r >= 0 && r < rows_);
+  const size_t begin = static_cast<size_t>(row_ptr_[static_cast<size_t>(r)]);
+  const size_t end = static_cast<size_t>(row_ptr_[static_cast<size_t>(r) + 1]);
+  return {col_idx_.data() + begin, end - begin};
+}
+
+std::span<const double> SparseMatrix::RowValues(Index r) const {
+  HETESIM_DCHECK(r >= 0 && r < rows_);
+  const size_t begin = static_cast<size_t>(row_ptr_[static_cast<size_t>(r)]);
+  const size_t end = static_cast<size_t>(row_ptr_[static_cast<size_t>(r) + 1]);
+  return {values_.data() + begin, end - begin};
+}
+
+double SparseMatrix::RowSum(Index r) const {
+  double acc = 0.0;
+  for (double v : RowValues(r)) acc += v;
+  return acc;
+}
+
+SparseMatrix SparseMatrix::Transpose() const {
+  SparseMatrix out(cols_, rows_);
+  out.col_idx_.resize(values_.size());
+  out.values_.resize(values_.size());
+  // Count entries per output row (input column).
+  for (Index c : col_idx_) ++out.row_ptr_[static_cast<size_t>(c) + 1];
+  for (size_t r = 0; r < static_cast<size_t>(cols_); ++r) {
+    out.row_ptr_[r + 1] += out.row_ptr_[r];
+  }
+  std::vector<Index> cursor(out.row_ptr_.begin(), out.row_ptr_.end() - 1);
+  for (Index r = 0; r < rows_; ++r) {
+    auto indices = RowIndices(r);
+    auto values = RowValues(r);
+    for (size_t k = 0; k < indices.size(); ++k) {
+      const size_t pos = static_cast<size_t>(cursor[static_cast<size_t>(indices[k])]++);
+      out.col_idx_[pos] = r;
+      out.values_[pos] = values[k];
+    }
+  }
+  // Column indices within each output row are ascending because the source
+  // rows were visited in ascending order.
+  return out;
+}
+
+namespace {
+
+/// One Gustavson pass over the row range `[row_begin, row_end)` of `a * b`,
+/// appending results to chunk-local arrays. `row_sizes[i]` receives the
+/// number of stored entries of output row `row_begin + i`.
+void GustavsonRange(const SparseMatrix& a, const SparseMatrix& b, Index row_begin,
+                    Index row_end, std::vector<Index>* row_sizes,
+                    std::vector<Index>* col_idx, std::vector<double>* values) {
+  std::vector<double> accumulator(static_cast<size_t>(b.cols()), 0.0);
+  std::vector<Index> touched;
+  for (Index i = row_begin; i < row_end; ++i) {
+    touched.clear();
+    auto a_indices = a.RowIndices(i);
+    auto a_values = a.RowValues(i);
+    for (size_t ka = 0; ka < a_indices.size(); ++ka) {
+      const Index k = a_indices[ka];
+      const double a_ik = a_values[ka];
+      auto b_indices = b.RowIndices(k);
+      auto b_values = b.RowValues(k);
+      for (size_t kb = 0; kb < b_indices.size(); ++kb) {
+        const Index j = b_indices[kb];
+        if (accumulator[static_cast<size_t>(j)] == 0.0) touched.push_back(j);
+        accumulator[static_cast<size_t>(j)] += a_ik * b_values[kb];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    Index row_nnz = 0;
+    for (Index j : touched) {
+      const double v = accumulator[static_cast<size_t>(j)];
+      accumulator[static_cast<size_t>(j)] = 0.0;
+      if (v != 0.0) {
+        col_idx->push_back(j);
+        values->push_back(v);
+        ++row_nnz;
+      }
+    }
+    row_sizes->push_back(row_nnz);
+  }
+}
+
+}  // namespace
+
+SparseMatrix SparseMatrix::Multiply(const SparseMatrix& other) const {
+  HETESIM_CHECK_EQ(cols_, other.rows_);
+  SparseMatrix out(rows_, other.cols_);
+  std::vector<Index> row_sizes;
+  row_sizes.reserve(static_cast<size_t>(rows_));
+  GustavsonRange(*this, other, 0, rows_, &row_sizes, &out.col_idx_, &out.values_);
+  for (size_t r = 0; r < static_cast<size_t>(rows_); ++r) {
+    out.row_ptr_[r + 1] = out.row_ptr_[r] + row_sizes[r];
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::MultiplyParallel(const SparseMatrix& other,
+                                            int num_threads) const {
+  HETESIM_CHECK_EQ(cols_, other.rows_);
+  if (num_threads <= 1 || rows_ < 2) return Multiply(other);
+  const int chunks = static_cast<int>(
+      std::min<Index>(num_threads, std::max<Index>(rows_, 1)));
+  struct ChunkResult {
+    std::vector<Index> row_sizes;
+    std::vector<Index> col_idx;
+    std::vector<double> values;
+  };
+  std::vector<ChunkResult> results(static_cast<size_t>(chunks));
+  const Index chunk_size = (rows_ + chunks - 1) / chunks;
+  ParallelChunks(0, chunks, chunks, [&](int64_t chunk_begin, int64_t chunk_end) {
+    for (int64_t c = chunk_begin; c < chunk_end; ++c) {
+      const Index row_begin = static_cast<Index>(c) * chunk_size;
+      const Index row_end = std::min(rows_, row_begin + chunk_size);
+      if (row_begin >= row_end) continue;
+      ChunkResult& result = results[static_cast<size_t>(c)];
+      GustavsonRange(*this, other, row_begin, row_end, &result.row_sizes,
+                     &result.col_idx, &result.values);
+    }
+  });
+  // Stitch the chunk outputs back into one CSR matrix.
+  SparseMatrix out(rows_, other.cols_);
+  size_t total_nnz = 0;
+  for (const ChunkResult& result : results) total_nnz += result.values.size();
+  out.col_idx_.reserve(total_nnz);
+  out.values_.reserve(total_nnz);
+  size_t row = 0;
+  for (const ChunkResult& result : results) {
+    for (Index size : result.row_sizes) {
+      out.row_ptr_[row + 1] = out.row_ptr_[row] + size;
+      ++row;
+    }
+    out.col_idx_.insert(out.col_idx_.end(), result.col_idx.begin(),
+                        result.col_idx.end());
+    out.values_.insert(out.values_.end(), result.values.begin(),
+                       result.values.end());
+  }
+  HETESIM_CHECK_EQ(row, static_cast<size_t>(rows_));
+  return out;
+}
+
+DenseMatrix SparseMatrix::MultiplyDense(const DenseMatrix& other) const {
+  HETESIM_CHECK_EQ(cols_, other.rows());
+  DenseMatrix out(rows_, other.cols());
+  for (Index i = 0; i < rows_; ++i) {
+    double* out_row = out.RowData(i);
+    auto indices = RowIndices(i);
+    auto values = RowValues(i);
+    for (size_t k = 0; k < indices.size(); ++k) {
+      const double a_ik = values[k];
+      const double* b_row = other.RowData(indices[k]);
+      for (Index j = 0; j < other.cols(); ++j) out_row[j] += a_ik * b_row[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> SparseMatrix::MultiplyVector(const std::vector<double>& x) const {
+  HETESIM_CHECK_EQ(static_cast<size_t>(cols_), x.size());
+  std::vector<double> out(static_cast<size_t>(rows_), 0.0);
+  for (Index i = 0; i < rows_; ++i) {
+    auto indices = RowIndices(i);
+    auto values = RowValues(i);
+    double acc = 0.0;
+    for (size_t k = 0; k < indices.size(); ++k) {
+      acc += values[k] * x[static_cast<size_t>(indices[k])];
+    }
+    out[static_cast<size_t>(i)] = acc;
+  }
+  return out;
+}
+
+std::vector<double> SparseMatrix::LeftMultiplyVector(const std::vector<double>& x) const {
+  HETESIM_CHECK_EQ(static_cast<size_t>(rows_), x.size());
+  std::vector<double> out(static_cast<size_t>(cols_), 0.0);
+  for (Index i = 0; i < rows_; ++i) {
+    const double xi = x[static_cast<size_t>(i)];
+    if (xi == 0.0) continue;
+    auto indices = RowIndices(i);
+    auto values = RowValues(i);
+    for (size_t k = 0; k < indices.size(); ++k) {
+      out[static_cast<size_t>(indices[k])] += xi * values[k];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::RowNormalized() const {
+  SparseMatrix out = *this;
+  for (Index r = 0; r < rows_; ++r) {
+    const double sum = RowSum(r);
+    if (sum == 0.0) continue;
+    const size_t begin = static_cast<size_t>(row_ptr_[static_cast<size_t>(r)]);
+    const size_t end = static_cast<size_t>(row_ptr_[static_cast<size_t>(r) + 1]);
+    for (size_t k = begin; k < end; ++k) out.values_[k] /= sum;
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::ColNormalized() const {
+  std::vector<double> col_sums(static_cast<size_t>(cols_), 0.0);
+  for (size_t k = 0; k < values_.size(); ++k) {
+    col_sums[static_cast<size_t>(col_idx_[k])] += values_[k];
+  }
+  SparseMatrix out = *this;
+  for (size_t k = 0; k < values_.size(); ++k) {
+    const double sum = col_sums[static_cast<size_t>(col_idx_[k])];
+    if (sum != 0.0) out.values_[k] /= sum;
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::Scaled(double factor) const {
+  SparseMatrix out = *this;
+  for (double& v : out.values_) v *= factor;
+  return out;
+}
+
+SparseMatrix SparseMatrix::Add(const SparseMatrix& other) const {
+  HETESIM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  std::vector<Triplet> triplets;
+  triplets.reserve(values_.size() + other.values_.size());
+  for (Index r = 0; r < rows_; ++r) {
+    auto ai = RowIndices(r);
+    auto av = RowValues(r);
+    for (size_t k = 0; k < ai.size(); ++k) triplets.push_back({r, ai[k], av[k]});
+    auto bi = other.RowIndices(r);
+    auto bv = other.RowValues(r);
+    for (size_t k = 0; k < bi.size(); ++k) triplets.push_back({r, bi[k], bv[k]});
+  }
+  return FromTriplets(rows_, cols_, std::move(triplets));
+}
+
+double SparseMatrix::RowDot(Index r, const SparseMatrix& other, Index s) const {
+  HETESIM_CHECK_EQ(cols_, other.cols_);
+  auto ai = RowIndices(r);
+  auto av = RowValues(r);
+  auto bi = other.RowIndices(s);
+  auto bv = other.RowValues(s);
+  double acc = 0.0;
+  size_t p = 0;
+  size_t q = 0;
+  while (p < ai.size() && q < bi.size()) {
+    if (ai[p] < bi[q]) {
+      ++p;
+    } else if (ai[p] > bi[q]) {
+      ++q;
+    } else {
+      acc += av[p] * bv[q];
+      ++p;
+      ++q;
+    }
+  }
+  return acc;
+}
+
+double SparseMatrix::RowNorm(Index r) const {
+  double acc = 0.0;
+  for (double v : RowValues(r)) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double SparseMatrix::RowCosine(Index r, const SparseMatrix& other, Index s) const {
+  const double na = RowNorm(r);
+  const double nb = other.RowNorm(s);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return RowDot(r, other, s) / (na * nb);
+}
+
+std::vector<double> SparseMatrix::RowDense(Index r) const {
+  std::vector<double> out(static_cast<size_t>(cols_), 0.0);
+  auto indices = RowIndices(r);
+  auto values = RowValues(r);
+  for (size_t k = 0; k < indices.size(); ++k) {
+    out[static_cast<size_t>(indices[k])] = values[k];
+  }
+  return out;
+}
+
+DenseMatrix SparseMatrix::ToDense() const {
+  DenseMatrix out(rows_, cols_);
+  for (Index r = 0; r < rows_; ++r) {
+    auto indices = RowIndices(r);
+    auto values = RowValues(r);
+    for (size_t k = 0; k < indices.size(); ++k) out(r, indices[k]) = values[k];
+  }
+  return out;
+}
+
+double SparseMatrix::Density() const {
+  if (rows_ == 0 || cols_ == 0) return 0.0;
+  return static_cast<double>(NumNonZeros()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+bool SparseMatrix::ApproxEquals(const SparseMatrix& other, double tolerance) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  // Compare by merging both rows; structure may differ even if values agree.
+  for (Index r = 0; r < rows_; ++r) {
+    auto ai = RowIndices(r);
+    auto av = RowValues(r);
+    auto bi = other.RowIndices(r);
+    auto bv = other.RowValues(r);
+    size_t p = 0;
+    size_t q = 0;
+    while (p < ai.size() || q < bi.size()) {
+      if (q == bi.size() || (p < ai.size() && ai[p] < bi[q])) {
+        if (std::abs(av[p]) > tolerance) return false;
+        ++p;
+      } else if (p == ai.size() || bi[q] < ai[p]) {
+        if (std::abs(bv[q]) > tolerance) return false;
+        ++q;
+      } else {
+        if (std::abs(av[p] - bv[q]) > tolerance) return false;
+        ++p;
+        ++q;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hetesim

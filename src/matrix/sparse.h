@@ -1,0 +1,130 @@
+#ifndef HETESIM_MATRIX_SPARSE_H_
+#define HETESIM_MATRIX_SPARSE_H_
+
+#include <span>
+#include <vector>
+
+#include "matrix/dense.h"
+
+namespace hetesim {
+
+/// One entry of a coordinate-format (COO) triplet list.
+struct Triplet {
+  Index row = 0;
+  Index col = 0;
+  double value = 0.0;
+};
+
+/// \brief Compressed-sparse-row (CSR) matrix of doubles.
+///
+/// This is the workhorse of the library: every typed adjacency matrix
+/// `W_AB`, transition matrix `U_AB` / `V_AB` (Definition 8) and reachable
+/// probability matrix `PM_P` (Definition 9) is a `SparseMatrix`. Rows are
+/// stored contiguously with column indices sorted ascending within each row;
+/// explicit zeros are dropped at construction, duplicates are summed.
+class SparseMatrix {
+ public:
+  /// Empty 0x0 matrix.
+  SparseMatrix() : rows_(0), cols_(0), row_ptr_(1, 0) {}
+  /// `rows` x `cols` matrix with no non-zeros.
+  SparseMatrix(Index rows, Index cols);
+
+  SparseMatrix(const SparseMatrix&) = default;
+  SparseMatrix& operator=(const SparseMatrix&) = default;
+  SparseMatrix(SparseMatrix&&) noexcept = default;
+  SparseMatrix& operator=(SparseMatrix&&) noexcept = default;
+
+  /// Builds from a COO triplet list; duplicate coordinates are summed and
+  /// entries that sum to exactly zero are dropped.
+  static SparseMatrix FromTriplets(Index rows, Index cols,
+                                   std::vector<Triplet> triplets);
+  /// Builds from a dense matrix, dropping entries with |v| <= `threshold`.
+  static SparseMatrix FromDense(const DenseMatrix& dense, double threshold = 0.0);
+  /// The `n` x `n` identity.
+  static SparseMatrix Identity(Index n);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  /// Number of stored entries.
+  Index NumNonZeros() const { return static_cast<Index>(values_.size()); }
+
+  /// Value at (r, c); O(log nnz(row)) via binary search, 0.0 if absent.
+  double At(Index r, Index c) const;
+
+  /// Column indices of row `r`, sorted ascending.
+  std::span<const Index> RowIndices(Index r) const;
+  /// Values of row `r`, aligned with `RowIndices(r)`.
+  std::span<const double> RowValues(Index r) const;
+  /// Number of stored entries in row `r`.
+  Index RowNnz(Index r) const { return row_ptr_[static_cast<size_t>(r) + 1] - row_ptr_[static_cast<size_t>(r)]; }
+  /// Sum of the values in row `r`.
+  double RowSum(Index r) const;
+
+  /// Transposed copy (CSR of the transpose, i.e. CSC view materialized).
+  SparseMatrix Transpose() const;
+
+  /// Sparse-sparse product `this * other` (classic Gustavson SpGEMM).
+  SparseMatrix Multiply(const SparseMatrix& other) const;
+  /// `Multiply` with the rows of the output computed in parallel over
+  /// `num_threads` threads (each chunk runs an independent Gustavson pass
+  /// with its own accumulator; chunks are stitched afterwards). Bitwise
+  /// identical to `Multiply`; `num_threads <= 1` falls back to it.
+  SparseMatrix MultiplyParallel(const SparseMatrix& other, int num_threads) const;
+  /// Sparse-dense product `this * other`.
+  DenseMatrix MultiplyDense(const DenseMatrix& other) const;
+  /// Matrix-vector product `this * x`.
+  std::vector<double> MultiplyVector(const std::vector<double>& x) const;
+  /// Vector-matrix product `x^T * this`, returned as a vector of size cols().
+  std::vector<double> LeftMultiplyVector(const std::vector<double>& x) const;
+
+  /// Returns a copy with each row scaled to sum 1 (L1); zero rows unchanged.
+  /// This is exactly the transition matrix `U` of Definition 8 when applied
+  /// to an adjacency matrix.
+  SparseMatrix RowNormalized() const;
+  /// Returns a copy with each column scaled to sum 1; zero columns
+  /// unchanged. `W.ColNormalized()` is `V` of Definition 8; note
+  /// Property 2: `U_AB = V_BA'` and `V_AB = U_BA'`.
+  SparseMatrix ColNormalized() const;
+  /// Returns a copy with every value multiplied by `factor`.
+  SparseMatrix Scaled(double factor) const;
+  /// Element-wise sum; shapes must match.
+  SparseMatrix Add(const SparseMatrix& other) const;
+
+  /// Dot product of row `r` of this with row `s` of `other`
+  /// (`cols()` must equal `other.cols()`), via sorted-merge.
+  double RowDot(Index r, const SparseMatrix& other, Index s) const;
+  /// L2 norm of row `r`.
+  double RowNorm(Index r) const;
+  /// Cosine similarity of row `r` of this and row `s` of `other`;
+  /// 0 when either row is all-zero. This is exactly the normalized HeteSim
+  /// combination step (Definition 10).
+  double RowCosine(Index r, const SparseMatrix& other, Index s) const;
+
+  /// Row `r` expanded to a dense vector of size cols().
+  std::vector<double> RowDense(Index r) const;
+
+  /// Densified copy.
+  DenseMatrix ToDense() const;
+
+  /// Fraction of entries stored: nnz / (rows*cols); 0 for empty shapes.
+  double Density() const;
+
+  /// True iff shapes match and all entries differ by at most `tolerance`.
+  bool ApproxEquals(const SparseMatrix& other, double tolerance = 1e-9) const;
+
+  /// CSR internals, exposed read-only for tests and serialization.
+  const std::vector<Index>& row_ptr() const { return row_ptr_; }
+  const std::vector<Index>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  Index rows_;
+  Index cols_;
+  std::vector<Index> row_ptr_;   // size rows_+1
+  std::vector<Index> col_idx_;   // size nnz, sorted within each row
+  std::vector<double> values_;   // size nnz
+};
+
+}  // namespace hetesim
+
+#endif  // HETESIM_MATRIX_SPARSE_H_

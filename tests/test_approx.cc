@@ -1,0 +1,128 @@
+// Tests for the approximate (truncated) propagation of Section 4.6:
+// dropping tiny reachable-probability entries keeps the frontier sparse
+// at a bounded, controllable accuracy cost.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/hetesim.h"
+#include "matrix/ops.h"
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+TEST(TruncatedChain, ZeroEpsilonIsExact) {
+  HinGraph g = testing::RandomTripartite(10, 12, 8, 0.3, 201);
+  MetaPath path = *MetaPath::Parse(g.schema(), "ABC");
+  std::vector<SparseMatrix> chain = TransitionChain(g, path);
+  std::vector<double> x(10, 0.0);
+  x[3] = 1.0;
+  EXPECT_EQ(VectorThroughChainTruncated(x, chain, 0.0),
+            VectorThroughChain(x, chain));
+}
+
+TEST(TruncatedChain, NegativeEpsilonIsExact) {
+  std::vector<SparseMatrix> chain = {
+      testing::RandomBipartiteAdjacency(5, 5, 0.5, 202).RowNormalized()};
+  std::vector<double> x = {0.2, 0.2, 0.2, 0.2, 0.2};
+  EXPECT_EQ(VectorThroughChainTruncated(x, chain, -1.0),
+            VectorThroughChain(x, chain));
+}
+
+TEST(TruncatedChain, DropsSmallEntries) {
+  // One step spreading mass 0.999 / 0.001: epsilon 0.01 kills the tail.
+  SparseMatrix step = SparseMatrix::FromTriplets(
+      1, 2, {{0, 0, 0.999}, {0, 1, 0.001}});
+  std::vector<double> x = {1.0};
+  std::vector<double> result = VectorThroughChainTruncated(x, {step}, 0.01);
+  EXPECT_EQ(result[0], 0.999);
+  EXPECT_EQ(result[1], 0.0);
+}
+
+TEST(TruncatedChain, ErrorBoundHolds) {
+  // |exact - truncated|_1 <= steps * epsilon * dimension for stochastic
+  // chains (each truncation drops < epsilon per coordinate).
+  HinGraph g = testing::RandomTripartite(20, 25, 15, 0.3, 203);
+  MetaPath path = *MetaPath::Parse(g.schema(), "ABCBA");
+  std::vector<SparseMatrix> chain = TransitionChain(g, path);
+  const double epsilon = 1e-3;
+  for (Index s = 0; s < 5; ++s) {
+    std::vector<double> x(20, 0.0);
+    x[static_cast<size_t>(s)] = 1.0;
+    std::vector<double> exact = VectorThroughChain(x, chain);
+    std::vector<double> approx = VectorThroughChainTruncated(x, chain, epsilon);
+    double l1 = 0.0;
+    for (size_t i = 0; i < exact.size(); ++i) l1 += std::abs(exact[i] - approx[i]);
+    EXPECT_LE(l1, static_cast<double>(chain.size()) * epsilon * 25.0);
+  }
+}
+
+TEST(TruncatedEngine, ZeroTruncationMatchesDefault) {
+  HinGraph g = testing::RandomTripartite(12, 14, 10, 0.3, 204);
+  MetaPath path = *MetaPath::Parse(g.schema(), "ABCBA");
+  HeteSimEngine exact(g);
+  HeteSimOptions options;
+  options.truncation = 0.0;
+  HeteSimEngine configured(g, options);
+  for (Index s = 0; s < 12; ++s) {
+    EXPECT_EQ(*exact.ComputePair(path, s, s), *configured.ComputePair(path, s, s));
+  }
+}
+
+TEST(TruncatedEngine, SmallEpsilonStaysClose) {
+  HinGraph g = testing::RandomTripartite(25, 30, 20, 0.25, 205);
+  MetaPath path = *MetaPath::Parse(g.schema(), "ABCBA");
+  HeteSimEngine exact(g);
+  HeteSimOptions options;
+  options.truncation = 1e-4;
+  HeteSimEngine approx(g, options);
+  double max_error = 0.0;
+  for (Index s = 0; s < 25; ++s) {
+    std::vector<double> exact_scores = *exact.ComputeSingleSource(path, s);
+    std::vector<double> approx_scores = *approx.ComputeSingleSource(path, s);
+    for (size_t t = 0; t < exact_scores.size(); ++t) {
+      max_error = std::max(max_error, std::abs(exact_scores[t] - approx_scores[t]));
+    }
+  }
+  EXPECT_LT(max_error, 0.05);
+  EXPECT_GE(max_error, 0.0);
+}
+
+TEST(TruncatedEngine, LargeEpsilonStillBounded) {
+  // Even aggressive truncation keeps scores in [0, 1] (cosine of
+  // non-negative vectors) and self-relevance high on symmetric paths.
+  HinGraph g = testing::RandomTripartite(15, 18, 12, 0.3, 206);
+  MetaPath path = *MetaPath::Parse(g.schema(), "ABA");
+  HeteSimOptions options;
+  options.truncation = 0.05;
+  HeteSimEngine engine(g, options);
+  for (Index s = 0; s < 15; ++s) {
+    double score = *engine.ComputePair(path, s, s);
+    EXPECT_GE(score, 0.0);
+    EXPECT_LE(score, 1.0 + 1e-12);
+  }
+}
+
+TEST(TruncatedEngine, PreservesTopRankingAtModerateEpsilon) {
+  HinGraph g = testing::RandomTripartite(30, 40, 20, 0.2, 207);
+  MetaPath path = *MetaPath::Parse(g.schema(), "ABC");
+  HeteSimEngine exact(g);
+  HeteSimOptions options;
+  options.truncation = 1e-5;
+  HeteSimEngine approx(g, options);
+  std::vector<double> exact_scores = *exact.ComputeSingleSource(path, 0);
+  std::vector<double> approx_scores = *approx.ComputeSingleSource(path, 0);
+  // The argmax survives truncation this small.
+  size_t exact_best = 0;
+  size_t approx_best = 0;
+  for (size_t t = 1; t < exact_scores.size(); ++t) {
+    if (exact_scores[t] > exact_scores[exact_best]) exact_best = t;
+    if (approx_scores[t] > approx_scores[approx_best]) approx_best = t;
+  }
+  EXPECT_EQ(exact_best, approx_best);
+}
+
+}  // namespace
+}  // namespace hetesim

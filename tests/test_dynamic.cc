@@ -1,0 +1,146 @@
+#include "hin/dynamic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hetesim.h"
+#include "core/materialize.h"
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+class DynamicTest : public ::testing::Test {
+ protected:
+  DynamicTest() : dynamic_(testing::BuildFig4Graph()) {}
+  TypeId Type(char code) { return *dynamic_.schema().TypeByCode(code); }
+  RelationId Relation(const char* name) {
+    return *dynamic_.schema().RelationByName(name);
+  }
+  DynamicHinGraph dynamic_;
+};
+
+TEST_F(DynamicTest, StartsCleanAtVersionZero) {
+  EXPECT_FALSE(dynamic_.IsDirty());
+  EXPECT_EQ(dynamic_.version(), 0u);
+  EXPECT_EQ(dynamic_.PendingEdges(), 0);
+  EXPECT_EQ(dynamic_.snapshot().TotalNodes(), 10);
+  EXPECT_EQ(dynamic_.version(), 0u);  // clean snapshot() does not compact
+}
+
+TEST_F(DynamicTest, AddNodeBuffersAndAssignsStableIds) {
+  Index alice = *dynamic_.AddNode(Type('A'), "Alice");
+  EXPECT_EQ(alice, 3);  // after Tom, Mary, Bob
+  EXPECT_TRUE(dynamic_.IsDirty());
+  EXPECT_EQ(dynamic_.NumNodes(Type('A')), 4);
+  const HinGraph& snapshot = dynamic_.snapshot();
+  EXPECT_EQ(snapshot.NumNodes(*snapshot.schema().TypeByCode('A')), 4);
+  EXPECT_EQ(*snapshot.FindNode(*snapshot.schema().TypeByCode('A'), "Alice"), alice);
+  EXPECT_EQ(dynamic_.version(), 1u);
+}
+
+TEST_F(DynamicTest, AddNodeDeduplicatesAgainstSnapshotAndPending) {
+  EXPECT_EQ(*dynamic_.AddNode(Type('A'), "Tom"), 0);   // existing snapshot node
+  EXPECT_FALSE(dynamic_.IsDirty());                     // no new node buffered
+  Index alice = *dynamic_.AddNode(Type('A'), "Alice");
+  EXPECT_EQ(*dynamic_.AddNode(Type('A'), "Alice"), alice);  // pending dedup
+  EXPECT_EQ(dynamic_.NumNodes(Type('A')), 4);
+}
+
+TEST_F(DynamicTest, AddEdgeBetweenOldAndNewNodes) {
+  Index alice = *dynamic_.AddNode(Type('A'), "Alice");
+  Index p6 = *dynamic_.AddNode(Type('P'), "p6");
+  RelationId writes = Relation("writes");
+  EXPECT_TRUE(dynamic_.AddEdge(writes, alice, p6).ok());
+  EXPECT_TRUE(dynamic_.AddEdge(writes, /*Tom=*/0, p6).ok());
+  EXPECT_EQ(dynamic_.PendingEdges(), 2);
+  const HinGraph& snapshot = dynamic_.snapshot();
+  RelationId w = *snapshot.schema().RelationByName("writes");
+  EXPECT_EQ(snapshot.Adjacency(w).At(alice, p6), 1.0);
+  EXPECT_EQ(snapshot.Adjacency(w).At(0, p6), 1.0);
+  EXPECT_EQ(snapshot.Adjacency(w).NumNonZeros(), 9);  // 7 original + 2
+}
+
+TEST_F(DynamicTest, DuplicateEdgesSumAtCompaction) {
+  RelationId writes = Relation("writes");
+  EXPECT_TRUE(dynamic_.AddEdge(writes, 0, 0, 1.5).ok());  // Tom -> p1 again
+  const HinGraph& snapshot = dynamic_.snapshot();
+  RelationId w = *snapshot.schema().RelationByName("writes");
+  EXPECT_EQ(snapshot.Adjacency(w).At(0, 0), 2.5);
+}
+
+TEST_F(DynamicTest, EdgeValidation) {
+  RelationId writes = Relation("writes");
+  EXPECT_TRUE(dynamic_.AddEdge(99, 0, 0).IsInvalidArgument());
+  EXPECT_TRUE(dynamic_.AddEdge(writes, 50, 0).IsOutOfRange());
+  EXPECT_TRUE(dynamic_.AddEdge(writes, 0, 50).IsOutOfRange());
+  EXPECT_TRUE(dynamic_.AddEdge(writes, 0, 0, -1.0).IsInvalidArgument());
+  // Pending nodes are valid endpoints immediately.
+  Index p6 = *dynamic_.AddNode(Type('P'), "p6");
+  EXPECT_TRUE(dynamic_.AddEdge(writes, 0, p6).ok());
+}
+
+TEST_F(DynamicTest, VersionTracksCompactions) {
+  (void)*dynamic_.AddNode(Type('A'), "x1");
+  dynamic_.Compact();
+  EXPECT_EQ(dynamic_.version(), 1u);
+  dynamic_.Compact();  // clean: no-op
+  EXPECT_EQ(dynamic_.version(), 1u);
+  (void)*dynamic_.AddNode(Type('A'), "x2");
+  (void)dynamic_.snapshot();
+  EXPECT_EQ(dynamic_.version(), 2u);
+}
+
+TEST_F(DynamicTest, QueriesReflectNewEdges) {
+  // Before: Tom is unrelated to SIGMOD along APC. Add a Tom paper in
+  // SIGMOD; afterwards the relevance is positive.
+  RelationId writes = Relation("writes");
+  RelationId published = Relation("published_in");
+  {
+    const HinGraph& before = dynamic_.snapshot();
+    HeteSimEngine engine(before);
+    MetaPath apc = *MetaPath::Parse(before.schema(), "APC");
+    EXPECT_EQ(*engine.ComputePair(apc, 0, 1), 0.0);
+  }
+  Index p6 = *dynamic_.AddNode(Type('P'), "p6");
+  EXPECT_TRUE(dynamic_.AddEdge(writes, 0, p6).ok());
+  EXPECT_TRUE(dynamic_.AddEdge(published, p6, /*SIGMOD=*/1).ok());
+  const HinGraph& after = dynamic_.snapshot();
+  HeteSimEngine engine(after);
+  MetaPath apc = *MetaPath::Parse(after.schema(), "APC");
+  EXPECT_GT(*engine.ComputePair(apc, 0, 1), 0.0);
+}
+
+TEST_F(DynamicTest, VersionedCachesStayConsistent) {
+  // The intended pattern: one PathMatrixCache per snapshot version.
+  MetaPath apc = *MetaPath::Parse(dynamic_.schema(), "APC");
+  auto cache_v0 = std::make_shared<PathMatrixCache>();
+  double before = 0.0;
+  {
+    HeteSimEngine engine(dynamic_.snapshot(), {}, cache_v0);
+    before = *engine.ComputePair(apc, 1, 0);
+  }
+  RelationId published = Relation("published_in");
+  Index p6 = *dynamic_.AddNode(Type('P'), "p6");
+  EXPECT_TRUE(dynamic_.AddEdge(Relation("writes"), 1, p6).ok());
+  EXPECT_TRUE(dynamic_.AddEdge(published, p6, 1).ok());
+  auto cache_v1 = std::make_shared<PathMatrixCache>();
+  HeteSimEngine engine(dynamic_.snapshot(), {}, cache_v1);
+  MetaPath apc_new = *MetaPath::Parse(dynamic_.schema(), "APC");
+  double after = *engine.ComputePair(apc_new, 1, 0);
+  EXPECT_NE(before, after);  // Mary's distribution shifted toward SIGMOD
+}
+
+TEST_F(DynamicTest, ManySmallBatches) {
+  RelationId writes = Relation("writes");
+  for (int batch = 0; batch < 10; ++batch) {
+    Index p = *dynamic_.AddNode(Type('P'));
+    EXPECT_TRUE(dynamic_.AddEdge(writes, batch % 3, p).ok());
+    EXPECT_EQ(dynamic_.snapshot().NumNodes(Type('P')), 5 + batch + 1);
+  }
+  EXPECT_EQ(dynamic_.version(), 10u);
+  RelationId w = *dynamic_.snapshot().schema().RelationByName("writes");
+  EXPECT_EQ(dynamic_.snapshot().Adjacency(w).NumNonZeros(), 17);
+}
+
+}  // namespace
+}  // namespace hetesim

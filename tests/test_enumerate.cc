@@ -1,0 +1,134 @@
+#include "hin/enumerate.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/hetesim.h"
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+class EnumerateTest : public ::testing::Test {
+ protected:
+  EnumerateTest() : graph_(testing::BuildFig4Graph()) {}
+  const Schema& schema() const { return graph_.schema(); }
+  TypeId Type(char code) const { return *schema().TypeByCode(code); }
+  HinGraph graph_;
+};
+
+TEST_F(EnumerateTest, LengthOnePaths) {
+  EnumerateOptions options;
+  options.max_length = 1;
+  std::vector<MetaPath> paths =
+      *EnumerateMetaPaths(schema(), Type('A'), Type('P'), options);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].ToString(), "A-P");
+}
+
+TEST_F(EnumerateTest, FindsAllShortAuthorConferencePaths) {
+  EnumerateOptions options;
+  options.max_length = 4;
+  std::vector<MetaPath> paths =
+      *EnumerateMetaPaths(schema(), Type('A'), Type('C'), options);
+  std::set<std::string> rendered;
+  for (const MetaPath& path : paths) rendered.insert(path.ToString());
+  // A-P-C (length 2) and the two length-4 elaborations.
+  EXPECT_TRUE(rendered.count("A-P-C"));
+  EXPECT_TRUE(rendered.count("A-P-A-P-C"));
+  EXPECT_TRUE(rendered.count("A-P-C-P-C"));
+  for (const MetaPath& path : paths) {
+    EXPECT_LE(path.length(), 4);
+    EXPECT_EQ(path.SourceType(), Type('A'));
+    EXPECT_EQ(path.TargetType(), Type('C'));
+  }
+}
+
+TEST_F(EnumerateTest, OrderedByIncreasingLength) {
+  std::vector<MetaPath> paths =
+      *EnumerateMetaPaths(schema(), Type('A'), Type('C'), {});
+  for (size_t i = 1; i < paths.size(); ++i) {
+    EXPECT_LE(paths[i - 1].length(), paths[i].length());
+  }
+}
+
+TEST_F(EnumerateTest, SymmetricOnlyFilter) {
+  EnumerateOptions options;
+  options.max_length = 4;
+  options.symmetric_only = true;
+  std::vector<MetaPath> paths =
+      *EnumerateMetaPaths(schema(), Type('A'), Type('A'), options);
+  ASSERT_FALSE(paths.empty());
+  std::set<std::string> rendered;
+  for (const MetaPath& path : paths) {
+    EXPECT_TRUE(path.IsSymmetric()) << path.ToString();
+    rendered.insert(path.ToString());
+  }
+  EXPECT_TRUE(rendered.count("A-P-A"));
+  EXPECT_TRUE(rendered.count("A-P-C-P-A"));
+}
+
+TEST_F(EnumerateTest, SameTypeEndpoints) {
+  EnumerateOptions options;
+  options.max_length = 2;
+  std::vector<MetaPath> paths =
+      *EnumerateMetaPaths(schema(), Type('P'), Type('P'), options);
+  std::set<std::string> rendered;
+  for (const MetaPath& path : paths) rendered.insert(path.ToString());
+  EXPECT_TRUE(rendered.count("P-A-P"));
+  EXPECT_TRUE(rendered.count("P-C-P"));
+}
+
+TEST_F(EnumerateTest, ForbidBacktrackDropsImmediateReversals) {
+  EnumerateOptions options;
+  options.max_length = 3;
+  options.forbid_backtrack = true;
+  std::vector<MetaPath> paths =
+      *EnumerateMetaPaths(schema(), Type('A'), Type('P'), options);
+  for (const MetaPath& path : paths) {
+    for (int i = 0; i + 1 < path.length(); ++i) {
+      EXPECT_FALSE(path.StepAt(i + 1) == path.StepAt(i).Inverse())
+          << path.ToString();
+    }
+  }
+}
+
+TEST_F(EnumerateTest, MaxPathsCapRespected) {
+  EnumerateOptions options;
+  options.max_length = 6;
+  options.max_paths = 3;
+  std::vector<MetaPath> paths =
+      *EnumerateMetaPaths(schema(), Type('A'), Type('P'), options);
+  EXPECT_LE(paths.size(), 3u);
+}
+
+TEST_F(EnumerateTest, NoPathAcrossDisconnectedSchema) {
+  Schema schema;
+  TypeId a = *schema.AddObjectType("isolated_a", 'X');
+  TypeId b = *schema.AddObjectType("isolated_b", 'Y');
+  std::vector<MetaPath> paths = *EnumerateMetaPaths(schema, a, b, {});
+  EXPECT_TRUE(paths.empty());
+}
+
+TEST_F(EnumerateTest, Validation) {
+  EXPECT_TRUE(EnumerateMetaPaths(schema(), -1, Type('P'), {}).status()
+                  .IsInvalidArgument());
+  EnumerateOptions options;
+  options.max_length = 0;
+  EXPECT_TRUE(EnumerateMetaPaths(schema(), Type('A'), Type('P'), options)
+                  .status().IsInvalidArgument());
+}
+
+TEST_F(EnumerateTest, EnumeratedPathsAreUsable) {
+  // Every enumerated path must evaluate without error.
+  HeteSimEngine engine(graph_);
+  std::vector<MetaPath> paths =
+      *EnumerateMetaPaths(schema(), Type('A'), Type('C'), {});
+  for (const MetaPath& path : paths) {
+    EXPECT_TRUE(engine.ComputePair(path, 0, 0).ok()) << path.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace hetesim

@@ -1,0 +1,69 @@
+#include "hin/homogeneous.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+TEST(HomogeneousView, OffsetsPartitionNodes) {
+  HinGraph g = testing::BuildFig4Graph();
+  HomogeneousView view = BuildHomogeneousView(g);
+  ASSERT_EQ(view.type_offset.size(), 4u);  // 3 types + sentinel
+  EXPECT_EQ(view.type_offset[0], 0);
+  EXPECT_EQ(view.type_offset[1], 3);   // 3 authors
+  EXPECT_EQ(view.type_offset[2], 8);   // +5 papers
+  EXPECT_EQ(view.type_offset[3], 10);  // +2 conferences
+  EXPECT_EQ(view.TotalNodes(), 10);
+}
+
+TEST(HomogeneousView, GlobalIdMapping) {
+  HinGraph g = testing::BuildFig4Graph();
+  HomogeneousView view = BuildHomogeneousView(g);
+  TypeId paper = *g.schema().TypeByCode('P');
+  EXPECT_EQ(view.GlobalId(paper, 0), 3);
+  EXPECT_EQ(view.GlobalId(paper, 4), 7);
+}
+
+TEST(HomogeneousView, AdjacencyIsSymmetric) {
+  HinGraph g = testing::BuildFig4Graph();
+  HomogeneousView view = BuildHomogeneousView(g);
+  EXPECT_TRUE(view.adjacency.ApproxEquals(view.adjacency.Transpose()));
+}
+
+TEST(HomogeneousView, EdgeCountDoubles) {
+  HinGraph g = testing::BuildFig4Graph();
+  HomogeneousView view = BuildHomogeneousView(g);
+  // Each typed edge appears in both directions.
+  EXPECT_EQ(view.adjacency.NumNonZeros(), 2 * g.TotalEdges());
+}
+
+TEST(HomogeneousView, EdgesLandAtGlobalCoordinates) {
+  HinGraph g = testing::BuildFig4Graph();
+  HomogeneousView view = BuildHomogeneousView(g);
+  TypeId author = *g.schema().TypeByCode('A');
+  TypeId paper = *g.schema().TypeByCode('P');
+  Index tom = *g.FindNode(author, "Tom");
+  Index p1 = *g.FindNode(paper, "p1");
+  EXPECT_EQ(view.adjacency.At(view.GlobalId(author, tom), view.GlobalId(paper, p1)),
+            1.0);
+  EXPECT_EQ(view.adjacency.At(view.GlobalId(paper, p1), view.GlobalId(author, tom)),
+            1.0);
+  // No author-author edges exist in the bibliographic schema.
+  EXPECT_EQ(view.adjacency.At(view.GlobalId(author, 0), view.GlobalId(author, 1)),
+            0.0);
+}
+
+TEST(HomogeneousView, NoIntraTypeBlockForBipartiteRelations) {
+  HinGraph g = testing::BuildFig4Graph();
+  HomogeneousView view = BuildHomogeneousView(g);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      EXPECT_EQ(view.adjacency.At(i, j), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetesim

@@ -1,0 +1,109 @@
+#include "learn/kmeans.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace hetesim {
+namespace {
+
+/// Three well-separated 2-D blobs of `per_cluster` points each.
+DenseMatrix ThreeBlobs(Index per_cluster) {
+  Rng rng(7);
+  DenseMatrix points(3 * per_cluster, 2);
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int c = 0; c < 3; ++c) {
+    for (Index i = 0; i < per_cluster; ++i) {
+      const Index row = c * per_cluster + i;
+      points(row, 0) = centers[c][0] + 0.3 * rng.Normal();
+      points(row, 1) = centers[c][1] + 0.3 * rng.Normal();
+    }
+  }
+  return points;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  DenseMatrix points = ThreeBlobs(20);
+  KMeansResult result = *KMeans(points, 3);
+  // All points of a blob share a label, and the three labels differ.
+  std::set<int> labels;
+  for (int c = 0; c < 3; ++c) {
+    const int label = result.assignments[static_cast<size_t>(c) * 20];
+    labels.insert(label);
+    for (Index i = 0; i < 20; ++i) {
+      EXPECT_EQ(result.assignments[static_cast<size_t>(c * 20 + i)], label);
+    }
+  }
+  EXPECT_EQ(labels.size(), 3u);
+}
+
+TEST(KMeans, InertiaSmallForTightBlobs) {
+  DenseMatrix points = ThreeBlobs(20);
+  KMeansResult result = *KMeans(points, 3);
+  // 60 points with sigma 0.3 in 2-D: expected inertia ~ 60 * 2 * 0.09.
+  EXPECT_LT(result.inertia, 30.0);
+}
+
+TEST(KMeans, KOneGroupsEverything) {
+  DenseMatrix points = ThreeBlobs(5);
+  KMeansResult result = *KMeans(points, 1);
+  for (int label : result.assignments) EXPECT_EQ(label, 0);
+}
+
+TEST(KMeans, KEqualsNZeroInertia) {
+  DenseMatrix points(4, 1, {0.0, 1.0, 2.0, 3.0});
+  KMeansResult result = *KMeans(points, 4);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-18);
+  std::set<int> labels(result.assignments.begin(), result.assignments.end());
+  EXPECT_EQ(labels.size(), 4u);
+}
+
+TEST(KMeans, DeterministicGivenSeed) {
+  DenseMatrix points = ThreeBlobs(15);
+  KMeansOptions options;
+  options.seed = 99;
+  KMeansResult a = *KMeans(points, 3, options);
+  KMeansResult b = *KMeans(points, 3, options);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, LabelsWithinRange) {
+  DenseMatrix points = ThreeBlobs(10);
+  KMeansResult result = *KMeans(points, 5);
+  for (int label : result.assignments) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 5);
+  }
+  EXPECT_EQ(result.centers.rows(), 5);
+  EXPECT_EQ(result.centers.cols(), 2);
+}
+
+TEST(KMeans, DuplicatePointsHandled) {
+  DenseMatrix points(6, 1, {1.0, 1.0, 1.0, 5.0, 5.0, 5.0});
+  KMeansResult result = *KMeans(points, 2);
+  EXPECT_EQ(result.assignments[0], result.assignments[1]);
+  EXPECT_EQ(result.assignments[3], result.assignments[4]);
+  EXPECT_NE(result.assignments[0], result.assignments[3]);
+}
+
+TEST(KMeans, Validation) {
+  DenseMatrix points = ThreeBlobs(5);
+  EXPECT_TRUE(KMeans(points, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(KMeans(points, 16).status().IsInvalidArgument());
+  EXPECT_TRUE(KMeans(DenseMatrix(), 1).status().IsInvalidArgument());
+}
+
+TEST(KMeans, MoreRestartsNeverWorse) {
+  DenseMatrix points = ThreeBlobs(12);
+  KMeansOptions one;
+  one.restarts = 1;
+  KMeansOptions many;
+  many.restarts = 8;
+  double inertia_one = KMeans(points, 3, one)->inertia;
+  double inertia_many = KMeans(points, 3, many)->inertia;
+  EXPECT_LE(inertia_many, inertia_one + 1e-9);
+}
+
+}  // namespace
+}  // namespace hetesim

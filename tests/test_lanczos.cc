@@ -1,0 +1,157 @@
+#include "learn/lanczos.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/stopwatch.h"
+#include "learn/metrics.h"
+#include "learn/spectral.h"
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+/// Random symmetric PSD sparse matrix B B' (kept sparse-ish).
+SparseMatrix RandomSymmetricPsd(Index n, double density, uint64_t seed) {
+  SparseMatrix b = testing::RandomBipartiteAdjacency(n, n, density, seed);
+  return b.Multiply(b.Transpose());
+}
+
+TEST(Lanczos, MatchesJacobiTopEigenvalues) {
+  SparseMatrix a = RandomSymmetricPsd(40, 0.15, 501);
+  EigenDecomposition dense = *JacobiEigenSymmetric(a.ToDense());
+  const int k = 5;
+  EigenDecomposition sparse = *LanczosLargestEigenpairs(a, k);
+  ASSERT_EQ(sparse.values.size(), static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    EXPECT_NEAR(sparse.values[static_cast<size_t>(i)],
+                dense.values[static_cast<size_t>(40 - k + i)], 1e-7)
+        << i;
+  }
+}
+
+TEST(Lanczos, EigenEquationHolds) {
+  SparseMatrix a = RandomSymmetricPsd(30, 0.2, 502);
+  const int k = 4;
+  EigenDecomposition eigen = *LanczosLargestEigenpairs(a, k);
+  for (int v = 0; v < k; ++v) {
+    std::vector<double> x(30);
+    for (Index i = 0; i < 30; ++i) x[static_cast<size_t>(i)] = eigen.vectors(i, v);
+    std::vector<double> ax = a.MultiplyVector(x);
+    for (Index i = 0; i < 30; ++i) {
+      EXPECT_NEAR(ax[static_cast<size_t>(i)],
+                  eigen.values[static_cast<size_t>(v)] * x[static_cast<size_t>(i)],
+                  1e-6);
+    }
+  }
+}
+
+TEST(Lanczos, VectorsOrthonormal) {
+  SparseMatrix a = RandomSymmetricPsd(35, 0.2, 503);
+  const int k = 6;
+  EigenDecomposition eigen = *LanczosLargestEigenpairs(a, k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      double dot = 0.0;
+      for (Index r = 0; r < 35; ++r) dot += eigen.vectors(r, i) * eigen.vectors(r, j);
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-7);
+    }
+  }
+}
+
+TEST(Lanczos, DiagonalMatrixExact) {
+  std::vector<Triplet> triplets;
+  for (Index i = 0; i < 10; ++i) {
+    triplets.push_back({i, i, static_cast<double>(i + 1)});
+  }
+  SparseMatrix a = SparseMatrix::FromTriplets(10, 10, std::move(triplets));
+  EigenDecomposition eigen = *LanczosLargestEigenpairs(a, 3);
+  EXPECT_NEAR(eigen.values[0], 8.0, 1e-8);
+  EXPECT_NEAR(eigen.values[1], 9.0, 1e-8);
+  EXPECT_NEAR(eigen.values[2], 10.0, 1e-8);
+}
+
+TEST(Lanczos, KEqualsNMatchesFullSpectrum) {
+  SparseMatrix a = RandomSymmetricPsd(12, 0.3, 504);
+  EigenDecomposition dense = *JacobiEigenSymmetric(a.ToDense());
+  EigenDecomposition sparse = *LanczosLargestEigenpairs(a, 12);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_NEAR(sparse.values[static_cast<size_t>(i)],
+                dense.values[static_cast<size_t>(i)], 1e-6);
+  }
+}
+
+TEST(Lanczos, DeterministicGivenSeed) {
+  SparseMatrix a = RandomSymmetricPsd(25, 0.2, 505);
+  EigenDecomposition first = *LanczosLargestEigenpairs(a, 3);
+  EigenDecomposition second = *LanczosLargestEigenpairs(a, 3);
+  EXPECT_EQ(first.values, second.values);
+}
+
+TEST(Lanczos, Validation) {
+  EXPECT_TRUE(LanczosLargestEigenpairs(SparseMatrix(2, 3), 1).status()
+                  .IsInvalidArgument());
+  SparseMatrix asymmetric =
+      SparseMatrix::FromTriplets(2, 2, {{0, 1, 1.0}});
+  EXPECT_TRUE(LanczosLargestEigenpairs(asymmetric, 1).status().IsInvalidArgument());
+  SparseMatrix ok = RandomSymmetricPsd(5, 0.5, 506);
+  EXPECT_TRUE(LanczosLargestEigenpairs(ok, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(LanczosLargestEigenpairs(ok, 6).status().IsInvalidArgument());
+}
+
+TEST(SpectralLanczos, MatchesJacobiOnBlockAffinity) {
+  // The same clustering comes out of both solvers on clean block structure.
+  Rng rng(507);
+  const Index n = 30;
+  DenseMatrix w(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      const bool same = (i / 10) == (j / 10);
+      w(i, j) = same ? 0.9 : 0.01 * rng.UniformDouble();
+    }
+  }
+  w = w.Add(w.Transpose()).Scale(0.5);
+  std::vector<int> truth;
+  for (int b = 0; b < 3; ++b) truth.insert(truth.end(), 10, b);
+  SpectralOptions jacobi;
+  jacobi.solver = EigenSolverKind::kJacobi;
+  SpectralOptions lanczos;
+  lanczos.solver = EigenSolverKind::kLanczos;
+  std::vector<int> jacobi_clusters = *SpectralClusterNormalizedCut(w, 3, jacobi);
+  std::vector<int> lanczos_clusters = *SpectralClusterNormalizedCut(w, 3, lanczos);
+  EXPECT_DOUBLE_EQ(*NormalizedMutualInformation(jacobi_clusters, truth), 1.0);
+  EXPECT_DOUBLE_EQ(*NormalizedMutualInformation(lanczos_clusters, truth), 1.0);
+}
+
+TEST(SpectralLanczos, ScalesToThousandNodes) {
+  // 1200 nodes is far beyond comfortable dense-Jacobi territory; the auto
+  // solver must pick Lanczos and recover the planted blocks quickly.
+  Rng rng(508);
+  const Index n = 1200;
+  const Index block = n / 4;
+  std::vector<Triplet> triplets;
+  for (Index i = 0; i < n; ++i) {
+    for (int edge = 0; edge < 12; ++edge) {
+      const bool in_block = rng.Bernoulli(0.9);
+      const Index base = (i / block) * block;
+      const Index j = in_block ? base + static_cast<Index>(rng.Uniform(block))
+                               : static_cast<Index>(rng.Uniform(n));
+      if (j != i) triplets.push_back({i, j, 1.0});
+    }
+  }
+  SparseMatrix adjacency = SparseMatrix::FromTriplets(n, n, std::move(triplets));
+  DenseMatrix w = adjacency.Add(adjacency.Transpose()).ToDense();
+  std::vector<int> truth;
+  for (int b = 0; b < 4; ++b) truth.insert(truth.end(), static_cast<size_t>(block), b);
+  Stopwatch timer;
+  std::vector<int> clusters = *SpectralClusterNormalizedCut(w, 4);  // kAuto
+  const double seconds = timer.ElapsedSeconds();
+  double nmi = *NormalizedMutualInformation(clusters, truth);
+  EXPECT_GT(nmi, 0.95);
+  EXPECT_LT(seconds, 30.0);  // dense Jacobi would take minutes here
+}
+
+}  // namespace
+}  // namespace hetesim

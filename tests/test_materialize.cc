@@ -1,0 +1,175 @@
+#include "core/materialize.h"
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+class MaterializeTest : public ::testing::Test {
+ protected:
+  MaterializeTest() : graph_(testing::BuildFig4Graph()) {}
+  MetaPath Path(const char* spec) const {
+    return *MetaPath::Parse(graph_.schema(), spec);
+  }
+  HinGraph graph_;
+  PathMatrixCache cache_;
+};
+
+TEST_F(MaterializeTest, FirstAccessIsMiss) {
+  cache_.GetLeft(graph_, Path("APC"));
+  PathMatrixCache::Stats stats = cache_.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST_F(MaterializeTest, SecondAccessIsHit) {
+  cache_.GetLeft(graph_, Path("APC"));
+  cache_.GetLeft(graph_, Path("APC"));
+  PathMatrixCache::Stats stats = cache_.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST_F(MaterializeTest, SamePathDifferentObjectsShareEntry) {
+  // Two MetaPath instances describing the same steps hit the same entry.
+  MetaPath first = Path("APC");
+  MetaPath second = Path("A-P-C");
+  cache_.GetLeft(graph_, first);
+  cache_.GetLeft(graph_, second);
+  EXPECT_EQ(cache_.stats().entries, 1u);
+  EXPECT_EQ(cache_.stats().hits, 1u);
+}
+
+TEST_F(MaterializeTest, LeftRightReachAreDistinctEntries) {
+  cache_.GetLeft(graph_, Path("APC"));
+  cache_.GetRight(graph_, Path("APC"));
+  cache_.GetReach(graph_, Path("APC"));
+  EXPECT_EQ(cache_.stats().entries, 3u);
+}
+
+TEST_F(MaterializeTest, CachedValuesMatchDirectComputation) {
+  MetaPath apc = Path("APC");
+  PathDecomposition d = DecomposePath(graph_, apc);
+  EXPECT_TRUE(cache_.GetLeft(graph_, apc)->ApproxEquals(LeftReachMatrix(d), 1e-12));
+  EXPECT_TRUE(cache_.GetRight(graph_, apc)->ApproxEquals(RightReachMatrix(d), 1e-12));
+  EXPECT_TRUE(cache_.GetReach(graph_, apc)
+                  ->ApproxEquals(ReachProbability(graph_, apc), 1e-12));
+}
+
+TEST_F(MaterializeTest, SharedPointerSurvivesClear) {
+  std::shared_ptr<const SparseMatrix> kept = cache_.GetLeft(graph_, Path("APC"));
+  cache_.Clear();
+  EXPECT_EQ(cache_.stats().entries, 0u);
+  EXPECT_EQ(cache_.stats().hits, 0u);
+  EXPECT_EQ(kept->rows(), 3);  // still valid: ownership is shared
+}
+
+TEST_F(MaterializeTest, DistinctHalvesDistinctEntries) {
+  cache_.GetLeft(graph_, Path("APC"));   // PM over 'writes'
+  cache_.GetLeft(graph_, Path("CPA"));   // PM over '~published_in'
+  cache_.GetLeft(graph_, Path("AP"));    // odd: edge-object half
+  EXPECT_EQ(cache_.stats().entries, 3u);
+  EXPECT_EQ(cache_.stats().misses, 3u);
+}
+
+TEST_F(MaterializeTest, SameHalfAcrossPathsIsOneEntry) {
+  // APC and APA share the left half 'writes' under canonical keys.
+  cache_.GetLeft(graph_, Path("APC"));
+  cache_.GetLeft(graph_, Path("APA"));
+  EXPECT_EQ(cache_.stats().entries, 1u);
+  EXPECT_EQ(cache_.stats().hits, 1u);
+  // Their values must of course agree.
+  EXPECT_TRUE(cache_.GetLeft(graph_, Path("APC"))
+                  ->ApproxEquals(*cache_.GetLeft(graph_, Path("APA")), 0.0));
+}
+
+TEST_F(MaterializeTest, ReversePathSharesTheEntry) {
+  // L of C-P-A equals R of A-P-C mathematically; the canonical half keys
+  // recognize this and serve both from one entry.
+  std::shared_ptr<const SparseMatrix> right_apc = cache_.GetRight(graph_, Path("APC"));
+  std::shared_ptr<const SparseMatrix> left_cpa =
+      cache_.GetLeft(graph_, Path("APC").Reverse());
+  EXPECT_TRUE(right_apc->ApproxEquals(*left_cpa, 1e-12));
+  EXPECT_EQ(cache_.stats().entries, 1u);
+  EXPECT_EQ(cache_.stats().hits, 1u);
+}
+
+TEST_F(MaterializeTest, SharedLeftHalfAcrossDifferentFullPaths) {
+  // A-P-C-P-A and A-P-C-P-C decompose to the same left half (the A-P-C
+  // product): one entry, one hit.
+  cache_.GetLeft(graph_, Path("APCPA"));
+  cache_.GetLeft(graph_, Path("APCPC"));
+  EXPECT_EQ(cache_.stats().entries, 1u);
+  EXPECT_EQ(cache_.stats().hits, 1u);
+}
+
+TEST_F(MaterializeTest, ReachOfPrefixSharesWithLeftHalf) {
+  // The left half of the even path A-P-C-P-A is exactly the reachable
+  // matrix of A-P-C: the cache serves both from one entry.
+  std::shared_ptr<const SparseMatrix> reach = cache_.GetReach(graph_, Path("APC"));
+  std::shared_ptr<const SparseMatrix> left = cache_.GetLeft(graph_, Path("APCPA"));
+  EXPECT_EQ(reach.get(), left.get());
+  EXPECT_EQ(cache_.stats().entries, 1u);
+}
+
+TEST_F(MaterializeTest, KeysAreCanonical) {
+  MetaPath apcpa = Path("APCPA");
+  EXPECT_EQ(PathMatrixCache::LeftKey(apcpa), PathMatrixCache::ReachKey(Path("APC")));
+  EXPECT_EQ(PathMatrixCache::LeftKey(apcpa), PathMatrixCache::RightKey(apcpa));
+  // Odd paths embed the decomposed middle step in the key, on both sides.
+  MetaPath ap = Path("AP");
+  EXPECT_NE(PathMatrixCache::LeftKey(ap), PathMatrixCache::RightKey(ap));
+  EXPECT_NE(PathMatrixCache::LeftKey(ap), PathMatrixCache::ReachKey(ap));
+}
+
+TEST_F(MaterializeTest, OddPathHalvesDistinctFromPlainReach) {
+  // A-P is odd: its halves involve edge objects and must not be conflated
+  // with the plain A-P reachable matrix.
+  cache_.GetLeft(graph_, Path("AP"));
+  cache_.GetRight(graph_, Path("AP"));
+  cache_.GetReach(graph_, Path("AP"));
+  EXPECT_EQ(cache_.stats().entries, 3u);
+}
+
+TEST_F(MaterializeTest, ConcurrentAccessIsSafeAndConsistent) {
+  // Hammer the cache from many threads over a mix of paths; every thread
+  // must observe identical matrices and the cache must end with exactly
+  // one entry per distinct half.
+  const std::vector<std::string> specs = {"APC", "APA", "APCPA", "AP", "CPA"};
+  std::vector<std::thread> workers;
+  std::atomic<int> mismatches{0};
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([this, &specs, &mismatches, t] {
+      for (int round = 0; round < 50; ++round) {
+        const std::string& spec = specs[(t + round) % specs.size()];
+        MetaPath path = *MetaPath::Parse(graph_.schema(), spec);
+        std::shared_ptr<const SparseMatrix> left = cache_.GetLeft(graph_, path);
+        std::shared_ptr<const SparseMatrix> again = cache_.GetLeft(graph_, path);
+        if (!left->ApproxEquals(*again, 0.0)) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  // Distinct left-half keys across the five paths.
+  std::set<std::string> keys;
+  for (const std::string& spec : specs) {
+    keys.insert(PathMatrixCache::LeftKey(*MetaPath::Parse(graph_.schema(), spec)));
+  }
+  EXPECT_EQ(cache_.stats().entries, keys.size());
+  PathMatrixCache::Stats stats = cache_.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 8u * 50u * 2u);
+}
+
+}  // namespace
+}  // namespace hetesim

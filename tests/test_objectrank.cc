@@ -1,0 +1,105 @@
+#include "baselines/objectrank.h"
+
+#include <gtest/gtest.h>
+
+#include "matrix/ops.h"
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+class ObjectRankTest : public ::testing::Test {
+ protected:
+  ObjectRankTest() : graph_(testing::BuildFig4Graph()) {}
+  AuthorityTransfer UniformRates() const {
+    return AuthorityTransfer{{1.0, 1.0}};
+  }
+  HinGraph graph_;
+};
+
+TEST_F(ObjectRankTest, TransitionIsRowStochastic) {
+  SparseMatrix transition = *AuthorityTransition(graph_, UniformRates());
+  EXPECT_EQ(transition.rows(), graph_.TotalNodes());
+  for (Index i = 0; i < transition.rows(); ++i) {
+    if (transition.RowNnz(i) > 0) {
+      EXPECT_NEAR(transition.RowSum(i), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST_F(ObjectRankTest, ZeroRateSilencesARelation) {
+  // Rate 0 on published_in: papers only connect back to authors.
+  AuthorityTransfer transfer{{1.0, 0.0}};
+  SparseMatrix transition = *AuthorityTransition(graph_, transfer);
+  HomogeneousView view = BuildHomogeneousView(graph_);
+  TypeId paper = *graph_.schema().TypeByCode('P');
+  TypeId conf = *graph_.schema().TypeByCode('C');
+  // No mass flows from any paper to any conference.
+  for (Index p = 0; p < graph_.NumNodes(paper); ++p) {
+    for (Index c = 0; c < graph_.NumNodes(conf); ++c) {
+      EXPECT_EQ(transition.At(view.GlobalId(paper, p), view.GlobalId(conf, c)),
+                0.0);
+    }
+  }
+}
+
+TEST_F(ObjectRankTest, RatesReweightNeighbors) {
+  // From a paper, writes-backward (to authors) vs published-forward (to
+  // conference): with rates (3, 1) three quarters of p1's mass goes to its
+  // single author Tom.
+  AuthorityTransfer transfer{{3.0, 1.0}};
+  SparseMatrix transition = *AuthorityTransition(graph_, transfer);
+  HomogeneousView view = BuildHomogeneousView(graph_);
+  TypeId author = *graph_.schema().TypeByCode('A');
+  TypeId paper = *graph_.schema().TypeByCode('P');
+  TypeId conf = *graph_.schema().TypeByCode('C');
+  const Index p1 = view.GlobalId(paper, 0);
+  EXPECT_NEAR(transition.At(p1, view.GlobalId(author, 0)), 0.75, 1e-12);
+  EXPECT_NEAR(transition.At(p1, view.GlobalId(conf, 0)), 0.25, 1e-12);
+}
+
+TEST_F(ObjectRankTest, ScoresFormDistribution) {
+  TypeId author = *graph_.schema().TypeByCode('A');
+  std::vector<double> scores = *ObjectRank(graph_, UniformRates(), author, 0);
+  EXPECT_EQ(scores.size(), static_cast<size_t>(graph_.TotalNodes()));
+  EXPECT_NEAR(Sum(scores), 1.0, 1e-9);
+  for (double s : scores) EXPECT_GE(s, 0.0);
+}
+
+TEST_F(ObjectRankTest, SourceNeighborhoodRanksHigh) {
+  HomogeneousView view = BuildHomogeneousView(graph_);
+  TypeId author = *graph_.schema().TypeByCode('A');
+  TypeId paper = *graph_.schema().TypeByCode('P');
+  std::vector<double> scores = *ObjectRank(graph_, UniformRates(), author, 0);
+  // Tom's own paper p1 outranks Bob's exclusive paper p5.
+  EXPECT_GT(scores[static_cast<size_t>(view.GlobalId(paper, 0))],
+            scores[static_cast<size_t>(view.GlobalId(paper, 4))]);
+}
+
+TEST_F(ObjectRankTest, Validation) {
+  EXPECT_TRUE(AuthorityTransition(graph_, AuthorityTransfer{{1.0}})
+                  .status().IsInvalidArgument());
+  EXPECT_TRUE(AuthorityTransition(graph_, AuthorityTransfer{{1.0, -0.5}})
+                  .status().IsInvalidArgument());
+  EXPECT_TRUE(AuthorityTransition(graph_, AuthorityTransfer{{0.0, 0.0}})
+                  .status().IsInvalidArgument());
+  TypeId author = *graph_.schema().TypeByCode('A');
+  EXPECT_TRUE(ObjectRank(graph_, UniformRates(), author, 99).status()
+                  .IsOutOfRange());
+  EXPECT_TRUE(ObjectRank(graph_, UniformRates(), -1, 0).status().IsOutOfRange());
+}
+
+TEST_F(ObjectRankTest, UniformRatesMatchPlainRwrStructure) {
+  // With all rates equal the reachable structure matches the type-blind
+  // homogeneous RWR (values differ: ObjectRank splits by relation first).
+  HomogeneousView view = BuildHomogeneousView(graph_);
+  TypeId author = *graph_.schema().TypeByCode('A');
+  std::vector<double> objectrank = *ObjectRank(graph_, UniformRates(), author, 0);
+  std::vector<double> rwr = *RandomWalkWithRestart(view, author, 0);
+  for (size_t i = 0; i < objectrank.size(); ++i) {
+    EXPECT_EQ(objectrank[i] > 1e-12, rwr[i] > 1e-12) << i;
+  }
+}
+
+}  // namespace
+}  // namespace hetesim

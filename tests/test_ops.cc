@@ -1,0 +1,110 @@
+#include "matrix/ops.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+TEST(VectorOps, Dot) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Dot({}, {}), 0.0);
+}
+
+TEST(VectorOps, Norm2) {
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm2({0, 0}), 0.0);
+}
+
+TEST(VectorOps, Sum) {
+  EXPECT_DOUBLE_EQ(Sum({1.5, 2.5, -1.0}), 3.0);
+}
+
+TEST(VectorOps, NormalizeL1) {
+  std::vector<double> v = {1, 3};
+  NormalizeL1(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+  std::vector<double> zero = {0, 0};
+  NormalizeL1(zero);  // no-op, no NaNs
+  EXPECT_EQ(zero, (std::vector<double>{0, 0}));
+}
+
+TEST(VectorOps, NormalizeL2) {
+  std::vector<double> v = {3, 4};
+  NormalizeL2(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.6);
+  EXPECT_DOUBLE_EQ(v[1], 0.8);
+}
+
+TEST(VectorOps, CosineSimilarity) {
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({2, 0}, {5, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({1, 0}, {-1, 0}), -1.0);
+  EXPECT_EQ(CosineSimilarity({0, 0}, {1, 1}), 0.0);  // zero vector convention
+}
+
+TEST(MultiplyDenseSparse, MatchesDenseProduct) {
+  SparseMatrix b = testing::RandomBipartiteAdjacency(6, 5, 0.4, 21);
+  DenseMatrix a(3, 6);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 6; ++j) a(i, j) = static_cast<double>(i + 2 * j);
+  }
+  EXPECT_TRUE(MultiplyDenseSparse(a, b).ApproxEquals(a.Multiply(b.ToDense()), 1e-12));
+}
+
+TEST(MultiplyChain, SingleElementIsCopy) {
+  SparseMatrix a = testing::RandomBipartiteAdjacency(4, 4, 0.5, 22);
+  EXPECT_TRUE(MultiplyChain({a}).ApproxEquals(a));
+}
+
+TEST(MultiplyChain, ThreeFactorAssociativity) {
+  SparseMatrix a = testing::RandomBipartiteAdjacency(4, 6, 0.4, 23);
+  SparseMatrix b = testing::RandomBipartiteAdjacency(6, 5, 0.4, 24);
+  SparseMatrix c = testing::RandomBipartiteAdjacency(5, 3, 0.4, 25);
+  SparseMatrix left_assoc = a.Multiply(b).Multiply(c);
+  SparseMatrix right_assoc = a.Multiply(b.Multiply(c));
+  SparseMatrix chained = MultiplyChain({a, b, c});
+  EXPECT_TRUE(chained.ApproxEquals(left_assoc, 1e-12));
+  EXPECT_TRUE(chained.ApproxEquals(right_assoc, 1e-12));
+}
+
+TEST(MultiplyChainDense, MatchesSparseChain) {
+  SparseMatrix a = testing::RandomBipartiteAdjacency(4, 6, 0.4, 26);
+  SparseMatrix b = testing::RandomBipartiteAdjacency(6, 5, 0.4, 27);
+  SparseMatrix c = testing::RandomBipartiteAdjacency(5, 3, 0.4, 28);
+  EXPECT_TRUE(MultiplyChainDense({a, b, c})
+                  .ApproxEquals(MultiplyChain({a, b, c}).ToDense(), 1e-12));
+  EXPECT_TRUE(MultiplyChainDense({a}).ApproxEquals(a.ToDense()));
+  EXPECT_TRUE(MultiplyChainDense({a, b})
+                  .ApproxEquals(MultiplyChain({a, b}).ToDense(), 1e-12));
+}
+
+TEST(VectorThroughChain, MatchesMatrixRow) {
+  SparseMatrix a = testing::RandomBipartiteAdjacency(5, 7, 0.4, 29);
+  SparseMatrix b = testing::RandomBipartiteAdjacency(7, 4, 0.4, 30);
+  SparseMatrix product = a.Multiply(b);
+  for (Index s = 0; s < 5; ++s) {
+    std::vector<double> e(5, 0.0);
+    e[static_cast<size_t>(s)] = 1.0;
+    std::vector<double> row = VectorThroughChain(e, {a, b});
+    std::vector<double> expected = product.RowDense(s);
+    ASSERT_EQ(row.size(), expected.size());
+    for (size_t j = 0; j < row.size(); ++j) EXPECT_NEAR(row[j], expected[j], 1e-12);
+  }
+}
+
+TEST(VectorThroughChain, EmptyChainIsIdentity) {
+  std::vector<double> x = {1, 2, 3};
+  EXPECT_EQ(VectorThroughChain(x, {}), x);
+}
+
+TEST(OpsDeath, DotSizeMismatchAborts) {
+  EXPECT_DEATH({ (void)Dot({1.0}, {1.0, 2.0}); }, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace hetesim

@@ -1,0 +1,126 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "core/hetesim.h"
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+TEST(ParallelChunks, CoversRangeExactlyOnce) {
+  std::vector<std::atomic<int>> visits(100);
+  ParallelChunks(0, 100, 4, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      visits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelChunks, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelChunks(5, 5, 4, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+  ParallelChunks(5, 3, 4, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelChunks, SingleThreadRunsInline) {
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id executor;
+  ParallelChunks(0, 10, 1, [&](int64_t, int64_t) {
+    executor = std::this_thread::get_id();
+  });
+  EXPECT_EQ(caller, executor);
+}
+
+TEST(ParallelChunks, MoreThreadsThanElements) {
+  std::atomic<int64_t> total{0};
+  ParallelChunks(0, 3, 16, [&](int64_t begin, int64_t end) {
+    total.fetch_add(end - begin);
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(ParallelChunks, ChunksAreDisjointAndOrderedInternally) {
+  std::mutex mutex;
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelChunks(10, 110, 7, [&](int64_t begin, int64_t end) {
+    std::lock_guard<std::mutex> lock(mutex);
+    chunks.push_back({begin, end});
+  });
+  int64_t covered = 0;
+  for (auto [begin, end] : chunks) {
+    EXPECT_LT(begin, end);
+    covered += end - begin;
+  }
+  EXPECT_EQ(covered, 100);
+}
+
+TEST(HardwareThreads, AtLeastOne) {
+  EXPECT_GE(HardwareThreads(), 1);
+}
+
+TEST(MultiplyParallel, MatchesSequentialBitwise) {
+  SparseMatrix a = testing::RandomBipartiteAdjacency(64, 48, 0.2, 88);
+  SparseMatrix b = testing::RandomBipartiteAdjacency(48, 52, 0.2, 89);
+  SparseMatrix sequential = a.Multiply(b);
+  for (int threads : {1, 2, 3, 8, 64}) {
+    SparseMatrix parallel = a.MultiplyParallel(b, threads);
+    // Bitwise: identical structure and values (same per-row computation).
+    EXPECT_EQ(parallel.row_ptr(), sequential.row_ptr()) << threads;
+    EXPECT_EQ(parallel.col_idx(), sequential.col_idx()) << threads;
+    EXPECT_EQ(parallel.values(), sequential.values()) << threads;
+  }
+}
+
+TEST(MultiplyParallel, TinyMatrices) {
+  SparseMatrix a = SparseMatrix::FromTriplets(1, 2, {{0, 1, 2.0}});
+  SparseMatrix b = SparseMatrix::FromTriplets(2, 1, {{1, 0, 3.0}});
+  SparseMatrix product = a.MultiplyParallel(b, 8);
+  EXPECT_EQ(product.At(0, 0), 6.0);
+}
+
+TEST(MultiplyParallel, NormalizedChainsStayStochastic) {
+  SparseMatrix a = testing::RandomBipartiteAdjacency(40, 40, 0.15, 90)
+                       .RowNormalized();
+  SparseMatrix product = a.MultiplyParallel(a, 4);
+  for (Index r = 0; r < product.rows(); ++r) {
+    EXPECT_NEAR(product.RowSum(r), 1.0, 1e-12);
+  }
+}
+
+TEST(EngineParallel, ComputeIdenticalAcrossThreadCounts) {
+  HinGraph g = testing::RandomTripartite(30, 35, 25, 0.2, 91);
+  MetaPath path = *MetaPath::Parse(g.schema(), "ABCBA");
+  HeteSimOptions sequential_options;
+  HeteSimEngine sequential(g, sequential_options);
+  DenseMatrix expected = sequential.Compute(path);
+  for (int threads : {2, 4, 8}) {
+    HeteSimOptions options;
+    options.num_threads = threads;
+    HeteSimEngine engine(g, options);
+    DenseMatrix scores = engine.Compute(path);
+    EXPECT_TRUE(scores.ApproxEquals(expected, 0.0)) << threads;  // bitwise
+  }
+}
+
+TEST(EngineParallel, UnnormalizedAlsoIdentical) {
+  HinGraph g = testing::RandomTripartite(20, 25, 15, 0.25, 92);
+  MetaPath path = *MetaPath::Parse(g.schema(), "ABC");
+  HeteSimOptions raw;
+  raw.normalized = false;
+  HeteSimEngine sequential(g, raw);
+  raw.num_threads = 4;
+  HeteSimEngine parallel(g, raw);
+  EXPECT_TRUE(parallel.Compute(path).ApproxEquals(sequential.Compute(path), 0.0));
+}
+
+}  // namespace
+}  // namespace hetesim

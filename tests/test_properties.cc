@@ -1,0 +1,294 @@
+// Property-based sweeps: the semi-metric properties of Section 4.5 and the
+// structural invariants of the decomposition machinery, checked across a
+// grid of random networks (seed x density) and paths.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/pcrw.h"
+#include "core/hetesim.h"
+#include "core/materialize.h"
+#include "core/topk.h"
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+struct GraphCase {
+  uint64_t seed;
+  double density;
+};
+
+class RandomGraphProperties
+    : public ::testing::TestWithParam<std::tuple<GraphCase, const char*>> {
+ protected:
+  RandomGraphProperties()
+      : graph_(testing::RandomTripartite(9, 11, 7, std::get<0>(GetParam()).density,
+                                         std::get<0>(GetParam()).seed)),
+        path_(*MetaPath::Parse(graph_.schema(), std::get<1>(GetParam()))) {}
+  HinGraph graph_;
+  MetaPath path_;
+};
+
+TEST_P(RandomGraphProperties, NonNegativityAndSelfMaximum) {
+  HeteSimEngine engine(graph_);
+  DenseMatrix scores = engine.Compute(path_);
+  for (Index i = 0; i < scores.rows(); ++i) {
+    for (Index j = 0; j < scores.cols(); ++j) {
+      EXPECT_GE(scores(i, j), -1e-15);
+      EXPECT_LE(scores(i, j), 1.0 + 1e-10);
+    }
+  }
+}
+
+TEST_P(RandomGraphProperties, Symmetry) {
+  HeteSimEngine engine(graph_);
+  DenseMatrix forward = engine.Compute(path_);
+  DenseMatrix backward = engine.Compute(path_.Reverse());
+  EXPECT_TRUE(forward.ApproxEquals(backward.Transpose(), 1e-10));
+}
+
+TEST_P(RandomGraphProperties, IdentityOfIndiscerniblesOnSymmetricPaths) {
+  if (!path_.IsSymmetric()) GTEST_SKIP() << "asymmetric path";
+  HeteSimEngine engine(graph_);
+  DenseMatrix scores = engine.Compute(path_);
+  for (Index i = 0; i < scores.rows(); ++i) {
+    // dis(a, a) = 1 - HeteSim(a, a) = 0 (every node reaches the middle in
+    // these generated graphs), and no pair scores above the self-score.
+    EXPECT_NEAR(scores(i, i), 1.0, 1e-10);
+    for (Index j = 0; j < scores.cols(); ++j) {
+      EXPECT_LE(scores(i, j), scores(i, i) + 1e-10);
+    }
+  }
+}
+
+TEST_P(RandomGraphProperties, NormalizedIsCosineOfUnnormalizedHalves) {
+  HeteSimEngine normalized(graph_);
+  HeteSimEngine raw(graph_, {.normalized = false});
+  PathDecomposition d = DecomposePath(graph_, path_);
+  SparseMatrix left = LeftReachMatrix(d);
+  SparseMatrix right = RightReachMatrix(d);
+  DenseMatrix n = normalized.Compute(path_);
+  DenseMatrix u = raw.Compute(path_);
+  for (Index i = 0; i < n.rows(); ++i) {
+    const double li = left.RowNorm(i);
+    for (Index j = 0; j < n.cols(); ++j) {
+      const double rj = right.RowNorm(j);
+      if (li > 0 && rj > 0) {
+        EXPECT_NEAR(n(i, j), u(i, j) / (li * rj), 1e-10);
+      }
+    }
+  }
+}
+
+TEST_P(RandomGraphProperties, CacheTransparency) {
+  auto cache = std::make_shared<PathMatrixCache>();
+  HeteSimEngine cached(graph_, {}, cache);
+  HeteSimEngine uncached(graph_);
+  EXPECT_TRUE(cached.Compute(path_).ApproxEquals(uncached.Compute(path_), 1e-12));
+  // Three queries, but each distinct half is computed exactly once; on a
+  // symmetric path the two halves share one canonical cache entry.
+  cached.Compute(path_);
+  (void)cached.ComputePair(path_, 0, 0);
+  EXPECT_EQ(cache->stats().misses, path_.IsSymmetric() ? 1u : 2u);
+  EXPECT_GE(cache->stats().hits, 4u);
+}
+
+TEST_P(RandomGraphProperties, PrunedTopKIsExact) {
+  TopKSearcher searcher(graph_, path_);
+  const Index n = graph_.NumNodes(path_.SourceType());
+  for (Index s = 0; s < n; ++s) {
+    TopKResult pruned = *searcher.Query(s, 4);
+    TopKResult exhaustive = *searcher.QueryExhaustive(s, 4);
+    size_t positive = 0;
+    while (positive < exhaustive.items.size() &&
+           exhaustive.items[positive].score > 0.0) {
+      ++positive;
+    }
+    ASSERT_EQ(pruned.items.size(), positive);
+    for (size_t k = 0; k < positive; ++k) {
+      EXPECT_EQ(pruned.items[k].id, exhaustive.items[k].id);
+      EXPECT_NEAR(pruned.items[k].score, exhaustive.items[k].score, 1e-10);
+    }
+  }
+}
+
+TEST_P(RandomGraphProperties, PcrwRowsSumToAtMostOne) {
+  DenseMatrix pcrw = PcrwMatrix(graph_, path_);
+  for (Index i = 0; i < pcrw.rows(); ++i) {
+    double sum = 0.0;
+    for (Index j = 0; j < pcrw.cols(); ++j) sum += pcrw(i, j);
+    EXPECT_LE(sum, 1.0 + 1e-10);
+  }
+}
+
+TEST_P(RandomGraphProperties, DecompositionHalvesHaveMatchingMiddle) {
+  PathDecomposition d = DecomposePath(graph_, path_);
+  SparseMatrix left = LeftReachMatrix(d);
+  SparseMatrix right = RightReachMatrix(d);
+  EXPECT_EQ(left.cols(), d.middle_dimension);
+  EXPECT_EQ(right.cols(), d.middle_dimension);
+  EXPECT_EQ(left.rows(), graph_.NumNodes(path_.SourceType()));
+  EXPECT_EQ(right.rows(), graph_.NumNodes(path_.TargetType()));
+  EXPECT_EQ(d.edge_object_inserted, path_.length() % 2 == 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsDensitiesPaths, RandomGraphProperties,
+    ::testing::Combine(::testing::Values(GraphCase{1, 0.15}, GraphCase{2, 0.3},
+                                         GraphCase{3, 0.5}, GraphCase{4, 0.8}),
+                       ::testing::Values("AB", "ABC", "ABA", "ABCBA", "CBA",
+                                         "BCB", "BAB")));
+
+// --- Invariances of the measure ---
+
+class InvarianceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InvarianceProperty, UniformEdgeWeightScalingLeavesScoresUnchanged) {
+  // Transition matrices row-normalize the adjacency, so scaling every
+  // weight of a relation by a constant must not change any HeteSim score.
+  HinGraph original = testing::RandomTripartite(8, 10, 6, 0.3, GetParam());
+  HinGraphBuilder builder;
+  const Schema& schema = original.schema();
+  for (TypeId t = 0; t < schema.NumObjectTypes(); ++t) {
+    EXPECT_TRUE(builder
+                    .AddObjectType(schema.TypeName(t), schema.TypeCode(t))
+                    .ok());
+    builder.AddNodes(t, original.NumNodes(t));
+  }
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    EXPECT_TRUE(builder
+                    .AddRelation(schema.RelationName(r), schema.RelationSource(r),
+                                 schema.RelationTarget(r))
+                    .ok());
+    const double scale = r == 0 ? 7.5 : 0.25;  // different constant per relation
+    const SparseMatrix& w = original.Adjacency(r);
+    for (Index i = 0; i < w.rows(); ++i) {
+      auto indices = w.RowIndices(i);
+      auto values = w.RowValues(i);
+      for (size_t k = 0; k < indices.size(); ++k) {
+        EXPECT_TRUE(builder.AddEdge(r, i, indices[k], values[k] * scale).ok());
+      }
+    }
+  }
+  HinGraph scaled = std::move(builder).Build();
+  HeteSimEngine original_engine(original);
+  HeteSimEngine scaled_engine(scaled);
+  for (const char* spec : {"AB", "ABC", "ABA"}) {
+    MetaPath original_path = *MetaPath::Parse(original.schema(), spec);
+    MetaPath scaled_path = *MetaPath::Parse(scaled.schema(), spec);
+    EXPECT_TRUE(original_engine.Compute(original_path)
+                    .ApproxEquals(scaled_engine.Compute(scaled_path), 1e-10))
+        << spec;
+  }
+}
+
+TEST_P(InvarianceProperty, NodeRelabelingPermutesScores) {
+  // Renaming/reordering the objects of one type permutes the relevance
+  // matrix rows accordingly — scores depend on structure, not on ids.
+  HinGraph original = testing::RandomTripartite(9, 7, 5, 0.35, GetParam() + 100);
+  const Schema& schema = original.schema();
+  const Index na = original.NumNodes(0);
+  Rng rng(GetParam() * 13 + 5);
+  std::vector<Index> new_id(static_cast<size_t>(na));
+  for (Index i = 0; i < na; ++i) new_id[static_cast<size_t>(i)] = i;
+  rng.Shuffle(new_id);
+
+  HinGraphBuilder builder;
+  for (TypeId t = 0; t < schema.NumObjectTypes(); ++t) {
+    EXPECT_TRUE(builder
+                    .AddObjectType(schema.TypeName(t), schema.TypeCode(t))
+                    .ok());
+    builder.AddNodes(t, original.NumNodes(t));
+  }
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    EXPECT_TRUE(builder
+                    .AddRelation(schema.RelationName(r), schema.RelationSource(r),
+                                 schema.RelationTarget(r))
+                    .ok());
+    const SparseMatrix& w = original.Adjacency(r);
+    const bool permute_rows = schema.RelationSource(r) == 0;
+    for (Index i = 0; i < w.rows(); ++i) {
+      const Index row = permute_rows ? new_id[static_cast<size_t>(i)] : i;
+      auto indices = w.RowIndices(i);
+      auto values = w.RowValues(i);
+      for (size_t k = 0; k < indices.size(); ++k) {
+        // Type 0 never appears as a relation target in RandomTripartite.
+        EXPECT_TRUE(builder.AddEdge(r, row, indices[k], values[k]).ok());
+      }
+    }
+  }
+  HinGraph permuted = std::move(builder).Build();
+  HeteSimEngine original_engine(original);
+  HeteSimEngine permuted_engine(permuted);
+  MetaPath original_path = *MetaPath::Parse(original.schema(), "ABC");
+  MetaPath permuted_path = *MetaPath::Parse(permuted.schema(), "ABC");
+  DenseMatrix original_scores = original_engine.Compute(original_path);
+  DenseMatrix permuted_scores = permuted_engine.Compute(permuted_path);
+  for (Index i = 0; i < na; ++i) {
+    for (Index j = 0; j < original_scores.cols(); ++j) {
+      EXPECT_NEAR(original_scores(i, j),
+                  permuted_scores(new_id[static_cast<size_t>(i)], j), 1e-10);
+    }
+  }
+}
+
+TEST_P(InvarianceProperty, DuplicateEdgeEqualsDoubledWeight) {
+  // Two unit edges between the same endpoints behave exactly like one
+  // weight-2 edge (Definition 8 works on weighted adjacency).
+  HinGraphBuilder duplicate_builder;
+  HinGraphBuilder weighted_builder;
+  for (HinGraphBuilder* builder : {&duplicate_builder, &weighted_builder}) {
+    EXPECT_TRUE(builder->AddObjectType("alpha", 'A').ok());
+    EXPECT_TRUE(builder->AddObjectType("beta", 'B').ok());
+    EXPECT_TRUE(builder->AddRelation("r", 0, 1).ok());
+    builder->AddNodes(0, 3);
+    builder->AddNodes(1, 3);
+  }
+  Rng rng(GetParam() + 200);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      if (rng.Bernoulli(0.6)) {
+        EXPECT_TRUE(duplicate_builder.AddEdge(0, i, j, 1.0).ok());
+        EXPECT_TRUE(duplicate_builder.AddEdge(0, i, j, 1.0).ok());
+        EXPECT_TRUE(weighted_builder.AddEdge(0, i, j, 2.0).ok());
+      } else {
+        EXPECT_TRUE(duplicate_builder.AddEdge(0, i, j, 1.0).ok());
+        EXPECT_TRUE(weighted_builder.AddEdge(0, i, j, 1.0).ok());
+      }
+    }
+  }
+  HinGraph duplicated = std::move(duplicate_builder).Build();
+  HinGraph weighted = std::move(weighted_builder).Build();
+  HeteSimEngine duplicated_engine(duplicated);
+  HeteSimEngine weighted_engine(weighted);
+  MetaPath dup_path = *MetaPath::Parse(duplicated.schema(), "AB");
+  MetaPath weight_path = *MetaPath::Parse(weighted.schema(), "AB");
+  EXPECT_TRUE(duplicated_engine.Compute(dup_path)
+                  .ApproxEquals(weighted_engine.Compute(weight_path), 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvarianceProperty,
+                         ::testing::Values(71, 72, 73, 74));
+
+// --- Atomic decomposition uniqueness (Property 1) across random graphs ---
+
+class AtomicDecompositionProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AtomicDecompositionProperty, ReconstructionIsExact) {
+  HinGraph g = testing::RandomTripartite(10, 12, 8, 0.3, GetParam());
+  for (RelationId r = 0; r < g.schema().NumRelations(); ++r) {
+    for (bool forward : {true, false}) {
+      AtomicDecomposition d = DecomposeAtomicRelation(g, {r, forward});
+      EXPECT_TRUE(d.out.Multiply(d.in).ApproxEquals(
+          g.StepAdjacency({r, forward}), 1e-12));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AtomicDecompositionProperty,
+                         ::testing::Values(10, 20, 30, 40, 50));
+
+}  // namespace
+}  // namespace hetesim

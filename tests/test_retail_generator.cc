@@ -1,0 +1,126 @@
+#include "datagen/retail_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "core/hetesim.h"
+#include "core/topk.h"
+#include "hin/metapath.h"
+
+namespace hetesim {
+namespace {
+
+RetailConfig SmallConfig() {
+  RetailConfig config;
+  config.num_customers = 200;
+  config.num_products = 150;
+  config.num_brands = 20;
+  config.num_categories = 5;
+  config.purchases_per_customer = 10;
+  return config;
+}
+
+TEST(RetailGenerator, SchemaAndSizes) {
+  RetailConfig config = SmallConfig();
+  RetailDataset retail = *GenerateRetail(config);
+  EXPECT_EQ(retail.graph.schema().NumObjectTypes(), 4);
+  EXPECT_EQ(retail.graph.schema().NumRelations(), 3);
+  EXPECT_EQ(retail.graph.NumNodes(retail.customer), config.num_customers);
+  EXPECT_EQ(retail.graph.NumNodes(retail.product), config.num_products);
+  EXPECT_EQ(retail.graph.NumNodes(retail.brand), config.num_brands);
+  EXPECT_EQ(retail.graph.NumNodes(retail.category), config.num_categories);
+}
+
+TEST(RetailGenerator, EveryProductHasOneBrandAndCategory) {
+  RetailDataset retail = *GenerateRetail(SmallConfig());
+  const SparseMatrix& made_by = retail.graph.Adjacency(retail.made_by);
+  const SparseMatrix& in_category = retail.graph.Adjacency(retail.in_category);
+  for (Index p = 0; p < retail.graph.NumNodes(retail.product); ++p) {
+    EXPECT_EQ(made_by.RowNnz(p), 1);
+    EXPECT_EQ(in_category.RowNnz(p), 1);
+    // The category edge agrees with the planted label.
+    EXPECT_EQ(in_category.RowIndices(p)[0],
+              retail.product_category[static_cast<size_t>(p)]);
+  }
+}
+
+TEST(RetailGenerator, EveryBrandHasProducts) {
+  RetailDataset retail = *GenerateRetail(SmallConfig());
+  const SparseMatrix brands = retail.graph.AdjacencyTranspose(retail.made_by);
+  for (Index b = 0; b < retail.graph.NumNodes(retail.brand); ++b) {
+    EXPECT_GE(brands.RowNnz(b), 1);
+  }
+}
+
+TEST(RetailGenerator, PurchaseWeightsCountMultiplicity) {
+  RetailDataset retail = *GenerateRetail(SmallConfig());
+  const SparseMatrix& bought = retail.graph.Adjacency(retail.bought);
+  double total = 0.0;
+  for (Index u = 0; u < bought.rows(); ++u) total += bought.RowSum(u);
+  // Every drawn purchase lands as one unit of weight somewhere.
+  EXPECT_DOUBLE_EQ(total, 200.0 * 10.0);
+}
+
+TEST(RetailGenerator, Deterministic) {
+  RetailDataset a = *GenerateRetail(SmallConfig());
+  RetailDataset b = *GenerateRetail(SmallConfig());
+  EXPECT_TRUE(a.graph.Adjacency(a.bought).ApproxEquals(b.graph.Adjacency(b.bought)));
+  EXPECT_EQ(a.customer_segment, b.customer_segment);
+  EXPECT_EQ(a.customer_home_brand, b.customer_home_brand);
+}
+
+TEST(RetailGenerator, LoyaltyPlantsBrandAffinity) {
+  // Section 4.1's claim made measurable: along U-P-B, a loyal customer's
+  // top brand is usually the planted home brand.
+  RetailDataset retail = *GenerateRetail(SmallConfig());
+  HeteSimEngine engine(retail.graph);
+  MetaPath upb = *MetaPath::Parse(retail.graph.schema(), "U-P-B");
+  int home_brand_top = 0;
+  const int sampled = 60;
+  for (Index u = 0; u < sampled; ++u) {
+    std::vector<double> scores = *engine.ComputeSingleSource(upb, u);
+    std::vector<Scored> top = TopK(scores, 1);
+    if (!top.empty() &&
+        top[0].id == retail.customer_home_brand[static_cast<size_t>(u)]) {
+      ++home_brand_top;
+    }
+  }
+  EXPECT_GT(home_brand_top, sampled / 2);
+}
+
+TEST(RetailGenerator, SegmentsDriveCategoryReach) {
+  RetailDataset retail = *GenerateRetail(SmallConfig());
+  MetaPath upg = *MetaPath::Parse(retail.graph.schema(), "U-P-G");
+  int primary_top = 0;
+  const int sampled = 60;
+  for (Index u = 0; u < sampled; ++u) {
+    std::vector<double> distribution =
+        ReachDistribution(retail.graph, upg, u);
+    Index best = 0;
+    for (Index g = 1; g < static_cast<Index>(distribution.size()); ++g) {
+      if (distribution[static_cast<size_t>(g)] >
+          distribution[static_cast<size_t>(best)]) {
+        best = g;
+      }
+    }
+    if (best == retail.customer_segment[static_cast<size_t>(u)]) ++primary_top;
+  }
+  EXPECT_GT(primary_top, sampled * 2 / 3);
+}
+
+TEST(RetailGenerator, ConfigValidation) {
+  RetailConfig config = SmallConfig();
+  config.num_customers = 0;
+  EXPECT_TRUE(GenerateRetail(config).status().IsInvalidArgument());
+  config = SmallConfig();
+  config.num_brands = 2;  // fewer brands than categories
+  EXPECT_TRUE(GenerateRetail(config).status().IsInvalidArgument());
+  config = SmallConfig();
+  config.num_products = 5;  // fewer products than brands
+  EXPECT_TRUE(GenerateRetail(config).status().IsInvalidArgument());
+  config = SmallConfig();
+  config.brand_loyalty = 1.5;
+  EXPECT_TRUE(GenerateRetail(config).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace hetesim

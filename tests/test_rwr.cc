@@ -1,0 +1,94 @@
+#include "baselines/rwr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "matrix/ops.h"
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+SparseMatrix Ring(Index n) {
+  std::vector<Triplet> triplets;
+  for (Index i = 0; i < n; ++i) {
+    triplets.push_back({i, (i + 1) % n, 1.0});
+    triplets.push_back({(i + 1) % n, i, 1.0});
+  }
+  return SparseMatrix::FromTriplets(n, n, std::move(triplets));
+}
+
+TEST(Rwr, DistributionSumsToOne) {
+  std::vector<double> r = *RandomWalkWithRestart(Ring(8), 0);
+  EXPECT_NEAR(Sum(r), 1.0, 1e-9);
+  for (double v : r) EXPECT_GE(v, 0.0);
+}
+
+TEST(Rwr, SourceHasHighestMass) {
+  std::vector<double> r = *RandomWalkWithRestart(Ring(8), 3);
+  for (size_t i = 0; i < r.size(); ++i) {
+    if (i != 3) {
+      EXPECT_GT(r[3], r[i]);
+    }
+  }
+}
+
+TEST(Rwr, SymmetricRingDecaysWithDistance) {
+  std::vector<double> r = *RandomWalkWithRestart(Ring(9), 0);
+  EXPECT_GT(r[1], r[2]);
+  EXPECT_GT(r[2], r[3]);
+  EXPECT_NEAR(r[1], r[8], 1e-9);  // ring symmetry
+  EXPECT_NEAR(r[2], r[7], 1e-9);
+}
+
+TEST(Rwr, HigherRestartConcentratesOnSource) {
+  RwrOptions mild;
+  mild.restart = 0.1;
+  RwrOptions strong;
+  strong.restart = 0.7;
+  std::vector<double> r_mild = *RandomWalkWithRestart(Ring(8), 0, mild);
+  std::vector<double> r_strong = *RandomWalkWithRestart(Ring(8), 0, strong);
+  EXPECT_GT(r_strong[0], r_mild[0]);
+}
+
+TEST(Rwr, FixedPointSatisfiesEquation) {
+  // r = (1-c) r P + c e_s at convergence.
+  SparseMatrix g = Ring(6);
+  RwrOptions options;
+  options.max_iterations = 500;
+  options.tolerance = 1e-14;
+  std::vector<double> r = *RandomWalkWithRestart(g, 2, options);
+  std::vector<double> walked = g.RowNormalized().LeftMultiplyVector(r);
+  for (size_t i = 0; i < r.size(); ++i) {
+    double expected = 0.85 * walked[i] + (i == 2 ? 0.15 : 0.0);
+    EXPECT_NEAR(r[i], expected, 1e-10);
+  }
+}
+
+TEST(Rwr, Validation) {
+  EXPECT_TRUE(RandomWalkWithRestart(SparseMatrix(2, 3), 0).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(RandomWalkWithRestart(Ring(4), 9).status().IsOutOfRange());
+  RwrOptions bad;
+  bad.restart = 0.0;
+  EXPECT_TRUE(RandomWalkWithRestart(Ring(4), 0, bad).status().IsInvalidArgument());
+  bad.restart = 1.0;
+  EXPECT_TRUE(RandomWalkWithRestart(Ring(4), 0, bad).status().IsInvalidArgument());
+}
+
+TEST(Rwr, HomogeneousViewOverload) {
+  HinGraph g = testing::BuildFig4Graph();
+  HomogeneousView view = BuildHomogeneousView(g);
+  TypeId author = *g.schema().TypeByCode('A');
+  std::vector<double> r = *RandomWalkWithRestart(view, author, 0);
+  EXPECT_EQ(r.size(), static_cast<size_t>(view.TotalNodes()));
+  EXPECT_NEAR(Sum(r), 1.0, 1e-9);
+  // Tom's own papers accumulate more mass than Bob's papers.
+  TypeId paper = *g.schema().TypeByCode('P');
+  EXPECT_GT(r[static_cast<size_t>(view.GlobalId(paper, 0))],   // p1 (Tom's)
+            r[static_cast<size_t>(view.GlobalId(paper, 4))]);  // p5 (Bob's)
+}
+
+}  // namespace
+}  // namespace hetesim

@@ -1,0 +1,135 @@
+#include "baselines/scan.h"
+
+#include <gtest/gtest.h>
+
+namespace hetesim {
+namespace {
+
+/// Two 4-cliques joined by one bridge edge between nodes 3 and 4.
+SparseMatrix TwoCliquesWithBridge() {
+  std::vector<Triplet> triplets;
+  auto add_clique = [&](Index base) {
+    for (Index i = 0; i < 4; ++i) {
+      for (Index j = i + 1; j < 4; ++j) {
+        triplets.push_back({base + i, base + j, 1.0});
+        triplets.push_back({base + j, base + i, 1.0});
+      }
+    }
+  };
+  add_clique(0);
+  add_clique(4);
+  triplets.push_back({3, 4, 1.0});
+  triplets.push_back({4, 3, 1.0});
+  return SparseMatrix::FromTriplets(8, 8, std::move(triplets));
+}
+
+TEST(Scan, SeparatesTwoCliques) {
+  ScanResult result = *ScanCluster(TwoCliquesWithBridge());
+  EXPECT_EQ(result.num_clusters, 2);
+  // Each clique shares a label; labels differ across cliques.
+  for (Index i = 1; i < 4; ++i) EXPECT_EQ(result.labels[0], result.labels[i]);
+  for (Index i = 5; i < 8; ++i) {
+    EXPECT_EQ(result.labels[4], result.labels[static_cast<size_t>(i)]);
+  }
+  EXPECT_NE(result.labels[0], result.labels[4]);
+  EXPECT_TRUE(result.hubs.empty());
+  EXPECT_TRUE(result.outliers.empty());
+}
+
+TEST(Scan, HubBridgingTwoClusters) {
+  // Node 8 connects to both cliques but resembles neither: a hub.
+  SparseMatrix base = TwoCliquesWithBridge();
+  std::vector<Triplet> triplets;
+  for (Index i = 0; i < base.rows(); ++i) {
+    auto indices = base.RowIndices(i);
+    auto values = base.RowValues(i);
+    for (size_t k = 0; k < indices.size(); ++k) {
+      triplets.push_back({i, indices[k], values[k]});
+    }
+  }
+  triplets.push_back({8, 0, 1.0});
+  triplets.push_back({0, 8, 1.0});
+  triplets.push_back({8, 5, 1.0});
+  triplets.push_back({5, 8, 1.0});
+  SparseMatrix graph = SparseMatrix::FromTriplets(9, 9, std::move(triplets));
+  ScanResult result = *ScanCluster(graph);
+  EXPECT_EQ(result.num_clusters, 2);
+  EXPECT_EQ(result.labels[8], -1);
+  ASSERT_EQ(result.hubs.size(), 1u);
+  EXPECT_EQ(result.hubs[0], 8);
+}
+
+TEST(Scan, IsolatedNodeIsOutlier) {
+  SparseMatrix base = TwoCliquesWithBridge();
+  std::vector<Triplet> triplets;
+  for (Index i = 0; i < base.rows(); ++i) {
+    auto indices = base.RowIndices(i);
+    auto values = base.RowValues(i);
+    for (size_t k = 0; k < indices.size(); ++k) {
+      triplets.push_back({i, indices[k], values[k]});
+    }
+  }
+  SparseMatrix graph = SparseMatrix::FromTriplets(9, 9, std::move(triplets));
+  ScanResult result = *ScanCluster(graph);
+  ASSERT_EQ(result.outliers.size(), 1u);
+  EXPECT_EQ(result.outliers[0], 8);
+  EXPECT_EQ(result.labels[8], -1);
+}
+
+TEST(Scan, EpsilonOneKeepsOnlyIdenticalNeighborhoods) {
+  // In a clique all closed neighborhoods coincide, so even epsilon = 1
+  // clusters it; the bridge nodes' extra neighbor drops their similarity
+  // below 1 toward in-clique peers.
+  ScanOptions options;
+  options.epsilon = 1.0;
+  options.mu = 2;
+  ScanResult result = *ScanCluster(TwoCliquesWithBridge(), options);
+  EXPECT_GE(result.num_clusters, 2);
+  EXPECT_EQ(result.labels[0], result.labels[1]);
+}
+
+TEST(Scan, HighMuDemotesEverything) {
+  ScanOptions options;
+  options.mu = 100;
+  ScanResult result = *ScanCluster(TwoCliquesWithBridge(), options);
+  EXPECT_EQ(result.num_clusters, 0);
+  EXPECT_EQ(result.hubs.size(), 0u);
+  EXPECT_EQ(result.outliers.size(), 8u);
+}
+
+TEST(Scan, DirectedInputIsSymmetrized) {
+  // Same cliques given one-directional: results match the symmetric case.
+  std::vector<Triplet> triplets;
+  auto add_clique = [&](Index base) {
+    for (Index i = 0; i < 4; ++i) {
+      for (Index j = i + 1; j < 4; ++j) triplets.push_back({base + i, base + j, 1.0});
+    }
+  };
+  add_clique(0);
+  add_clique(4);
+  triplets.push_back({3, 4, 1.0});
+  SparseMatrix directed = SparseMatrix::FromTriplets(8, 8, std::move(triplets));
+  ScanResult result = *ScanCluster(directed);
+  EXPECT_EQ(result.num_clusters, 2);
+}
+
+TEST(Scan, Validation) {
+  EXPECT_TRUE(ScanCluster(SparseMatrix(2, 3)).status().IsInvalidArgument());
+  ScanOptions bad;
+  bad.epsilon = 0.0;
+  EXPECT_TRUE(ScanCluster(SparseMatrix(2, 2), bad).status().IsInvalidArgument());
+  bad.epsilon = 1.5;
+  EXPECT_TRUE(ScanCluster(SparseMatrix(2, 2), bad).status().IsInvalidArgument());
+  bad.epsilon = 0.5;
+  bad.mu = 0;
+  EXPECT_TRUE(ScanCluster(SparseMatrix(2, 2), bad).status().IsInvalidArgument());
+}
+
+TEST(Scan, EmptyGraph) {
+  ScanResult result = *ScanCluster(SparseMatrix(0, 0));
+  EXPECT_EQ(result.num_clusters, 0);
+  EXPECT_TRUE(result.labels.empty());
+}
+
+}  // namespace
+}  // namespace hetesim

@@ -1,0 +1,128 @@
+#include "hin/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace hetesim {
+namespace {
+
+Schema MakeBiblioSchema() {
+  Schema schema;
+  EXPECT_TRUE(schema.AddObjectType("author", 'A').ok());
+  EXPECT_TRUE(schema.AddObjectType("paper", 'P').ok());
+  EXPECT_TRUE(schema.AddObjectType("conference", 'C').ok());
+  EXPECT_TRUE(schema.AddRelation("writes", 0, 1).ok());
+  EXPECT_TRUE(schema.AddRelation("published_in", 1, 2).ok());
+  return schema;
+}
+
+TEST(Schema, AddAndLookupTypes) {
+  Schema schema = MakeBiblioSchema();
+  EXPECT_EQ(schema.NumObjectTypes(), 3);
+  EXPECT_EQ(schema.TypeName(0), "author");
+  EXPECT_EQ(schema.TypeCode(1), 'P');
+  EXPECT_EQ(*schema.TypeByName("conference"), 2);
+  EXPECT_EQ(*schema.TypeByCode('A'), 0);
+}
+
+TEST(Schema, DefaultCodeIsUppercasedInitial) {
+  Schema schema;
+  TypeId venue = *schema.AddObjectType("venue");
+  EXPECT_EQ(schema.TypeCode(venue), 'V');
+}
+
+TEST(Schema, DuplicateTypeNameRejected) {
+  Schema schema = MakeBiblioSchema();
+  EXPECT_TRUE(schema.AddObjectType("author", 'X').status().IsAlreadyExists());
+}
+
+TEST(Schema, DuplicateTypeCodeRejected) {
+  Schema schema = MakeBiblioSchema();
+  Result<TypeId> added = schema.AddObjectType("affiliation", 'A');
+  EXPECT_TRUE(added.status().IsAlreadyExists());
+  // A distinct explicit code works.
+  EXPECT_TRUE(schema.AddObjectType("affiliation", 'F').ok());
+}
+
+TEST(Schema, EmptyTypeNameRejected) {
+  Schema schema;
+  EXPECT_TRUE(schema.AddObjectType("").status().IsInvalidArgument());
+}
+
+TEST(Schema, UnknownLookupsReturnNotFound) {
+  Schema schema = MakeBiblioSchema();
+  EXPECT_TRUE(schema.TypeByName("nope").status().IsNotFound());
+  EXPECT_TRUE(schema.TypeByCode('Z').status().IsNotFound());
+  EXPECT_TRUE(schema.RelationByName("nope").status().IsNotFound());
+}
+
+TEST(Schema, RelationEndpoints) {
+  Schema schema = MakeBiblioSchema();
+  RelationId writes = *schema.RelationByName("writes");
+  EXPECT_EQ(schema.RelationName(writes), "writes");
+  EXPECT_EQ(schema.RelationSource(writes), 0);
+  EXPECT_EQ(schema.RelationTarget(writes), 1);
+}
+
+TEST(Schema, DuplicateRelationNameRejected) {
+  Schema schema = MakeBiblioSchema();
+  EXPECT_TRUE(schema.AddRelation("writes", 0, 2).status().IsAlreadyExists());
+}
+
+TEST(Schema, RelationWithUnknownTypeRejected) {
+  Schema schema = MakeBiblioSchema();
+  EXPECT_TRUE(schema.AddRelation("bad", 0, 99).status().IsInvalidArgument());
+  EXPECT_TRUE(schema.AddRelation("bad", -1, 0).status().IsInvalidArgument());
+}
+
+TEST(Schema, StepsBetweenForwardAndBackward) {
+  Schema schema = MakeBiblioSchema();
+  std::vector<RelationStep> forward = schema.StepsBetween(0, 1);
+  ASSERT_EQ(forward.size(), 1u);
+  EXPECT_TRUE(forward[0].forward);
+  std::vector<RelationStep> backward = schema.StepsBetween(1, 0);
+  ASSERT_EQ(backward.size(), 1u);
+  EXPECT_FALSE(backward[0].forward);
+  EXPECT_EQ(backward[0].relation, forward[0].relation);
+  EXPECT_TRUE(schema.StepsBetween(0, 2).empty());
+}
+
+TEST(Schema, StepsBetweenMultipleRelations) {
+  Schema schema = MakeBiblioSchema();
+  EXPECT_TRUE(schema.AddRelation("edits", 0, 1).ok());
+  EXPECT_EQ(schema.StepsBetween(0, 1).size(), 2u);
+}
+
+TEST(Schema, StepEndpointsAndStrings) {
+  Schema schema = MakeBiblioSchema();
+  RelationStep writes{*schema.RelationByName("writes"), true};
+  EXPECT_EQ(schema.StepSource(writes), 0);
+  EXPECT_EQ(schema.StepTarget(writes), 1);
+  EXPECT_EQ(schema.StepToString(writes), "writes");
+  RelationStep inverse = writes.Inverse();
+  EXPECT_EQ(schema.StepSource(inverse), 1);
+  EXPECT_EQ(schema.StepTarget(inverse), 0);
+  EXPECT_EQ(schema.StepToString(inverse), "~writes");
+  EXPECT_EQ(inverse.Inverse(), writes);
+}
+
+TEST(Schema, SelfRelation) {
+  Schema schema;
+  TypeId person = *schema.AddObjectType("person");
+  RelationId follows = *schema.AddRelation("follows", person, person);
+  // Both orientations of a self-relation connect the type to itself.
+  std::vector<RelationStep> steps = schema.StepsBetween(person, person);
+  EXPECT_EQ(steps.size(), 2u);
+  EXPECT_EQ(schema.RelationSource(follows), schema.RelationTarget(follows));
+}
+
+TEST(Schema, Validity) {
+  Schema schema = MakeBiblioSchema();
+  EXPECT_TRUE(schema.IsValidType(0));
+  EXPECT_FALSE(schema.IsValidType(3));
+  EXPECT_FALSE(schema.IsValidType(-1));
+  EXPECT_TRUE(schema.IsValidRelation(1));
+  EXPECT_FALSE(schema.IsValidRelation(2));
+}
+
+}  // namespace
+}  // namespace hetesim

@@ -1,0 +1,202 @@
+#include "matrix/serialize.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/hetesim.h"
+#include "core/materialize.h"
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+TEST(SparseSerialize, RoundTrip) {
+  SparseMatrix original = testing::RandomBipartiteAdjacency(13, 9, 0.3, 77);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSparseMatrix(original, out).ok());
+  std::istringstream in(out.str());
+  Result<SparseMatrix> loaded = ReadSparseMatrix(in);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->ApproxEquals(original, 0.0));
+}
+
+TEST(SparseSerialize, EmptyMatrixRoundTrip) {
+  SparseMatrix original(5, 3);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSparseMatrix(original, out).ok());
+  std::istringstream in(out.str());
+  SparseMatrix loaded = *ReadSparseMatrix(in);
+  EXPECT_EQ(loaded.rows(), 5);
+  EXPECT_EQ(loaded.cols(), 3);
+  EXPECT_EQ(loaded.NumNonZeros(), 0);
+}
+
+TEST(SparseSerialize, PreservesExactValues) {
+  SparseMatrix original = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 0.1 + 0.2}, {1, 1, 1e-300}});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSparseMatrix(original, out).ok());
+  std::istringstream in(out.str());
+  SparseMatrix loaded = *ReadSparseMatrix(in);
+  EXPECT_EQ(loaded.At(0, 0), 0.1 + 0.2);  // bitwise, not approximate
+  EXPECT_EQ(loaded.At(1, 1), 1e-300);
+}
+
+TEST(SparseSerialize, RejectsBadMagic) {
+  std::istringstream in("NOPE garbage");
+  EXPECT_TRUE(ReadSparseMatrix(in).status().IsInvalidArgument());
+}
+
+TEST(SparseSerialize, RejectsTruncatedPayload) {
+  SparseMatrix original = testing::RandomBipartiteAdjacency(8, 8, 0.4, 78);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSparseMatrix(original, out).ok());
+  std::string bytes = out.str();
+  std::istringstream in(bytes.substr(0, bytes.size() / 2));
+  EXPECT_FALSE(ReadSparseMatrix(in).ok());
+}
+
+TEST(SparseSerialize, RejectsDenseMagic) {
+  DenseMatrix dense(2, 2, {1, 2, 3, 4});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDenseMatrix(dense, out).ok());
+  std::istringstream in(out.str());
+  EXPECT_TRUE(ReadSparseMatrix(in).status().IsInvalidArgument());
+}
+
+TEST(DenseSerialize, RoundTrip) {
+  DenseMatrix original(3, 4);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 4; ++j) original(i, j) = static_cast<double>(i * 10 + j);
+  }
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDenseMatrix(original, out).ok());
+  std::istringstream in(out.str());
+  DenseMatrix loaded = *ReadDenseMatrix(in);
+  EXPECT_TRUE(loaded.ApproxEquals(original, 0.0));
+}
+
+TEST(DenseSerialize, RejectsTruncated) {
+  DenseMatrix original(4, 4);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDenseMatrix(original, out).ok());
+  std::string bytes = out.str();
+  std::istringstream in(bytes.substr(0, 10));
+  EXPECT_FALSE(ReadDenseMatrix(in).ok());
+}
+
+TEST(SparseSerialize, FileRoundTrip) {
+  SparseMatrix original = testing::RandomBipartiteAdjacency(6, 7, 0.4, 79);
+  const std::string path = ::testing::TempDir() + "/hetesim_matrix.hsm";
+  ASSERT_TRUE(WriteSparseMatrixToFile(original, path).ok());
+  SparseMatrix loaded = *ReadSparseMatrixFromFile(path);
+  EXPECT_TRUE(loaded.ApproxEquals(original, 0.0));
+}
+
+TEST(SparseSerialize, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadSparseMatrixFromFile("/nonexistent/m.hsm").status().IsIOError());
+  EXPECT_TRUE(WriteSparseMatrixToFile(SparseMatrix(1, 1), "/nonexistent/dir/m.hsm")
+                  .IsIOError());
+}
+
+class SerializeRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerializeRoundTripProperty, SparseExactAcrossShapes) {
+  Rng rng(GetParam());
+  const Index rows = static_cast<Index>(rng.Uniform(40)) + 1;
+  const Index cols = static_cast<Index>(rng.Uniform(40)) + 1;
+  const double density = 0.05 + 0.4 * rng.UniformDouble();
+  SparseMatrix original =
+      testing::RandomBipartiteAdjacency(rows, cols, density, GetParam() + 1);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSparseMatrix(original, out).ok());
+  std::istringstream in(out.str());
+  SparseMatrix loaded = *ReadSparseMatrix(in);
+  EXPECT_EQ(loaded.row_ptr(), original.row_ptr());
+  EXPECT_EQ(loaded.col_idx(), original.col_idx());
+  EXPECT_EQ(loaded.values(), original.values());
+}
+
+TEST_P(SerializeRoundTripProperty, CorruptHeaderNeverCrashes) {
+  SparseMatrix original =
+      testing::RandomBipartiteAdjacency(10, 10, 0.3, GetParam());
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSparseMatrix(original, out).ok());
+  std::string bytes = out.str();
+  Rng rng(GetParam() * 31 + 7);
+  // Flip a handful of random bytes; parsing must fail cleanly or produce
+  // some valid matrix, never crash.
+  for (int flips = 0; flips < 20; ++flips) {
+    std::string corrupted = bytes;
+    corrupted[rng.Uniform(corrupted.size())] ^=
+        static_cast<char>(1 + rng.Uniform(255));
+    std::istringstream in(corrupted);
+    (void)ReadSparseMatrix(in);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRoundTripProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class CachePersistenceTest : public ::testing::Test {
+ protected:
+  CachePersistenceTest()
+      : graph_(testing::BuildFig4Graph()),
+        directory_(::testing::TempDir() + "/hetesim_cache_test") {
+    std::filesystem::remove_all(directory_);
+  }
+  MetaPath Path(const char* spec) const {
+    return *MetaPath::Parse(graph_.schema(), spec);
+  }
+  HinGraph graph_;
+  std::string directory_;
+};
+
+TEST_F(CachePersistenceTest, SaveThenLoadPreservesEntries) {
+  PathMatrixCache cache;
+  cache.GetLeft(graph_, Path("APC"));
+  cache.GetRight(graph_, Path("APC"));
+  cache.GetReach(graph_, Path("APA"));
+  ASSERT_TRUE(cache.SaveToDirectory(directory_).ok());
+
+  PathMatrixCache loaded;
+  ASSERT_TRUE(loaded.LoadFromDirectory(directory_).ok());
+  EXPECT_EQ(loaded.stats().entries, 3u);
+  // Reloaded entries are served as hits with identical contents.
+  std::shared_ptr<const SparseMatrix> left = loaded.GetLeft(graph_, Path("APC"));
+  EXPECT_EQ(loaded.stats().hits, 1u);
+  EXPECT_EQ(loaded.stats().misses, 0u);
+  EXPECT_TRUE(left->ApproxEquals(*cache.GetLeft(graph_, Path("APC")), 0.0));
+}
+
+TEST_F(CachePersistenceTest, LoadedCacheAnswersQueriesIdentically) {
+  auto warm = std::make_shared<PathMatrixCache>();
+  HeteSimEngine original(graph_, {}, warm);
+  MetaPath apc = Path("APC");
+  DenseMatrix expected = original.Compute(apc);
+  ASSERT_TRUE(warm->SaveToDirectory(directory_).ok());
+
+  auto reloaded = std::make_shared<PathMatrixCache>();
+  ASSERT_TRUE(reloaded->LoadFromDirectory(directory_).ok());
+  HeteSimEngine revived(graph_, {}, reloaded);
+  EXPECT_TRUE(revived.Compute(apc).ApproxEquals(expected, 0.0));
+  EXPECT_EQ(reloaded->stats().misses, 0u);  // everything served from disk state
+}
+
+TEST_F(CachePersistenceTest, MissingDirectoryIsIOError) {
+  PathMatrixCache cache;
+  EXPECT_TRUE(cache.LoadFromDirectory("/nonexistent/cache/dir").IsIOError());
+}
+
+TEST_F(CachePersistenceTest, EmptyCacheRoundTrips) {
+  PathMatrixCache cache;
+  ASSERT_TRUE(cache.SaveToDirectory(directory_).ok());
+  PathMatrixCache loaded;
+  ASSERT_TRUE(loaded.LoadFromDirectory(directory_).ok());
+  EXPECT_EQ(loaded.stats().entries, 0u);
+}
+
+}  // namespace
+}  // namespace hetesim

@@ -1,0 +1,98 @@
+#include "learn/spectral.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "learn/metrics.h"
+
+namespace hetesim {
+namespace {
+
+/// Block-diagonal affinity: `blocks` groups of `size` nodes, strong
+/// in-block affinity, weak noise across blocks.
+DenseMatrix BlockAffinity(int blocks, Index size, double noise, uint64_t seed) {
+  Rng rng(seed);
+  const Index n = blocks * size;
+  DenseMatrix w(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      const bool same_block = (i / size) == (j / size);
+      w(i, j) = same_block ? 0.8 + 0.2 * rng.UniformDouble()
+                           : noise * rng.UniformDouble();
+    }
+  }
+  return w.Add(w.Transpose()).Scale(0.5);
+}
+
+std::vector<int> BlockLabels(int blocks, Index size) {
+  std::vector<int> labels;
+  for (int b = 0; b < blocks; ++b) {
+    labels.insert(labels.end(), static_cast<size_t>(size), b);
+  }
+  return labels;
+}
+
+TEST(Spectral, RecoversCleanBlocks) {
+  DenseMatrix w = BlockAffinity(3, 8, 0.01, 101);
+  std::vector<int> clusters = *SpectralClusterNormalizedCut(w, 3);
+  double nmi = *NormalizedMutualInformation(clusters, BlockLabels(3, 8));
+  EXPECT_DOUBLE_EQ(nmi, 1.0);
+}
+
+TEST(Spectral, RecoversFourBlocksWithNoise) {
+  DenseMatrix w = BlockAffinity(4, 10, 0.1, 102);
+  std::vector<int> clusters = *SpectralClusterNormalizedCut(w, 4);
+  double nmi = *NormalizedMutualInformation(clusters, BlockLabels(4, 10));
+  EXPECT_GT(nmi, 0.95);
+}
+
+TEST(Spectral, KOneTrivial) {
+  DenseMatrix w = BlockAffinity(2, 5, 0.05, 103);
+  std::vector<int> clusters = *SpectralClusterNormalizedCut(w, 1);
+  for (int c : clusters) EXPECT_EQ(c, 0);
+}
+
+TEST(Spectral, LabelsWithinRange) {
+  DenseMatrix w = BlockAffinity(3, 6, 0.05, 104);
+  std::vector<int> clusters = *SpectralClusterNormalizedCut(w, 3);
+  EXPECT_EQ(clusters.size(), 18u);
+  for (int c : clusters) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 3);
+  }
+}
+
+TEST(Spectral, HandlesIsolatedNodes) {
+  // One node with zero affinity to everything must not produce NaNs.
+  DenseMatrix w = BlockAffinity(2, 4, 0.02, 105);
+  DenseMatrix padded(9, 9);
+  for (Index i = 0; i < 8; ++i) {
+    for (Index j = 0; j < 8; ++j) padded(i, j) = w(i, j);
+  }
+  std::vector<int> clusters = *SpectralClusterNormalizedCut(padded, 2);
+  EXPECT_EQ(clusters.size(), 9u);
+}
+
+TEST(Spectral, SymmetrizesAsymmetricInput) {
+  DenseMatrix w = BlockAffinity(2, 6, 0.02, 106);
+  w(0, 1) += 0.3;  // break symmetry; the implementation averages W and W'
+  std::vector<int> clusters = *SpectralClusterNormalizedCut(w, 2);
+  double nmi = *NormalizedMutualInformation(clusters, BlockLabels(2, 6));
+  EXPECT_DOUBLE_EQ(nmi, 1.0);
+}
+
+TEST(Spectral, Validation) {
+  EXPECT_TRUE(SpectralClusterNormalizedCut(DenseMatrix(2, 3), 2)
+                  .status().IsInvalidArgument());
+  DenseMatrix w = BlockAffinity(2, 4, 0.05, 107);
+  EXPECT_TRUE(SpectralClusterNormalizedCut(w, 0).status().IsInvalidArgument());
+  EXPECT_TRUE(SpectralClusterNormalizedCut(w, 99).status().IsInvalidArgument());
+  DenseMatrix negative(2, 2, {1.0, -0.5, -0.5, 1.0});
+  EXPECT_TRUE(SpectralClusterNormalizedCut(negative, 2)
+                  .status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace hetesim

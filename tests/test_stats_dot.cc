@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "datagen/acm_generator.h"
+#include "hin/dot.h"
+#include "hin/stats.h"
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+// --- Graph statistics ---
+
+TEST(GraphStats, Fig4Degrees) {
+  HinGraph g = testing::BuildFig4Graph();
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.total_nodes, 10);
+  EXPECT_EQ(stats.total_edges, 12);
+  ASSERT_EQ(stats.relations.size(), 2u);
+  const RelationStats& writes = stats.relations[0];
+  EXPECT_EQ(writes.edges, 7);
+  // Authors write 2, 3, 2 papers.
+  EXPECT_EQ(writes.out_degree.min, 2);
+  EXPECT_EQ(writes.out_degree.max, 3);
+  EXPECT_NEAR(writes.out_degree.mean, 7.0 / 3.0, 1e-12);
+  EXPECT_EQ(writes.out_degree.isolated, 0);
+  // Papers have 1-2 authors.
+  EXPECT_EQ(writes.in_degree.min, 1);
+  EXPECT_EQ(writes.in_degree.max, 2);
+  EXPECT_NEAR(writes.density, 7.0 / 15.0, 1e-12);
+}
+
+TEST(GraphStats, DetectsIsolatedNodes) {
+  HinGraphBuilder builder;
+  TypeId a = *builder.AddObjectType("alpha");
+  TypeId b = *builder.AddObjectType("beta");
+  RelationId r = *builder.AddRelation("r", a, b);
+  builder.AddNodes(a, 3);
+  builder.AddNodes(b, 2);
+  EXPECT_TRUE(builder.AddEdge(r, 0, 0).ok());
+  HinGraph g = std::move(builder).Build();
+  GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.relations[0].out_degree.isolated, 2);
+  EXPECT_EQ(stats.relations[0].in_degree.isolated, 1);
+}
+
+TEST(GraphStats, RenderMentionsRelations) {
+  HinGraph g = testing::BuildFig4Graph();
+  std::string rendered = RenderGraphStats(g, ComputeGraphStats(g));
+  EXPECT_NE(rendered.find("writes"), std::string::npos);
+  EXPECT_NE(rendered.find("published_in"), std::string::npos);
+  EXPECT_NE(rendered.find("density"), std::string::npos);
+}
+
+TEST(GraphStats, ZipfGeneratorShowsSkew) {
+  // The ACM generator plants Zipf productivity: mean out-degree of writes
+  // clearly exceeds the median.
+  AcmConfig config;
+  config.num_papers = 400;
+  config.num_authors = 300;
+  config.num_affiliations = 40;
+  config.num_terms = 120;
+  config.venues_per_conference = 4;
+  AcmDataset acm = *GenerateAcm(config);
+  GraphStats stats = ComputeGraphStats(acm.graph);
+  const RelationStats& writes = stats.relations[static_cast<size_t>(acm.writes)];
+  EXPECT_GT(writes.out_degree.max, 4 * writes.out_degree.median);
+}
+
+// --- DOT export ---
+
+TEST(Dot, SchemaContainsAllTypesAndRelations) {
+  HinGraph g = testing::BuildFig4Graph();
+  std::string dot = SchemaToDot(g.schema());
+  EXPECT_NE(dot.find("digraph schema"), std::string::npos);
+  for (const char* token : {"author", "paper", "conference", "writes",
+                            "published_in", "->"}) {
+    EXPECT_NE(dot.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(Dot, NeighborhoodRadiusOne) {
+  HinGraph g = testing::BuildFig4Graph();
+  TypeId author = *g.schema().TypeByCode('A');
+  std::string dot = *NeighborhoodToDot(g, author, 0, /*radius=*/1);
+  // Tom plus his papers p1, p2 — no conferences at radius 1.
+  EXPECT_NE(dot.find("A:Tom"), std::string::npos);
+  EXPECT_NE(dot.find("P:p1"), std::string::npos);
+  EXPECT_NE(dot.find("P:p2"), std::string::npos);
+  EXPECT_EQ(dot.find("C:KDD"), std::string::npos);
+  EXPECT_EQ(dot.find("A:Bob"), std::string::npos);
+}
+
+TEST(Dot, NeighborhoodRadiusTwoReachesConferences) {
+  HinGraph g = testing::BuildFig4Graph();
+  TypeId author = *g.schema().TypeByCode('A');
+  std::string dot = *NeighborhoodToDot(g, author, 0, /*radius=*/2);
+  EXPECT_NE(dot.find("C:KDD"), std::string::npos);
+  EXPECT_NE(dot.find("A:Mary"), std::string::npos);  // coauthor via p2
+}
+
+TEST(Dot, MaxNodesCaps) {
+  HinGraph g = testing::BuildFig4Graph();
+  TypeId author = *g.schema().TypeByCode('A');
+  std::string dot = *NeighborhoodToDot(g, author, 0, /*radius=*/3, /*max_nodes=*/2);
+  // Count label lines: at most 2 nodes.
+  size_t labels = 0;
+  for (size_t pos = dot.find("label=\""); pos != std::string::npos;
+       pos = dot.find("label=\"", pos + 1)) {
+    ++labels;
+  }
+  EXPECT_LE(labels - 0, 2u + 2u);  // node labels plus up to a couple edge labels
+}
+
+TEST(Dot, EdgesRenderedInCanonicalDirection) {
+  HinGraph g = testing::BuildFig4Graph();
+  TypeId conf = *g.schema().TypeByCode('C');
+  Index kdd = *g.FindNode(conf, "KDD");
+  std::string dot = *NeighborhoodToDot(g, conf, kdd, 1);
+  // Walking backwards from KDD still renders paper -> conference edges.
+  EXPECT_NE(dot.find("published_in"), std::string::npos);
+}
+
+TEST(Dot, Validation) {
+  HinGraph g = testing::BuildFig4Graph();
+  TypeId author = *g.schema().TypeByCode('A');
+  EXPECT_TRUE(NeighborhoodToDot(g, author, 99).status().IsOutOfRange());
+  EXPECT_TRUE(NeighborhoodToDot(g, -1, 0).status().IsOutOfRange());
+  EXPECT_TRUE(NeighborhoodToDot(g, author, 0, -1).status().IsInvalidArgument());
+  EXPECT_TRUE(NeighborhoodToDot(g, author, 0, 2, 0).status().IsInvalidArgument());
+}
+
+TEST(Dot, QuotesEscaped) {
+  HinGraphBuilder builder;
+  TypeId t = *builder.AddObjectType("thing");
+  builder.AddNode(t, "weird\"name");
+  HinGraph g = std::move(builder).Build();
+  std::string dot = *NeighborhoodToDot(g, t, 0, 1);
+  EXPECT_NE(dot.find("weird\\\"name"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hetesim

@@ -1,0 +1,81 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace hetesim {
+namespace {
+
+TEST(Split, BasicFields) {
+  EXPECT_EQ(Split("a-b-c", '-'), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a--b", '-'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("-a-", '-'), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", '-'), (std::vector<std::string>{""}));
+}
+
+TEST(Split, NoDelimiter) {
+  EXPECT_EQ(Split("abc", '-'), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitSkipEmpty, DropsEmptiesAndTrims) {
+  EXPECT_EQ(SplitSkipEmpty("a, ,b,,c ", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitSkipEmpty("  ", ','), std::vector<std::string>{});
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, "-"), "solo");
+  EXPECT_EQ(Join({}, "-"), "");
+}
+
+TEST(Join, RoundTripWithSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+}
+
+TEST(Trim, StripsWhitespaceBothEnds) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim("hello"), "hello");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(Trim, PreservesInteriorWhitespace) {
+  EXPECT_EQ(Trim(" a b "), "a b");
+}
+
+TEST(StartsWith, Basic) {
+  EXPECT_TRUE(StartsWith("~writes", "~"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(StartsWith("abc", "abc"));
+  EXPECT_FALSE(StartsWith("abc", "abcd"));
+  EXPECT_FALSE(StartsWith("abc", "b"));
+}
+
+TEST(StrFormat, Numbers) {
+  EXPECT_EQ(StrFormat("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(StrFormat("%.3f", 3.14159), "3.142");
+}
+
+TEST(StrFormat, StringsAndPadding) {
+  EXPECT_EQ(StrFormat("[%-4s]", "ab"), "[ab  ]");
+  EXPECT_EQ(StrFormat("%05d", 42), "00042");
+}
+
+TEST(StrFormat, EmptyFormat) {
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(StrFormat, LongOutputNotTruncated) {
+  std::string big(1000, 'x');
+  EXPECT_EQ(StrFormat("%s", big.c_str()).size(), 1000u);
+}
+
+}  // namespace
+}  // namespace hetesim

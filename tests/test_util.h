@@ -1,0 +1,86 @@
+#ifndef HETESIM_TESTS_TEST_UTIL_H_
+#define HETESIM_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/random_hin.h"
+#include "hin/builder.h"
+#include "hin/graph.h"
+#include "matrix/sparse.h"
+
+namespace hetesim::testing {
+
+/// The paper's Fig. 4 network: authors {Tom, Mary, Bob}, papers
+/// {p1..p5}, conferences {KDD, SIGMOD}. Tom wrote p1, p2 (both KDD);
+/// Mary wrote p2, p3 (KDD) and p4 (SIGMOD); Bob wrote p4, p5 (SIGMOD).
+/// Only P1 and P2 are published in KDD's "meeting" example of the paper's
+/// Example 2, so this helper places p1, p2 in KDD and p3, p4, p5 in SIGMOD
+/// when `example2 = true`; the default uses the richer placement above.
+inline HinGraph BuildFig4Graph(bool example2 = false) {
+  HinGraphBuilder builder;
+  TypeId author = builder.AddObjectType("author", 'A').value();
+  TypeId paper = builder.AddObjectType("paper", 'P').value();
+  TypeId conf = builder.AddObjectType("conference", 'C').value();
+  RelationId writes = builder.AddRelation("writes", author, paper).value();
+  RelationId published = builder.AddRelation("published_in", paper, conf).value();
+  for (const char* name : {"Tom", "Mary", "Bob"}) builder.AddNode(author, name);
+  for (const char* name : {"p1", "p2", "p3", "p4", "p5"}) builder.AddNode(paper, name);
+  for (const char* name : {"KDD", "SIGMOD"}) builder.AddNode(conf, name);
+  auto edge = [&](RelationId rel, const char* s, const char* t) {
+    HETESIM_CHECK(builder.AddEdgeByName(rel, s, t).ok());
+  };
+  edge(writes, "Tom", "p1");
+  edge(writes, "Tom", "p2");
+  edge(writes, "Mary", "p2");
+  edge(writes, "Mary", "p3");
+  edge(writes, "Mary", "p4");
+  edge(writes, "Bob", "p4");
+  edge(writes, "Bob", "p5");
+  if (example2) {
+    edge(published, "p1", "KDD");
+    edge(published, "p2", "KDD");
+    edge(published, "p3", "SIGMOD");
+    edge(published, "p4", "SIGMOD");
+    edge(published, "p5", "SIGMOD");
+  } else {
+    edge(published, "p1", "KDD");
+    edge(published, "p2", "KDD");
+    edge(published, "p3", "KDD");
+    edge(published, "p4", "SIGMOD");
+    edge(published, "p5", "SIGMOD");
+  }
+  return std::move(builder).Build();
+}
+
+/// The paper's Fig. 5(a) bipartite graph used for the atomic-relation
+/// decomposition example: A = {a1, a2, a3}, B = {b1, b2, b3, b4} with
+/// edges a1-b1, a1-b2, a2-b2, a2-b3, a2-b4, a3-b4 (unit weights).
+inline HinGraph BuildFig5Graph() {
+  HinGraphBuilder builder;
+  TypeId a = builder.AddObjectType("typeA", 'A').value();
+  TypeId b = builder.AddObjectType("typeB", 'B').value();
+  RelationId rel = builder.AddRelation("rel", a, b).value();
+  for (const char* name : {"a1", "a2", "a3"}) builder.AddNode(a, name);
+  for (const char* name : {"b1", "b2", "b3", "b4"}) builder.AddNode(b, name);
+  auto edge = [&](const char* s, const char* t) {
+    HETESIM_CHECK(builder.AddEdgeByName(rel, s, t).ok());
+  };
+  edge("a1", "b1");
+  edge("a1", "b2");
+  edge("a2", "b2");
+  edge("a2", "b3");
+  edge("a2", "b4");
+  edge("a3", "b4");
+  return std::move(builder).Build();
+}
+
+/// Random networks shared with the benchmarks live in the library proper;
+/// re-exported here so tests keep their historical spelling.
+using ::hetesim::RandomBipartiteAdjacency;
+using ::hetesim::RandomTripartite;
+
+}  // namespace hetesim::testing
+
+#endif  // HETESIM_TESTS_TEST_UTIL_H_

@@ -1,0 +1,359 @@
+// hetesim_cli — command-line front end for the HeteSim library.
+//
+// Usage:
+//   hetesim_cli generate --dataset acm|dblp --out FILE [--seed N]
+//                        [--papers N] [--authors N]
+//   hetesim_cli summary  --graph FILE
+//   hetesim_cli paths    --graph FILE --from TYPE --to TYPE
+//                        [--max-length N] [--symmetric]
+//   hetesim_cli pair     --graph FILE --path SPEC --source NAME --target NAME
+//                        [--unnormalized]
+//   hetesim_cli topk     --graph FILE --path SPEC --source NAME [--k N]
+//   hetesim_cli topk-pairs --graph FILE --path SPEC [--k N]
+//                        [--exclude-diagonal]
+//   hetesim_cli matrix   --graph FILE --path SPEC --out FILE.csv
+//                        [--threads N]
+//
+// Path SPECs use the meta-path syntax of MetaPath::Parse: type codes
+// ("APVC", "A-P-V-C") or full type names ("author-paper-venue-conference").
+// Graph files use the text format of datagen/io.h.
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/hetesim.h"
+#include "core/topk.h"
+#include "datagen/acm_generator.h"
+#include "datagen/dblp_generator.h"
+#include "datagen/io.h"
+#include "hin/dot.h"
+#include "hin/enumerate.h"
+#include "hin/metapath.h"
+#include "hin/stats.h"
+#include "learn/spectral.h"
+
+namespace {
+
+using namespace hetesim;
+
+/// Parsed command line: a command word plus --key value (or bare --flag)
+/// options.
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  std::optional<std::string> Get(const std::string& key) const {
+    auto it = options.find(key);
+    if (it == options.end()) return std::nullopt;
+    return it->second;
+  }
+  bool Has(const std::string& key) const { return options.count(key) != 0; }
+  int GetInt(const std::string& key, int fallback) const {
+    auto value = Get(key);
+    return value ? std::atoi(value->c_str()) : fallback;
+  }
+};
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected argument '" + token + "'");
+    }
+    std::string key = token.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "";  // bare flag
+    }
+  }
+  return args;
+}
+
+Result<HinGraph> LoadGraphArg(const Args& args) {
+  auto path = args.Get("graph");
+  if (!path) return Status::InvalidArgument("--graph FILE is required");
+  return LoadHinGraphFromFile(*path);
+}
+
+Result<MetaPath> ParsePathArg(const HinGraph& graph, const Args& args) {
+  auto spec = args.Get("path");
+  if (!spec) return Status::InvalidArgument("--path SPEC is required");
+  return MetaPath::Parse(graph.schema(), *spec);
+}
+
+Result<TypeId> ResolveType(const Schema& schema, const std::string& token) {
+  if (token.size() == 1) {
+    Result<TypeId> by_code = schema.TypeByCode(token[0]);
+    if (by_code.ok()) return by_code;
+  }
+  return schema.TypeByName(token);
+}
+
+Status RunGenerate(const Args& args) {
+  auto out = args.Get("out");
+  auto dataset = args.Get("dataset");
+  if (!out || !dataset) {
+    return Status::InvalidArgument("generate needs --dataset acm|dblp and --out FILE");
+  }
+  if (*dataset == "acm") {
+    AcmConfig config;
+    config.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
+    config.num_papers = args.GetInt("papers", config.num_papers);
+    config.num_authors = args.GetInt("authors", config.num_authors);
+    HETESIM_ASSIGN_OR_RETURN(AcmDataset acm, GenerateAcm(config));
+    HETESIM_RETURN_NOT_OK(SaveHinGraphToFile(acm.graph, *out));
+    std::printf("wrote ACM-style network to %s\n%s", out->c_str(),
+                acm.graph.Summary().c_str());
+    return Status::OK();
+  }
+  if (*dataset == "dblp") {
+    DblpConfig config;
+    config.seed = static_cast<uint64_t>(args.GetInt("seed", 11));
+    config.num_papers = args.GetInt("papers", config.num_papers);
+    config.num_authors = args.GetInt("authors", config.num_authors);
+    HETESIM_ASSIGN_OR_RETURN(DblpDataset dblp, GenerateDblp(config));
+    HETESIM_RETURN_NOT_OK(SaveHinGraphToFile(dblp.graph, *out));
+    std::printf("wrote DBLP-style network to %s\n%s", out->c_str(),
+                dblp.graph.Summary().c_str());
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown dataset '" + *dataset + "'");
+}
+
+Status RunSummary(const Args& args) {
+  HETESIM_ASSIGN_OR_RETURN(HinGraph graph, LoadGraphArg(args));
+  std::printf("%s", graph.Summary().c_str());
+  if (args.Has("detailed")) {
+    std::printf("%s", RenderGraphStats(graph, ComputeGraphStats(graph)).c_str());
+  }
+  return Status::OK();
+}
+
+Status RunDot(const Args& args) {
+  HETESIM_ASSIGN_OR_RETURN(HinGraph graph, LoadGraphArg(args));
+  if (args.Has("schema")) {
+    std::printf("%s", SchemaToDot(graph.schema()).c_str());
+    return Status::OK();
+  }
+  auto type_token = args.Get("type");
+  auto node_name = args.Get("node");
+  if (!type_token || !node_name) {
+    return Status::InvalidArgument(
+        "dot needs --schema, or --type TYPE --node NAME");
+  }
+  HETESIM_ASSIGN_OR_RETURN(TypeId type, ResolveType(graph.schema(), *type_token));
+  HETESIM_ASSIGN_OR_RETURN(Index id, graph.FindNode(type, *node_name));
+  HETESIM_ASSIGN_OR_RETURN(
+      std::string dot,
+      NeighborhoodToDot(graph, type, id, args.GetInt("radius", 2),
+                        args.GetInt("max-nodes", 50)));
+  std::printf("%s", dot.c_str());
+  return Status::OK();
+}
+
+Status RunCluster(const Args& args) {
+  HETESIM_ASSIGN_OR_RETURN(HinGraph graph, LoadGraphArg(args));
+  HETESIM_ASSIGN_OR_RETURN(MetaPath path, ParsePathArg(graph, args));
+  if (path.SourceType() != path.TargetType()) {
+    return Status::InvalidArgument(
+        "cluster needs a same-typed (ideally symmetric) path");
+  }
+  const int k = args.GetInt("k", 4);
+  HeteSimEngine engine(graph);
+  DenseMatrix affinity = engine.Compute(path);
+  HETESIM_ASSIGN_OR_RETURN(std::vector<int> clusters,
+                           SpectralClusterNormalizedCut(affinity, k));
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    std::printf("%-24s %d\n",
+                graph.NodeName(path.SourceType(), static_cast<Index>(i)).c_str(),
+                clusters[i]);
+  }
+  return Status::OK();
+}
+
+Status RunPaths(const Args& args) {
+  HETESIM_ASSIGN_OR_RETURN(HinGraph graph, LoadGraphArg(args));
+  auto from = args.Get("from");
+  auto to = args.Get("to");
+  if (!from || !to) {
+    return Status::InvalidArgument("paths needs --from TYPE and --to TYPE");
+  }
+  HETESIM_ASSIGN_OR_RETURN(TypeId source, ResolveType(graph.schema(), *from));
+  HETESIM_ASSIGN_OR_RETURN(TypeId target, ResolveType(graph.schema(), *to));
+  EnumerateOptions options;
+  options.max_length = args.GetInt("max-length", 4);
+  options.symmetric_only = args.Has("symmetric");
+  HETESIM_ASSIGN_OR_RETURN(std::vector<MetaPath> paths,
+                           EnumerateMetaPaths(graph.schema(), source, target,
+                                              options));
+  for (const MetaPath& path : paths) {
+    std::printf("%-20s %s\n", path.ToString().c_str(),
+                path.ToRelationString().c_str());
+  }
+  std::printf("%zu paths\n", paths.size());
+  return Status::OK();
+}
+
+Status RunPair(const Args& args) {
+  HETESIM_ASSIGN_OR_RETURN(HinGraph graph, LoadGraphArg(args));
+  HETESIM_ASSIGN_OR_RETURN(MetaPath path, ParsePathArg(graph, args));
+  auto source_name = args.Get("source");
+  auto target_name = args.Get("target");
+  if (!source_name || !target_name) {
+    return Status::InvalidArgument("pair needs --source NAME and --target NAME");
+  }
+  HETESIM_ASSIGN_OR_RETURN(Index source,
+                           graph.FindNode(path.SourceType(), *source_name));
+  HETESIM_ASSIGN_OR_RETURN(Index target,
+                           graph.FindNode(path.TargetType(), *target_name));
+  HeteSimOptions options;
+  options.normalized = !args.Has("unnormalized");
+  HeteSimEngine engine(graph, options);
+  HETESIM_ASSIGN_OR_RETURN(double score, engine.ComputePair(path, source, target));
+  std::printf("HeteSim(%s, %s | %s) = %.6f\n", source_name->c_str(),
+              target_name->c_str(), path.ToString().c_str(), score);
+  return Status::OK();
+}
+
+Status RunTopK(const Args& args) {
+  HETESIM_ASSIGN_OR_RETURN(HinGraph graph, LoadGraphArg(args));
+  HETESIM_ASSIGN_OR_RETURN(MetaPath path, ParsePathArg(graph, args));
+  auto source_name = args.Get("source");
+  if (!source_name) return Status::InvalidArgument("topk needs --source NAME");
+  HETESIM_ASSIGN_OR_RETURN(Index source,
+                           graph.FindNode(path.SourceType(), *source_name));
+  const int k = args.GetInt("k", 10);
+  TopKSearcher searcher(graph, path);
+  HETESIM_ASSIGN_OR_RETURN(TopKResult result, searcher.Query(source, k));
+  int rank = 1;
+  for (const Scored& item : result.items) {
+    std::printf("%3d. %-24s %.6f\n", rank++,
+                graph.NodeName(path.TargetType(), item.id).c_str(), item.score);
+  }
+  std::printf("(%lld of %lld candidates examined)\n",
+              static_cast<long long>(result.candidates_examined),
+              static_cast<long long>(searcher.num_targets()));
+  return Status::OK();
+}
+
+Status RunTopKPairs(const Args& args) {
+  HETESIM_ASSIGN_OR_RETURN(HinGraph graph, LoadGraphArg(args));
+  HETESIM_ASSIGN_OR_RETURN(MetaPath path, ParsePathArg(graph, args));
+  const int k = args.GetInt("k", 10);
+  HETESIM_ASSIGN_OR_RETURN(
+      std::vector<ScoredPair> pairs,
+      TopKPairs(graph, path, k, args.Has("exclude-diagonal")));
+  int rank = 1;
+  for (const ScoredPair& pair : pairs) {
+    std::printf("%3d. %-20s %-20s %.6f\n", rank++,
+                graph.NodeName(path.SourceType(), pair.source).c_str(),
+                graph.NodeName(path.TargetType(), pair.target).c_str(),
+                pair.score);
+  }
+  return Status::OK();
+}
+
+Status RunMatrix(const Args& args) {
+  HETESIM_ASSIGN_OR_RETURN(HinGraph graph, LoadGraphArg(args));
+  HETESIM_ASSIGN_OR_RETURN(MetaPath path, ParsePathArg(graph, args));
+  auto out = args.Get("out");
+  if (!out) return Status::InvalidArgument("matrix needs --out FILE.csv");
+  HeteSimOptions options;
+  options.num_threads = args.GetInt("threads", 1);
+  HeteSimEngine engine(graph, options);
+  DenseMatrix scores = engine.Compute(path);
+  std::ofstream file(*out);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open '" + *out + "' for writing");
+  }
+  const TypeId source_type = path.SourceType();
+  const TypeId target_type = path.TargetType();
+  file << "source";
+  for (Index b = 0; b < scores.cols(); ++b) {
+    file << "," << graph.NodeName(target_type, b);
+  }
+  file << "\n";
+  for (Index a = 0; a < scores.rows(); ++a) {
+    file << graph.NodeName(source_type, a);
+    for (Index b = 0; b < scores.cols(); ++b) file << "," << scores(a, b);
+    file << "\n";
+  }
+  if (!file.good()) return Status::IOError("matrix write failed");
+  std::printf("wrote %lld x %lld relevance matrix along %s to %s\n",
+              static_cast<long long>(scores.rows()),
+              static_cast<long long>(scores.cols()), path.ToString().c_str(),
+              out->c_str());
+  return Status::OK();
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: hetesim_cli COMMAND [--options]\n"
+               "commands:\n"
+               "  generate --dataset acm|dblp --out FILE [--seed N] "
+               "[--papers N] [--authors N]\n"
+               "  summary  --graph FILE [--detailed]\n"
+               "  dot      --graph FILE (--schema | --type TYPE --node NAME "
+               "[--radius N] [--max-nodes N])\n"
+               "  cluster  --graph FILE --path SPEC [--k N]\n"
+               "  paths    --graph FILE --from TYPE --to TYPE "
+               "[--max-length N] [--symmetric]\n"
+               "  pair     --graph FILE --path SPEC --source NAME "
+               "--target NAME [--unnormalized]\n"
+               "  topk     --graph FILE --path SPEC --source NAME [--k N]\n"
+               "  topk-pairs --graph FILE --path SPEC [--k N] "
+               "[--exclude-diagonal]\n"
+               "  matrix   --graph FILE --path SPEC --out FILE.csv "
+               "[--threads N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Result<Args> args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
+    PrintUsage();
+    return 2;
+  }
+  Status status;
+  if (args->command == "generate") {
+    status = RunGenerate(*args);
+  } else if (args->command == "summary") {
+    status = RunSummary(*args);
+  } else if (args->command == "dot") {
+    status = RunDot(*args);
+  } else if (args->command == "cluster") {
+    status = RunCluster(*args);
+  } else if (args->command == "paths") {
+    status = RunPaths(*args);
+  } else if (args->command == "pair") {
+    status = RunPair(*args);
+  } else if (args->command == "topk") {
+    status = RunTopK(*args);
+  } else if (args->command == "topk-pairs") {
+    status = RunTopKPairs(*args);
+  } else if (args->command == "matrix") {
+    status = RunMatrix(*args);
+  } else if (args->command == "help" || args->command == "--help") {
+    PrintUsage();
+    return 0;
+  } else {
+    std::fprintf(stderr, "error: unknown command '%s'\n", args->command.c_str());
+    PrintUsage();
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
