@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approx_truncation.dir/bench_approx_truncation.cc.o"
+  "CMakeFiles/bench_approx_truncation.dir/bench_approx_truncation.cc.o.d"
+  "bench_approx_truncation"
+  "bench_approx_truncation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approx_truncation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

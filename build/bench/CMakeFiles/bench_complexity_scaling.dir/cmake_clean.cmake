@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_complexity_scaling.dir/bench_complexity_scaling.cc.o"
+  "CMakeFiles/bench_complexity_scaling.dir/bench_complexity_scaling.cc.o.d"
+  "bench_complexity_scaling"
+  "bench_complexity_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_complexity_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_decomposition.dir/bench_fig5_decomposition.cc.o"
+  "CMakeFiles/bench_fig5_decomposition.dir/bench_fig5_decomposition.cc.o.d"
+  "bench_fig5_decomposition"
+  "bench_fig5_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rank_difference.dir/bench_fig6_rank_difference.cc.o"
+  "CMakeFiles/bench_fig6_rank_difference.dir/bench_fig6_rank_difference.cc.o.d"
+  "bench_fig6_rank_difference"
+  "bench_fig6_rank_difference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rank_difference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

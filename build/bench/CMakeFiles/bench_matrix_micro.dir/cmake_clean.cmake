@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_matrix_micro.dir/bench_matrix_micro.cc.o"
+  "CMakeFiles/bench_matrix_micro.dir/bench_matrix_micro.cc.o.d"
+  "bench_matrix_micro"
+  "bench_matrix_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_matrix_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

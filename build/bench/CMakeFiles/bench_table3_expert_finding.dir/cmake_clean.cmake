@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_expert_finding.dir/bench_table3_expert_finding.cc.o"
+  "CMakeFiles/bench_table3_expert_finding.dir/bench_table3_expert_finding.cc.o.d"
+  "bench_table3_expert_finding"
+  "bench_table3_expert_finding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_expert_finding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_related_authors.dir/bench_table4_related_authors.cc.o"
+  "CMakeFiles/bench_table4_related_authors.dir/bench_table4_related_authors.cc.o.d"
+  "bench_table4_related_authors"
+  "bench_table4_related_authors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_related_authors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

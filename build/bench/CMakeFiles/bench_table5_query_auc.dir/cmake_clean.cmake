@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_query_auc.dir/bench_table5_query_auc.cc.o"
+  "CMakeFiles/bench_table5_query_auc.dir/bench_table5_query_auc.cc.o.d"
+  "bench_table5_query_auc"
+  "bench_table5_query_auc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_query_auc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_clustering_nmi.dir/bench_table6_clustering_nmi.cc.o"
+  "CMakeFiles/bench_table6_clustering_nmi.dir/bench_table6_clustering_nmi.cc.o.d"
+  "bench_table6_clustering_nmi"
+  "bench_table6_clustering_nmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_clustering_nmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

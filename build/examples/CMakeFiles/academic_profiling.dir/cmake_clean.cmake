@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/academic_profiling.dir/academic_profiling.cpp.o"
+  "CMakeFiles/academic_profiling.dir/academic_profiling.cpp.o.d"
+  "academic_profiling"
+  "academic_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/academic_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

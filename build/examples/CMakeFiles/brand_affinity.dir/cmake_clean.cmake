@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brand_affinity.dir/brand_affinity.cpp.o"
+  "CMakeFiles/brand_affinity.dir/brand_affinity.cpp.o.d"
+  "brand_affinity"
+  "brand_affinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brand_affinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

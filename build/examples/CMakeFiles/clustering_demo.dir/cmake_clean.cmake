@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_demo.dir/clustering_demo.cpp.o"
+  "CMakeFiles/clustering_demo.dir/clustering_demo.cpp.o.d"
+  "clustering_demo"
+  "clustering_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

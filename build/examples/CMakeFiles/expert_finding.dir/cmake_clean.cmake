@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expert_finding.dir/expert_finding.cpp.o"
+  "CMakeFiles/expert_finding.dir/expert_finding.cpp.o.d"
+  "expert_finding"
+  "expert_finding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expert_finding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;11;hetesim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_academic_profiling "/root/repo/build/examples/academic_profiling")
+set_tests_properties(example_academic_profiling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;12;hetesim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_expert_finding "/root/repo/build/examples/expert_finding")
+set_tests_properties(example_expert_finding PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;13;hetesim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_clustering_demo "/root/repo/build/examples/clustering_demo")
+set_tests_properties(example_clustering_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;14;hetesim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_recommendation "/root/repo/build/examples/recommendation")
+set_tests_properties(example_recommendation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;15;hetesim_add_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_brand_affinity "/root/repo/build/examples/brand_affinity")
+set_tests_properties(example_brand_affinity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;16;hetesim_add_example;/root/repo/examples/CMakeLists.txt;0;")

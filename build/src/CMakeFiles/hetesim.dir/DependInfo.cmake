@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/objectrank.cc" "src/CMakeFiles/hetesim.dir/baselines/objectrank.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/baselines/objectrank.cc.o.d"
+  "/root/repo/src/baselines/pathsim.cc" "src/CMakeFiles/hetesim.dir/baselines/pathsim.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/baselines/pathsim.cc.o.d"
+  "/root/repo/src/baselines/pcrw.cc" "src/CMakeFiles/hetesim.dir/baselines/pcrw.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/baselines/pcrw.cc.o.d"
+  "/root/repo/src/baselines/rwr.cc" "src/CMakeFiles/hetesim.dir/baselines/rwr.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/baselines/rwr.cc.o.d"
+  "/root/repo/src/baselines/scan.cc" "src/CMakeFiles/hetesim.dir/baselines/scan.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/baselines/scan.cc.o.d"
+  "/root/repo/src/baselines/simrank.cc" "src/CMakeFiles/hetesim.dir/baselines/simrank.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/baselines/simrank.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/hetesim.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/parallel.cc" "src/CMakeFiles/hetesim.dir/common/parallel.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/common/parallel.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/hetesim.dir/common/random.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/common/random.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/hetesim.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/hetesim.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/advisor.cc" "src/CMakeFiles/hetesim.dir/core/advisor.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/core/advisor.cc.o.d"
+  "/root/repo/src/core/hetesim.cc" "src/CMakeFiles/hetesim.dir/core/hetesim.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/core/hetesim.cc.o.d"
+  "/root/repo/src/core/materialize.cc" "src/CMakeFiles/hetesim.dir/core/materialize.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/core/materialize.cc.o.d"
+  "/root/repo/src/core/path_matrix.cc" "src/CMakeFiles/hetesim.dir/core/path_matrix.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/core/path_matrix.cc.o.d"
+  "/root/repo/src/core/topk.cc" "src/CMakeFiles/hetesim.dir/core/topk.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/core/topk.cc.o.d"
+  "/root/repo/src/datagen/acm_generator.cc" "src/CMakeFiles/hetesim.dir/datagen/acm_generator.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/datagen/acm_generator.cc.o.d"
+  "/root/repo/src/datagen/dblp_generator.cc" "src/CMakeFiles/hetesim.dir/datagen/dblp_generator.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/datagen/dblp_generator.cc.o.d"
+  "/root/repo/src/datagen/io.cc" "src/CMakeFiles/hetesim.dir/datagen/io.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/datagen/io.cc.o.d"
+  "/root/repo/src/datagen/random_hin.cc" "src/CMakeFiles/hetesim.dir/datagen/random_hin.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/datagen/random_hin.cc.o.d"
+  "/root/repo/src/datagen/retail_generator.cc" "src/CMakeFiles/hetesim.dir/datagen/retail_generator.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/datagen/retail_generator.cc.o.d"
+  "/root/repo/src/hin/builder.cc" "src/CMakeFiles/hetesim.dir/hin/builder.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/hin/builder.cc.o.d"
+  "/root/repo/src/hin/dot.cc" "src/CMakeFiles/hetesim.dir/hin/dot.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/hin/dot.cc.o.d"
+  "/root/repo/src/hin/dynamic.cc" "src/CMakeFiles/hetesim.dir/hin/dynamic.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/hin/dynamic.cc.o.d"
+  "/root/repo/src/hin/enumerate.cc" "src/CMakeFiles/hetesim.dir/hin/enumerate.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/hin/enumerate.cc.o.d"
+  "/root/repo/src/hin/graph.cc" "src/CMakeFiles/hetesim.dir/hin/graph.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/hin/graph.cc.o.d"
+  "/root/repo/src/hin/homogeneous.cc" "src/CMakeFiles/hetesim.dir/hin/homogeneous.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/hin/homogeneous.cc.o.d"
+  "/root/repo/src/hin/metapath.cc" "src/CMakeFiles/hetesim.dir/hin/metapath.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/hin/metapath.cc.o.d"
+  "/root/repo/src/hin/schema.cc" "src/CMakeFiles/hetesim.dir/hin/schema.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/hin/schema.cc.o.d"
+  "/root/repo/src/hin/stats.cc" "src/CMakeFiles/hetesim.dir/hin/stats.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/hin/stats.cc.o.d"
+  "/root/repo/src/learn/eigen_jacobi.cc" "src/CMakeFiles/hetesim.dir/learn/eigen_jacobi.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/learn/eigen_jacobi.cc.o.d"
+  "/root/repo/src/learn/kmeans.cc" "src/CMakeFiles/hetesim.dir/learn/kmeans.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/learn/kmeans.cc.o.d"
+  "/root/repo/src/learn/lanczos.cc" "src/CMakeFiles/hetesim.dir/learn/lanczos.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/learn/lanczos.cc.o.d"
+  "/root/repo/src/learn/metrics.cc" "src/CMakeFiles/hetesim.dir/learn/metrics.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/learn/metrics.cc.o.d"
+  "/root/repo/src/learn/path_weights.cc" "src/CMakeFiles/hetesim.dir/learn/path_weights.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/learn/path_weights.cc.o.d"
+  "/root/repo/src/learn/spectral.cc" "src/CMakeFiles/hetesim.dir/learn/spectral.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/learn/spectral.cc.o.d"
+  "/root/repo/src/matrix/dense.cc" "src/CMakeFiles/hetesim.dir/matrix/dense.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/matrix/dense.cc.o.d"
+  "/root/repo/src/matrix/ops.cc" "src/CMakeFiles/hetesim.dir/matrix/ops.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/matrix/ops.cc.o.d"
+  "/root/repo/src/matrix/serialize.cc" "src/CMakeFiles/hetesim.dir/matrix/serialize.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/matrix/serialize.cc.o.d"
+  "/root/repo/src/matrix/sparse.cc" "src/CMakeFiles/hetesim.dir/matrix/sparse.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/matrix/sparse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acm_generator.dir/test_acm_generator.cc.o"
+  "CMakeFiles/test_acm_generator.dir/test_acm_generator.cc.o.d"
+  "test_acm_generator"
+  "test_acm_generator.pdb"
+  "test_acm_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acm_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

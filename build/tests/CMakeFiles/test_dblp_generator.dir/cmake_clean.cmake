@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dblp_generator.dir/test_dblp_generator.cc.o"
+  "CMakeFiles/test_dblp_generator.dir/test_dblp_generator.cc.o.d"
+  "test_dblp_generator"
+  "test_dblp_generator.pdb"
+  "test_dblp_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dblp_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eigen_jacobi.dir/test_eigen_jacobi.cc.o"
+  "CMakeFiles/test_eigen_jacobi.dir/test_eigen_jacobi.cc.o.d"
+  "test_eigen_jacobi"
+  "test_eigen_jacobi.pdb"
+  "test_eigen_jacobi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eigen_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

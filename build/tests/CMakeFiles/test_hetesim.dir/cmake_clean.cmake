@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hetesim.dir/test_hetesim.cc.o"
+  "CMakeFiles/test_hetesim.dir/test_hetesim.cc.o.d"
+  "test_hetesim"
+  "test_hetesim.pdb"
+  "test_hetesim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hetesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

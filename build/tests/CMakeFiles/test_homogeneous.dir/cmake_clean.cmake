@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_homogeneous.dir/test_homogeneous.cc.o"
+  "CMakeFiles/test_homogeneous.dir/test_homogeneous.cc.o.d"
+  "test_homogeneous"
+  "test_homogeneous.pdb"
+  "test_homogeneous[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

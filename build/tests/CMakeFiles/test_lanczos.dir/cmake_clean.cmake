@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lanczos.dir/test_lanczos.cc.o"
+  "CMakeFiles/test_lanczos.dir/test_lanczos.cc.o.d"
+  "test_lanczos"
+  "test_lanczos.pdb"
+  "test_lanczos[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lanczos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

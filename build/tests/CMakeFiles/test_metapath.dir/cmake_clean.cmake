@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metapath.dir/test_metapath.cc.o"
+  "CMakeFiles/test_metapath.dir/test_metapath.cc.o.d"
+  "test_metapath"
+  "test_metapath.pdb"
+  "test_metapath[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metapath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_objectrank.dir/test_objectrank.cc.o"
+  "CMakeFiles/test_objectrank.dir/test_objectrank.cc.o.d"
+  "test_objectrank"
+  "test_objectrank.pdb"
+  "test_objectrank[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_objectrank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

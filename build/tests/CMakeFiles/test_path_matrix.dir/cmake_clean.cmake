@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_matrix.dir/test_path_matrix.cc.o"
+  "CMakeFiles/test_path_matrix.dir/test_path_matrix.cc.o.d"
+  "test_path_matrix"
+  "test_path_matrix.pdb"
+  "test_path_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

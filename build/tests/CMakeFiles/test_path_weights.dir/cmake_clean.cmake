@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_path_weights.dir/test_path_weights.cc.o"
+  "CMakeFiles/test_path_weights.dir/test_path_weights.cc.o.d"
+  "test_path_weights"
+  "test_path_weights.pdb"
+  "test_path_weights[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_path_weights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

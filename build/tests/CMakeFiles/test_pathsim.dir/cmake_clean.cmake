@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pathsim.dir/test_pathsim.cc.o"
+  "CMakeFiles/test_pathsim.dir/test_pathsim.cc.o.d"
+  "test_pathsim"
+  "test_pathsim.pdb"
+  "test_pathsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pathsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

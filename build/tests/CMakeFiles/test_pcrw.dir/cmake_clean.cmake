@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pcrw.dir/test_pcrw.cc.o"
+  "CMakeFiles/test_pcrw.dir/test_pcrw.cc.o.d"
+  "test_pcrw"
+  "test_pcrw.pdb"
+  "test_pcrw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pcrw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_retail_generator.dir/test_retail_generator.cc.o"
+  "CMakeFiles/test_retail_generator.dir/test_retail_generator.cc.o.d"
+  "test_retail_generator"
+  "test_retail_generator.pdb"
+  "test_retail_generator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_retail_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

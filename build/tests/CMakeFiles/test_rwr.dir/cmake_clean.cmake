@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rwr.dir/test_rwr.cc.o"
+  "CMakeFiles/test_rwr.dir/test_rwr.cc.o.d"
+  "test_rwr"
+  "test_rwr.pdb"
+  "test_rwr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rwr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_dot.dir/test_stats_dot.cc.o"
+  "CMakeFiles/test_stats_dot.dir/test_stats_dot.cc.o.d"
+  "test_stats_dot"
+  "test_stats_dot.pdb"
+  "test_stats_dot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

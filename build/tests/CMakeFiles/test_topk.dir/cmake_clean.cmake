@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_topk.dir/test_topk.cc.o"
+  "CMakeFiles/test_topk.dir/test_topk.cc.o.d"
+  "test_topk"
+  "test_topk.pdb"
+  "test_topk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

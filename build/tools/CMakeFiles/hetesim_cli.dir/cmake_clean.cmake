@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetesim_cli.dir/hetesim_cli.cc.o"
+  "CMakeFiles/hetesim_cli.dir/hetesim_cli.cc.o.d"
+  "hetesim_cli"
+  "hetesim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetesim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
