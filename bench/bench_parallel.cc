@@ -1,13 +1,24 @@
-// Parallel-execution ablation: the full-matrix HeteSim computation is
-// row-parallel (SpGEMM of the two reachable matrices + normalization
-// sweep). Expected shape: near-linear speedup while chunks stay larger
-// than the per-thread fixed cost, saturating at the hardware thread count;
-// results are bitwise identical at any thread count (tested in
-// test_parallel.cc), so this trades nothing for the speed.
+// Parallel-execution ablation, two axes:
+//
+//  1. Thread scaling of the full-matrix HeteSim computation (SpGEMM of the
+//     two reachable matrices + normalization sweep, both row-parallel).
+//     Near-linear speedup while chunks outweigh per-dispatch fixed cost,
+//     saturating at the hardware thread count; results are bitwise
+//     identical at any thread count (tested in test_parallel.cc).
+//
+//  2. Dispatch cost: the persistent-pool runtime vs the historical
+//     spawn-per-call baseline (one std::thread create+join per region per
+//     call) on the same DBLP-scale workload. The pool amortizes thread
+//     startup across queries, so `BM_ComputeDblpPooled` should beat
+//     `BM_ComputeDblpSpawnPerCall` at every thread count > 1, and
+//     `BM_DispatchOverhead*` isolates the per-region cost difference.
 
 #include <benchmark/benchmark.h>
 
+#include "common/parallel.h"
+#include "common/thread_pool.h"
 #include "core/hetesim.h"
+#include "datagen/dblp_generator.h"
 #include "datagen/random_hin.h"
 #include "hin/metapath.h"
 
@@ -18,6 +29,16 @@ using namespace hetesim;
 const HinGraph& BigGraph() {
   static const HinGraph* const kGraph =
       new HinGraph(RandomTripartite(1500, 1500, 400, 0.01, 31));
+  return *kGraph;
+}
+
+/// The DBLP-scale network (DESIGN.md §4 scale knobs): the acceptance
+/// workload for the pooled-vs-spawn comparison.
+const HinGraph& DblpGraph() {
+  static const HinGraph* const kGraph = [] {
+    DblpConfig config;
+    return new HinGraph(std::move(GenerateDblp(config)->graph));
+  }();
   return *kGraph;
 }
 
@@ -45,6 +66,66 @@ void BM_SpGemmThreads(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpGemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// --- Pooled vs spawn-per-call on the DBLP-scale generator ---
+
+void ComputeDblpWithDispatch(benchmark::State& state, ParallelDispatch dispatch) {
+  const int threads = static_cast<int>(state.range(0));
+  const HinGraph& g = DblpGraph();
+  // Author-paper-conference-paper-author: a middle type small enough that
+  // the per-region dispatch cost is a visible fraction of the query.
+  MetaPath path = MetaPath::Parse(g.schema(), "APCPA").value();
+  HeteSimOptions options;
+  options.num_threads = threads;
+  HeteSimEngine engine(g, options);
+  SetParallelDispatch(dispatch);
+  for (auto _ : state) {
+    DenseMatrix scores = engine.Compute(path);
+    benchmark::DoNotOptimize(scores.data().data());
+  }
+  SetParallelDispatch(ParallelDispatch::kPooled);
+}
+
+void BM_ComputeDblpPooled(benchmark::State& state) {
+  ComputeDblpWithDispatch(state, ParallelDispatch::kPooled);
+}
+BENCHMARK(BM_ComputeDblpPooled)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_ComputeDblpSpawnPerCall(benchmark::State& state) {
+  ComputeDblpWithDispatch(state, ParallelDispatch::kSpawnPerCall);
+}
+BENCHMARK(BM_ComputeDblpSpawnPerCall)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// --- Raw per-region dispatch cost (the quantity the pool amortizes) ---
+
+void DispatchOverhead(benchmark::State& state, ParallelDispatch dispatch) {
+  const int threads = static_cast<int>(state.range(0));
+  SetParallelDispatch(dispatch);
+  std::vector<double> data(4096, 1.0);
+  GrainOptions grain;
+  grain.cost_per_element = 1e6;  // force a real multi-block dispatch
+  for (auto _ : state) {
+    ParallelFor(
+        0, static_cast<int64_t>(data.size()), threads,
+        [&data](int64_t begin, int64_t end) {
+          double acc = 0.0;
+          for (int64_t i = begin; i < end; ++i) acc += data[static_cast<size_t>(i)];
+          benchmark::DoNotOptimize(acc);
+        },
+        grain);
+  }
+  SetParallelDispatch(ParallelDispatch::kPooled);
+}
+
+void BM_DispatchOverheadPooled(benchmark::State& state) {
+  DispatchOverhead(state, ParallelDispatch::kPooled);
+}
+BENCHMARK(BM_DispatchOverheadPooled)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+void BM_DispatchOverheadSpawnPerCall(benchmark::State& state) {
+  DispatchOverhead(state, ParallelDispatch::kSpawnPerCall);
+}
+BENCHMARK(BM_DispatchOverheadSpawnPerCall)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
 
 }  // namespace
 

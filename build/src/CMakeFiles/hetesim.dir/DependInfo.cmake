@@ -19,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/random.cc" "src/CMakeFiles/hetesim.dir/common/random.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/common/random.cc.o.d"
   "/root/repo/src/common/status.cc" "src/CMakeFiles/hetesim.dir/common/status.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/common/status.cc.o.d"
   "/root/repo/src/common/string_util.cc" "src/CMakeFiles/hetesim.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/hetesim.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/common/thread_pool.cc.o.d"
   "/root/repo/src/core/advisor.cc" "src/CMakeFiles/hetesim.dir/core/advisor.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/core/advisor.cc.o.d"
   "/root/repo/src/core/hetesim.cc" "src/CMakeFiles/hetesim.dir/core/hetesim.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/core/hetesim.cc.o.d"
   "/root/repo/src/core/materialize.cc" "src/CMakeFiles/hetesim.dir/core/materialize.cc.o" "gcc" "src/CMakeFiles/hetesim.dir/core/materialize.cc.o.d"

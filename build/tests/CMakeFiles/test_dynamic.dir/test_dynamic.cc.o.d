@@ -299,7 +299,16 @@ tests/CMakeFiles/test_dynamic.dir/test_dynamic.cc.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/hetesim.h /root/repo/src/core/path_matrix.h \
  /root/repo/src/hin/metapath.h /root/repo/src/core/materialize.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /root/repo/tests/test_util.h /root/repo/src/common/random.h \
- /root/repo/src/datagen/random_hin.h /root/repo/src/hin/builder.h
+ /usr/include/c++/12/future /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/condition_variable /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h \
+ /usr/include/c++/12/bits/atomic_futex.h /root/repo/tests/test_util.h \
+ /root/repo/src/common/random.h /root/repo/src/datagen/random_hin.h \
+ /root/repo/src/hin/builder.h

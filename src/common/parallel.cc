@@ -1,38 +1,81 @@
 #include "common/parallel.h"
 
 #include <algorithm>
+#include <atomic>
 #include <thread>
 #include <vector>
 
 namespace hetesim {
+
+namespace {
+
+std::atomic<ParallelDispatch> g_dispatch{ParallelDispatch::kPooled};
+
+/// The pre-pool execution strategy: one freshly spawned `std::thread` per
+/// block, joined before returning. Identical block partition to the pooled
+/// path so the two dispatch modes differ only in scheduling cost.
+void SpawnPerCallFor(int64_t begin, int64_t end, int threads,
+                     const std::function<void(int64_t, int64_t)>& body,
+                     const GrainOptions& grain) {
+  const internal::BlockPlan plan = internal::PlanBlocks(end - begin, threads, grain);
+  if (threads <= 1 || plan.num_blocks <= 1) {
+    body(begin, end);
+    return;
+  }
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(plan.num_blocks));
+  for (int64_t block = 0; block < plan.num_blocks; ++block) {
+    const int64_t block_begin = begin + block * plan.block_size;
+    const int64_t block_end = std::min(end, block_begin + plan.block_size);
+    workers.emplace_back([&body, block_begin, block_end] {
+      body(block_begin, block_end);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace
 
 int HardwareThreads() {
   const unsigned reported = std::thread::hardware_concurrency();
   return reported == 0 ? 1 : static_cast<int>(reported);
 }
 
-void ParallelChunks(int64_t begin, int64_t end, int num_threads,
-                    const std::function<void(int64_t, int64_t)>& body) {
-  const int64_t range = end - begin;
-  if (range <= 0) return;
-  const int chunks = static_cast<int>(
-      std::min<int64_t>(std::max(num_threads, 1), range));
-  if (chunks <= 1) {
-    body(begin, end);
+int ResolveNumThreads(int num_threads) {
+  if (num_threads == 0) return HardwareThreads();
+  return std::max(num_threads, 1);
+}
+
+void SetParallelDispatch(ParallelDispatch dispatch) {
+  g_dispatch.store(dispatch, std::memory_order_relaxed);
+}
+
+ParallelDispatch GetParallelDispatch() {
+  return g_dispatch.load(std::memory_order_relaxed);
+}
+
+void ParallelFor(int64_t begin, int64_t end, int num_threads,
+                 const std::function<void(int64_t, int64_t)>& body,
+                 const GrainOptions& grain) {
+  if (end - begin <= 0) return;
+  const int threads = ResolveNumThreads(num_threads);
+  if (GetParallelDispatch() == ParallelDispatch::kSpawnPerCall) {
+    SpawnPerCallFor(begin, end, threads, body, grain);
     return;
   }
-  const int64_t chunk_size = (range + chunks - 1) / chunks;
-  std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(chunks));
-  for (int c = 0; c < chunks; ++c) {
-    const int64_t chunk_begin = begin + c * chunk_size;
-    const int64_t chunk_end = std::min(end, chunk_begin + chunk_size);
-    if (chunk_begin >= chunk_end) break;
-    workers.emplace_back([&body, chunk_begin, chunk_end] {
-      body(chunk_begin, chunk_end);
-    });
-  }
-  for (std::thread& worker : workers) worker.join();
+  ThreadPool::Global().ParallelFor(begin, end, threads, body, grain);
+}
+
+void ParallelChunks(int64_t begin, int64_t end, int num_threads,
+                    const std::function<void(int64_t, int64_t)>& body) {
+  // Static split into at most `num_threads` chunks: min_grain 1 with one
+  // block per thread reproduces the historical chunk shape, now executed
+  // on the pool (or spawned, under the ablation baseline).
+  GrainOptions grain;
+  grain.cost_per_element = 1e9;  // always split down to min_grain
+  grain.min_grain = 1;
+  grain.max_blocks_per_thread = 1;
+  ParallelFor(begin, end, num_threads, body, grain);
 }
 
 }  // namespace hetesim

@@ -4,18 +4,53 @@
 #include <cstdint>
 #include <functional>
 
+#include "common/thread_pool.h"
+
 namespace hetesim {
 
 /// Number of hardware threads, at least 1.
 int HardwareThreads();
 
-/// \brief Runs `body(chunk_begin, chunk_end)` over a contiguous index
-/// range split into up to `num_threads` chunks, one thread per chunk.
+/// Resolves a `num_threads` option to an effective thread count:
+/// `0` means "all hardware threads" (the size of the global pool),
+/// negative values clamp to 1, everything else passes through.
+int ResolveNumThreads(int num_threads);
+
+/// How parallel regions are executed. `kPooled` (the default) dispatches
+/// onto the persistent `ThreadPool::Global()`; `kSpawnPerCall` creates and
+/// joins raw `std::thread`s for every region — the pre-pool behaviour, kept
+/// only as an ablation baseline for `bench_parallel` and tests. The setting
+/// is process-global and atomic; flip it only from a single thread while no
+/// region is in flight.
+enum class ParallelDispatch { kPooled, kSpawnPerCall };
+void SetParallelDispatch(ParallelDispatch dispatch);
+ParallelDispatch GetParallelDispatch();
+
+/// \brief Runs `body(block_begin, block_end)` over `[begin, end)` on the
+/// global thread pool with cost-based grain sizing (see `GrainOptions`).
 ///
-/// `num_threads <= 1` (or a range smaller than 2 elements per chunk) runs
-/// inline on the calling thread — no spawn cost for the sequential case.
-/// `body` must be safe to run concurrently on disjoint chunks; chunks
-/// partition `[begin, end)` exactly. Blocks until every chunk finishes.
+/// Up to `num_threads` threads participate (the caller plus pool workers);
+/// `num_threads == 0` uses all hardware threads, `<= 1` runs inline on the
+/// calling thread. Empty and single-element ranges, and thread counts
+/// larger than the range, are handled here — callers need no clamping.
+/// Blocks partition `[begin, end)` exactly and deterministically; blocks
+/// never overlap, so `body` only needs to be safe on disjoint ranges.
+/// Blocks until every block finishes. Safe to call from inside pool tasks
+/// (nested regions drain on the calling thread).
+void ParallelFor(int64_t begin, int64_t end, int num_threads,
+                 const std::function<void(int64_t, int64_t)>& body,
+                 const GrainOptions& grain = {});
+
+/// \brief Runs `body(chunk_begin, chunk_end)` over a contiguous index
+/// range split into up to `num_threads` chunks.
+///
+/// Thin shim over `ParallelFor` with static up-to-`num_threads` chunking,
+/// kept for callers that size per-chunk scratch buffers off the thread
+/// count. `num_threads == 0` uses all hardware threads; `<= 1` (or a range
+/// smaller than 2 elements) runs inline on the calling thread — no
+/// dispatch cost for the sequential case. `body` must be safe to run
+/// concurrently on disjoint chunks; chunks partition `[begin, end)`
+/// exactly. Blocks until every chunk finishes.
 void ParallelChunks(int64_t begin, int64_t end, int num_threads,
                     const std::function<void(int64_t, int64_t)>& body);
 

@@ -1,0 +1,179 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace hetesim {
+
+namespace internal {
+
+namespace {
+/// Target work per block, in `GrainOptions::cost_per_element` units. Tuned
+/// so a block of trivially cheap elements (~ns each) still outweighs the
+/// cost of a queue push + wake-up (~µs).
+constexpr double kTargetGrainCost = 16384.0;
+}  // namespace
+
+BlockPlan PlanBlocks(int64_t range, int threads, const GrainOptions& grain) {
+  if (range <= 0) return {0, 0};
+  const double cost = std::max(grain.cost_per_element, 1e-9);
+  int64_t grain_size = static_cast<int64_t>(kTargetGrainCost / cost);
+  grain_size = std::max<int64_t>({grain_size, grain.min_grain, 1});
+  const int64_t participants = std::max(threads, 1);
+  int64_t blocks = (range + grain_size - 1) / grain_size;
+  blocks = std::min(blocks,
+                    participants * std::max<int64_t>(grain.max_blocks_per_thread, 1));
+  blocks = std::max<int64_t>(std::min(blocks, range), 1);
+  const int64_t block_size = (range + blocks - 1) / blocks;
+  // Re-derive the count so no trailing block is empty.
+  blocks = (range + block_size - 1) / block_size;
+  return {block_size, blocks};
+}
+
+}  // namespace internal
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(num_threads, 0);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Leaked on purpose: worker threads must never be joined from static
+  // destructors (they may hold locks or outlive other statics). The
+  // pointer keeps the pool reachable, so LeakSanitizer stays quiet.
+  static ThreadPool* const pool = new ThreadPool(HardwareThreads());
+  return *pool;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  using Clock = std::chrono::steady_clock;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      const Clock::time_point idle_start = Clock::now();
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      worker_idle_ns_.fetch_add(
+          static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                    Clock::now() - idle_start)
+                                    .count()),
+          std::memory_order_relaxed);
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int num_threads,
+                             const std::function<void(int64_t, int64_t)>& body,
+                             const GrainOptions& grain) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  regions_.fetch_add(1, std::memory_order_relaxed);
+  const int threads = num_threads == 0 ? std::max(1, this->num_threads())
+                                       : std::max(num_threads, 1);
+  const internal::BlockPlan plan = internal::PlanBlocks(range, threads, grain);
+  if (threads <= 1 || plan.num_blocks <= 1) {
+    body(begin, end);
+    tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  /// Shared fan-out/join state. Held by shared_ptr so helper tasks that
+  /// fire after the region already finished (they claim no block and exit)
+  /// never touch freed memory.
+  struct Region {
+    std::atomic<int64_t> next{0};
+    int64_t done = 0;  // guarded by m
+    std::mutex m;
+    std::condition_variable cv;
+  };
+  auto region = std::make_shared<Region>();
+  const int64_t blocks = plan.num_blocks;
+  const int64_t block_size = plan.block_size;
+  // The caller outlives the last block (it waits for done == blocks), so
+  // late helpers only ever read the pointer, never dereference it.
+  const auto* body_ptr = &body;
+  auto drain = [this, region, body_ptr, begin, end, block_size, blocks](bool stolen) {
+    for (;;) {
+      const int64_t block = region->next.fetch_add(1, std::memory_order_relaxed);
+      if (block >= blocks) return;
+      const int64_t block_begin = begin + block * block_size;
+      const int64_t block_end = std::min(end, block_begin + block_size);
+      (*body_ptr)(block_begin, block_end);
+      tasks_run_.fetch_add(1, std::memory_order_relaxed);
+      if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(region->m);
+      if (++region->done == blocks) region->cv.notify_all();
+    }
+  };
+
+  // No more helpers than pool workers: extra tasks would only queue up and
+  // find no blocks left (a 0-worker pool degenerates to inline execution).
+  const int64_t helpers = std::min<int64_t>(
+      {threads - 1, blocks - 1, static_cast<int64_t>(this->num_threads())});
+  for (int64_t h = 0; h < helpers; ++h) {
+    Submit([drain] { drain(/*stolen=*/true); });
+  }
+  drain(/*stolen=*/false);
+
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point wait_start = Clock::now();
+  {
+    std::unique_lock<std::mutex> lock(region->m);
+    region->cv.wait(lock, [&] { return region->done == blocks; });
+  }
+  caller_wait_ns_.fetch_add(
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                Clock::now() - wait_start)
+                                .count()),
+      std::memory_order_relaxed);
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats stats;
+  stats.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  stats.steals = steals_.load(std::memory_order_relaxed);
+  stats.regions = regions_.load(std::memory_order_relaxed);
+  stats.caller_wait_seconds =
+      static_cast<double>(caller_wait_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  stats.worker_idle_seconds =
+      static_cast<double>(worker_idle_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  return stats;
+}
+
+void ThreadPool::ResetStats() {
+  tasks_run_.store(0, std::memory_order_relaxed);
+  steals_.store(0, std::memory_order_relaxed);
+  regions_.store(0, std::memory_order_relaxed);
+  caller_wait_ns_.store(0, std::memory_order_relaxed);
+  worker_idle_ns_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hetesim

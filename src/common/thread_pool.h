@@ -1,0 +1,137 @@
+#ifndef HETESIM_COMMON_THREAD_POOL_H_
+#define HETESIM_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hetesim {
+
+/// \brief Grain-sizing hints for `ParallelFor` (cost-based chunking).
+///
+/// A parallel region is split into *blocks* that workers claim dynamically.
+/// The block size is chosen so one block amortizes scheduling overhead:
+/// roughly `kTargetGrainCost / cost_per_element` elements per block, where
+/// `cost_per_element` is the caller's estimate of the work per element in
+/// arbitrary relative units (1.0 ~ a handful of arithmetic ops; pass e.g.
+/// the row width for a dense row sweep). Cheap bodies therefore get few
+/// large blocks — possibly one, which runs inline with zero dispatch cost —
+/// while expensive bodies get enough blocks for dynamic load balancing.
+struct GrainOptions {
+  /// Estimated relative cost of one element (>= 0; values < 1e-9 are
+  /// treated as 1e-9). Default assumes a trivially cheap body.
+  double cost_per_element = 1.0;
+  /// Lower bound on elements per block, applied after the cost heuristic.
+  int64_t min_grain = 1;
+  /// Upper bound on blocks per participating thread. More blocks than
+  /// threads lets fast threads pick up slack from slow ones; 1 reproduces
+  /// static up-to-`num_threads` chunking.
+  int64_t max_blocks_per_thread = 4;
+};
+
+namespace internal {
+/// Deterministic block partition of a `range`-element iteration space for
+/// `threads` participants under `grain`: `num_blocks` blocks of
+/// `block_size` elements each (the last block may be short). Centralizes
+/// the clamping previously repeated in every caller: always
+/// `1 <= num_blocks <= max(range, 1)`, and `num_blocks == 1` whenever the
+/// range is empty, `threads <= 1`, or the whole range is cheaper than one
+/// grain.
+struct BlockPlan {
+  int64_t block_size = 0;
+  int64_t num_blocks = 0;
+};
+BlockPlan PlanBlocks(int64_t range, int threads, const GrainOptions& grain);
+}  // namespace internal
+
+/// \brief A persistent pool of worker threads with a blocking task queue.
+///
+/// Workers are spawned once at construction and sleep on a condition
+/// variable when idle, so dispatching a parallel region costs a queue push
+/// and a wake-up instead of `pthread_create` + join per call. One
+/// lazily-initialized process-wide pool (`Global()`) is shared by every
+/// parallel region in the library — `SparseMatrix::MultiplyParallel`, the
+/// engine's normalization sweeps, `ComputePairs`, and the benches — so
+/// concurrent queries time-share one set of OS threads instead of
+/// oversubscribing the machine with per-call spawns.
+///
+/// Thread-safety: every public member is safe to call from any thread,
+/// including from inside pool tasks (`ParallelFor` is nested-safe: the
+/// caller always drains its own blocks, so a worker calling `ParallelFor`
+/// never deadlocks waiting for itself).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 0; a 0-worker pool
+  /// is valid — every region then runs entirely on the calling thread).
+  explicit ThreadPool(int num_threads);
+  /// Joins all workers after they drain the queue: every task submitted
+  /// before destruction runs (on a 0-worker pool, pending tasks are
+  /// discarded — but such a pool never enqueues region helpers).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// The process-wide pool, created on first use with `HardwareThreads()`
+  /// workers and intentionally never destroyed (worker threads must not be
+  /// joined during static destruction; the object stays reachable, so it
+  /// is not a leak under LeakSanitizer).
+  static ThreadPool& Global();
+
+  /// Number of worker threads (excluding callers, which also execute
+  /// blocks inside `ParallelFor`).
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues `task` for execution on some worker. Fire-and-forget; use
+  /// `ParallelFor` for blocking fan-out/join.
+  void Submit(std::function<void()> task);
+
+  /// Runs `body(block_begin, block_end)` over `[begin, end)` split per
+  /// `grain`, using up to `num_threads` participants: the calling thread
+  /// plus up to `num_threads - 1` pool workers. Blocks until the whole
+  /// range is done. `num_threads == 0` means "all hardware threads".
+  /// Blocks partition the range deterministically (same begin/end/threads/
+  /// grain => same block boundaries), so per-block output buffers are
+  /// race-free and results are reproducible at any thread count.
+  void ParallelFor(int64_t begin, int64_t end, int num_threads,
+                   const std::function<void(int64_t, int64_t)>& body,
+                   const GrainOptions& grain = {});
+
+  /// Concurrency counters, surfaced in the same spirit as
+  /// `PathMatrixCache::Stats`. All monotonically increasing.
+  struct Stats {
+    uint64_t tasks_run = 0;       ///< blocks executed (workers + callers)
+    uint64_t steals = 0;          ///< blocks executed by pool workers
+    uint64_t regions = 0;         ///< ParallelFor regions dispatched
+    double caller_wait_seconds = 0;  ///< callers blocked on straggler blocks
+    double worker_idle_seconds = 0;  ///< workers blocked on an empty queue
+  };
+  Stats stats() const;
+  /// Zeroes all counters (benches bracket runs with this).
+  void ResetStats();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;  // guards queue_ and stop_
+  std::condition_variable queue_cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+
+  std::atomic<uint64_t> tasks_run_{0};
+  std::atomic<uint64_t> steals_{0};
+  std::atomic<uint64_t> regions_{0};
+  std::atomic<uint64_t> caller_wait_ns_{0};
+  std::atomic<uint64_t> worker_idle_ns_{0};
+};
+
+}  // namespace hetesim
+
+#endif  // HETESIM_COMMON_THREAD_POOL_H_

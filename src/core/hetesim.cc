@@ -44,18 +44,20 @@ DenseMatrix HeteSimEngine::Compute(const MetaPath& path) const {
   for (Index a = 0; a < left.rows(); ++a) left_norms[static_cast<size_t>(a)] = left.RowNorm(a);
   std::vector<double> right_norms(static_cast<size_t>(right.rows()));
   for (Index b = 0; b < right.rows(); ++b) right_norms[static_cast<size_t>(b)] = right.RowNorm(b);
-  ParallelChunks(0, scores.rows(), options_.num_threads,
-                 [&](int64_t row_begin, int64_t row_end) {
-                   for (Index a = row_begin; a < row_end; ++a) {
-                     double* row = scores.RowData(a);
-                     const double na = left_norms[static_cast<size_t>(a)];
-                     if (na == 0.0) continue;  // unreachable source row
-                     for (Index b = 0; b < scores.cols(); ++b) {
-                       const double nb = right_norms[static_cast<size_t>(b)];
-                       if (nb != 0.0) row[b] /= na * nb;
-                     }
-                   }
-                 });
+  ParallelFor(
+      0, scores.rows(), options_.num_threads,
+      [&](int64_t row_begin, int64_t row_end) {
+        for (Index a = row_begin; a < row_end; ++a) {
+          double* row = scores.RowData(a);
+          const double na = left_norms[static_cast<size_t>(a)];
+          if (na == 0.0) continue;  // unreachable source row
+          for (Index b = 0; b < scores.cols(); ++b) {
+            const double nb = right_norms[static_cast<size_t>(b)];
+            if (nb != 0.0) row[b] /= na * nb;
+          }
+        }
+      },
+      {.cost_per_element = static_cast<double>(scores.cols())});
   return scores;
 }
 
@@ -157,12 +159,20 @@ Result<std::vector<double>> HeteSimEngine::ComputePairs(
   if (cache_ != nullptr) {
     std::shared_ptr<const SparseMatrix> left = cache_->GetLeft(graph_, path);
     std::shared_ptr<const SparseMatrix> right = cache_->GetRight(graph_, path);
-    std::vector<double> scores;
-    scores.reserve(pairs.size());
-    for (const auto& [source, target] : pairs) {
-      scores.push_back(options_.normalized ? left->RowCosine(source, *right, target)
-                                           : left->RowDot(source, *right, target));
-    }
+    // Each pair's score is independent, so candidate-list scoring is
+    // pair-parallel on the shared pool (cost hint: one sparse row merge).
+    std::vector<double> scores(pairs.size(), 0.0);
+    ParallelFor(
+        0, static_cast<int64_t>(pairs.size()), options_.num_threads,
+        [&](int64_t pair_begin, int64_t pair_end) {
+          for (int64_t p = pair_begin; p < pair_end; ++p) {
+            const auto& [source, target] = pairs[static_cast<size_t>(p)];
+            scores[static_cast<size_t>(p)] =
+                options_.normalized ? left->RowCosine(source, *right, target)
+                                    : left->RowDot(source, *right, target);
+          }
+        },
+        {.cost_per_element = 64.0});
     return scores;
   }
   // One decomposition; distributions propagated once per distinct id.

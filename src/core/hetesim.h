@@ -33,8 +33,12 @@ struct HeteSimOptions {
   double truncation = 0.0;
 
   /// Threads used by the full-matrix `Compute` (the SpGEMM of the two
-  /// reachable matrices and the normalization sweep are row-parallel).
-  /// 1 (the default) runs fully sequentially; results are identical.
+  /// reachable matrices and the normalization sweep are row-parallel) and
+  /// by the cached `ComputePairs` scoring loop. Parallel regions run on
+  /// the shared, lazily-created process-wide thread pool — no threads are
+  /// spawned per call. 1 (the default) runs fully sequentially on the
+  /// calling thread; 0 means "use all hardware threads via the pool".
+  /// Results are bitwise identical at any setting.
   int num_threads = 1;
 };
 

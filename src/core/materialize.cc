@@ -106,15 +106,17 @@ Status PathMatrixCache::SaveToDirectory(const std::string& directory) const {
     return Status::IOError("cannot write cache manifest in '" + directory + "'");
   }
   int sequence = 0;
-  for (const auto& [key, matrix] : entries_) {
+  for (const auto& [key, slot] : entries_) {
     const std::string file_name = StrFormat("entry_%04d.hsm", sequence++);
     // Keys contain no newlines (relation names reject none, but be safe).
     if (key.find('\n') != std::string::npos) {
       return Status::InvalidArgument("cache key contains a newline");
     }
     manifest << file_name << "\t" << key << "\n";
+    // Waits for any in-flight computation of this key: publishing needs no
+    // cache lock, so holding mutex_ here cannot deadlock the computer.
     HETESIM_RETURN_NOT_OK(WriteSparseMatrixToFile(
-        *matrix, (fs::path(directory) / file_name).string()));
+        *slot->future.get(), (fs::path(directory) / file_name).string()));
   }
   if (!manifest.good()) {
     return Status::IOError("cache manifest write failed");
@@ -128,7 +130,7 @@ Status PathMatrixCache::LoadFromDirectory(const std::string& directory) {
   if (!manifest.is_open()) {
     return Status::IOError("cannot read cache manifest in '" + directory + "'");
   }
-  std::unordered_map<std::string, std::shared_ptr<const SparseMatrix>> loaded;
+  std::unordered_map<std::string, std::shared_ptr<Slot>> loaded;
   std::string line;
   int line_number = 0;
   while (std::getline(manifest, line)) {
@@ -144,8 +146,8 @@ Status PathMatrixCache::LoadFromDirectory(const std::string& directory) {
     Result<SparseMatrix> matrix =
         ReadSparseMatrixFromFile((fs::path(directory) / file_name).string());
     if (!matrix.ok()) return matrix.status();
-    loaded.emplace(key,
-                   std::make_shared<const SparseMatrix>(*std::move(matrix)));
+    loaded.emplace(key, ReadySlot(std::make_shared<const SparseMatrix>(
+                            *std::move(matrix))));
   }
   std::lock_guard<std::mutex> lock(mutex_);
   entries_ = std::move(loaded);
@@ -154,24 +156,49 @@ Status PathMatrixCache::LoadFromDirectory(const std::string& directory) {
   return Status::OK();
 }
 
+std::shared_ptr<PathMatrixCache::Slot> PathMatrixCache::ReadySlot(
+    std::shared_ptr<const SparseMatrix> matrix) {
+  auto slot = std::make_shared<Slot>();
+  std::promise<std::shared_ptr<const SparseMatrix>> promise;
+  slot->future = promise.get_future().share();
+  promise.set_value(std::move(matrix));
+  return slot;
+}
+
 std::shared_ptr<const SparseMatrix> PathMatrixCache::GetOrCompute(
     const std::string& key, const std::function<SparseMatrix()>& compute) {
+  std::promise<std::shared_ptr<const SparseMatrix>> promise;
+  std::shared_ptr<Slot> slot;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++hits_;
-      return it->second;
+      // Blocks until the computing thread publishes, without holding the
+      // map lock — concurrent requests for *other* keys proceed freely.
+      std::shared_future<std::shared_ptr<const SparseMatrix>> future =
+          it->second->future;
+      lock.unlock();
+      return future.get();
     }
+    // First requester claims the key; everyone arriving from here on finds
+    // the slot above and waits, so each key is computed exactly once.
     ++misses_;
+    slot = std::make_shared<Slot>();
+    slot->future = promise.get_future().share();
+    entries_.emplace(key, slot);
   }
-  // Compute outside the lock so concurrent misses on different paths do not
-  // serialize; a racing duplicate insert for the same key is harmless (the
-  // first entry wins and the duplicate work is discarded).
+  slot->compute_count.fetch_add(1, std::memory_order_relaxed);
   auto computed = std::make_shared<const SparseMatrix>(compute());
+  promise.set_value(computed);
+  return computed;
+}
+
+size_t PathMatrixCache::ComputeCount(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.emplace(key, std::move(computed)).first;
-  return it->second;
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return 0;
+  return it->second->compute_count.load(std::memory_order_relaxed);
 }
 
 }  // namespace hetesim

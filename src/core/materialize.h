@@ -1,7 +1,9 @@
 #ifndef HETESIM_CORE_MATERIALIZE_H_
 #define HETESIM_CORE_MATERIALIZE_H_
 
+#include <atomic>
 #include <functional>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -27,6 +29,19 @@ namespace hetesim {
 /// of A-P-P'-style paths, and the right half of P equals the left half of
 /// P reversed. Thread-safe; share one cache across engines via
 /// `std::shared_ptr`.
+///
+/// Concurrency guarantees:
+///  * Each key is computed **exactly once**, even under a miss-storm where
+///    many threads request the same not-yet-materialized half at the same
+///    instant: the first requester claims the key and computes; later
+///    requesters block on the in-flight result instead of duplicating the
+///    (potentially huge) SpGEMM chain. `ComputeCount(key)` exposes the
+///    per-key computation count so tests can assert this.
+///  * Different keys never serialize against each other — the map lock is
+///    only held for lookup/insert, never during a computation.
+///  * `Clear()` during an in-flight computation is safe: the computation
+///    finishes against its detached slot and its waiters still receive the
+///    matrix; the cache simply no longer retains it.
 class PathMatrixCache {
  public:
   PathMatrixCache() = default;
@@ -56,13 +71,22 @@ class PathMatrixCache {
   std::shared_ptr<const SparseMatrix> GetReach(const HinGraph& graph,
                                                const MetaPath& path);
 
-  /// Cache effectiveness counters.
+  /// Cache effectiveness counters. A request that finds the key present —
+  /// ready or still being computed by another thread — counts as a hit; a
+  /// request that claims a fresh key (and therefore computes it) counts as
+  /// a miss, so `misses` is also the total number of computations started.
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
     size_t entries = 0;
   };
   Stats stats() const;
+
+  /// How many times the value for `key` has been computed since the last
+  /// `Clear()`/`LoadFromDirectory()`: 0 (never requested or loaded from
+  /// disk) or 1 — the per-key once-computation guarantee. Keys come from
+  /// `LeftKey`/`RightKey`/`ReachKey`.
+  size_t ComputeCount(const std::string& key) const;
 
   /// Drops all entries and resets counters.
   void Clear();
@@ -80,11 +104,22 @@ class PathMatrixCache {
   Status LoadFromDirectory(const std::string& directory);
 
  private:
+  /// One cache entry. The future becomes ready exactly when the claiming
+  /// thread finishes computing; waiters block on it without holding the
+  /// map lock.
+  struct Slot {
+    std::shared_future<std::shared_ptr<const SparseMatrix>> future;
+    std::atomic<size_t> compute_count{0};
+  };
+
+  /// Wraps an already-materialized matrix in a ready slot (disk loads).
+  static std::shared_ptr<Slot> ReadySlot(std::shared_ptr<const SparseMatrix> matrix);
+
   std::shared_ptr<const SparseMatrix> GetOrCompute(
       const std::string& key, const std::function<SparseMatrix()>& compute);
 
   mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_ptr<const SparseMatrix>> entries_;
+  std::unordered_map<std::string, std::shared_ptr<Slot>> entries_;
   size_t hits_ = 0;
   size_t misses_ = 0;
 };

@@ -92,9 +92,13 @@ class DenseMatrix {
   DenseMatrix Scale(double factor) const;
 
   /// L1-normalizes each row in place; all-zero rows are left untouched.
-  void NormalizeRowsL1();
+  /// The sweep is row-parallel on the shared thread pool: `num_threads`
+  /// follows the usual convention (1 = sequential, 0 = all hardware
+  /// threads); results are identical at any thread count.
+  void NormalizeRowsL1(int num_threads = 1);
   /// L1-normalizes each column in place; all-zero columns are untouched.
-  void NormalizeColsL1();
+  /// Same `num_threads` convention as `NormalizeRowsL1`.
+  void NormalizeColsL1(int num_threads = 1);
 
   /// max_ij |a_ij - b_ij|; matrices must have identical shapes.
   double MaxAbsDiff(const DenseMatrix& other) const;

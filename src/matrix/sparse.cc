@@ -176,9 +176,14 @@ SparseMatrix SparseMatrix::Multiply(const SparseMatrix& other) const {
 SparseMatrix SparseMatrix::MultiplyParallel(const SparseMatrix& other,
                                             int num_threads) const {
   HETESIM_CHECK_EQ(cols_, other.rows_);
-  if (num_threads <= 1 || rows_ < 2) return Multiply(other);
-  const int chunks = static_cast<int>(
-      std::min<Index>(num_threads, std::max<Index>(rows_, 1)));
+  const int threads = ResolveNumThreads(num_threads);
+  if (threads <= 1 || rows_ < 2) return Multiply(other);
+  // A few chunks per thread: the per-chunk output buffers are stitched by
+  // deterministic chunk id (so the result is bitwise identical regardless
+  // of execution order), and the extra chunks let the pool balance rows of
+  // uneven density.
+  const Index chunks =
+      std::min<Index>(static_cast<Index>(threads) * 4, std::max<Index>(rows_, 1));
   struct ChunkResult {
     std::vector<Index> row_sizes;
     std::vector<Index> col_idx;
@@ -186,7 +191,9 @@ SparseMatrix SparseMatrix::MultiplyParallel(const SparseMatrix& other,
   };
   std::vector<ChunkResult> results(static_cast<size_t>(chunks));
   const Index chunk_size = (rows_ + chunks - 1) / chunks;
-  ParallelChunks(0, chunks, chunks, [&](int64_t chunk_begin, int64_t chunk_end) {
+  GrainOptions grain;
+  grain.cost_per_element = 1e9;  // each chunk id is its own block
+  ParallelFor(0, chunks, threads, [&](int64_t chunk_begin, int64_t chunk_end) {
     for (int64_t c = chunk_begin; c < chunk_end; ++c) {
       const Index row_begin = static_cast<Index>(c) * chunk_size;
       const Index row_end = std::min(rows_, row_begin + chunk_size);
@@ -195,7 +202,7 @@ SparseMatrix SparseMatrix::MultiplyParallel(const SparseMatrix& other,
       GustavsonRange(*this, other, row_begin, row_end, &result.row_sizes,
                      &result.col_idx, &result.values);
     }
-  });
+  }, grain);
   // Stitch the chunk outputs back into one CSR matrix.
   SparseMatrix out(rows_, other.cols_);
   size_t total_nnz = 0;

@@ -65,10 +65,11 @@ class SparseMatrix {
 
   /// Sparse-sparse product `this * other` (classic Gustavson SpGEMM).
   SparseMatrix Multiply(const SparseMatrix& other) const;
-  /// `Multiply` with the rows of the output computed in parallel over
-  /// `num_threads` threads (each chunk runs an independent Gustavson pass
+  /// `Multiply` with the rows of the output computed in parallel on the
+  /// global thread pool (each chunk runs an independent Gustavson pass
   /// with its own accumulator; chunks are stitched afterwards). Bitwise
-  /// identical to `Multiply`; `num_threads <= 1` falls back to it.
+  /// identical to `Multiply` at any thread count; `num_threads == 1` falls
+  /// back to it, `num_threads == 0` uses all hardware threads.
   SparseMatrix MultiplyParallel(const SparseMatrix& other, int num_threads) const;
   /// Sparse-dense product `this * other`.
   DenseMatrix MultiplyDense(const DenseMatrix& other) const;

@@ -1,17 +1,28 @@
 #include "common/parallel.h"
 
 #include <atomic>
+#include <condition_variable>
 #include <mutex>
 #include <set>
 #include <thread>
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.h"
 #include "core/hetesim.h"
 #include "test_util.h"
 
 namespace hetesim {
 namespace {
+
+/// Forces every element into its own block so the dispatch machinery is
+/// actually exercised (the default grain would run small test ranges
+/// inline).
+GrainOptions PerElementGrain() {
+  GrainOptions grain;
+  grain.cost_per_element = 1e9;
+  return grain;
+}
 
 TEST(ParallelChunks, CoversRangeExactlyOnce) {
   std::vector<std::atomic<int>> visits(100);
@@ -67,11 +78,173 @@ TEST(HardwareThreads, AtLeastOne) {
   EXPECT_GE(HardwareThreads(), 1);
 }
 
+TEST(ResolveNumThreads, ZeroMeansAllHardwareThreads) {
+  EXPECT_EQ(ResolveNumThreads(0), HardwareThreads());
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(5), 5);
+  EXPECT_EQ(ResolveNumThreads(-3), 1);
+}
+
+// --- Centralized range clamping (formerly each caller's job) ---
+
+TEST(ParallelChunks, ZeroThreadsUsesPoolAndCoversRangeOnce) {
+  std::vector<std::atomic<int>> visits(64);
+  ParallelChunks(0, 64, /*num_threads=*/0, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      visits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, EmptyAndReversedRangesAreNoops) {
+  bool called = false;
+  ParallelFor(5, 5, 8, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+  ParallelFor(9, 2, 0, [&](int64_t, int64_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, SingleElementRangeWithManyThreadsRunsOnce) {
+  std::atomic<int> calls{0};
+  for (int threads : {0, 1, 8, 64}) {
+    ParallelFor(
+        41, 42, threads,
+        [&](int64_t begin, int64_t end) {
+          EXPECT_EQ(begin, 41);
+          EXPECT_EQ(end, 42);
+          calls.fetch_add(1);
+        },
+        PerElementGrain());
+    EXPECT_EQ(calls.exchange(0), 1) << threads;
+  }
+}
+
+TEST(ParallelFor, ThreadsExceedingRangeStillCoverExactly) {
+  std::vector<std::atomic<int>> visits(3);
+  ParallelFor(
+      0, 3, 16,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          visits[static_cast<size_t>(i)].fetch_add(1);
+        }
+      },
+      PerElementGrain());
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, CheapBodyRunsInlineUnderDefaultGrain) {
+  // 100 elements at default cost ~1 are far below one grain: no dispatch,
+  // the body runs once on the calling thread.
+  const std::thread::id caller = std::this_thread::get_id();
+  int calls = 0;
+  ParallelFor(0, 100, 8, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 100);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NestedRegionsDoNotDeadlock) {
+  std::atomic<int64_t> total{0};
+  ParallelFor(
+      0, 8, 4,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) {
+          ParallelFor(
+              0, 10, 4,
+              [&](int64_t inner_begin, int64_t inner_end) {
+                total.fetch_add(inner_end - inner_begin);
+              },
+              PerElementGrain());
+        }
+      },
+      PerElementGrain());
+  EXPECT_EQ(total.load(), 8 * 10);
+}
+
+// --- ThreadPool unit tests (non-global instances) ---
+
+TEST(ThreadPool, SubmitRunsAllTasks) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::condition_variable cv;
+  int done = 0;
+  constexpr int kTasks = 50;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&] {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (++done == kTasks) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mutex);
+  cv.wait(lock, [&] { return done == kTasks; });
+  EXPECT_EQ(done, kTasks);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedTasks) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&done] { done.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after the queue is drained
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPool, ZeroWorkerPoolRunsRegionsInline) {
+  ThreadPool pool(0);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<int64_t> covered{0};
+  pool.ParallelFor(0, 10, 1, [&](int64_t begin, int64_t end) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 10);
+}
+
+TEST(ThreadPool, StatsCountRegionsAndTasks) {
+  ThreadPool pool(2);
+  GrainOptions grain;
+  grain.cost_per_element = 1e9;
+  pool.ParallelFor(0, 12, 4, [](int64_t, int64_t) {}, grain);
+  pool.ParallelFor(0, 5, 1, [](int64_t, int64_t) {});  // inline region
+  const ThreadPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.regions, 2u);
+  // 12 single-element blocks + 1 inline run; the caller and both workers
+  // share the blocks, so stolen blocks are at most the total.
+  EXPECT_EQ(stats.tasks_run, 13u);
+  EXPECT_LE(stats.steals, stats.tasks_run);
+  EXPECT_GE(stats.caller_wait_seconds, 0.0);
+  EXPECT_GE(stats.worker_idle_seconds, 0.0);
+  pool.ResetStats();
+  EXPECT_EQ(pool.stats().regions, 0u);
+  EXPECT_EQ(pool.stats().tasks_run, 0u);
+}
+
+// --- The spawn-per-call ablation baseline ---
+
+TEST(ParallelDispatch, SpawnPerCallBaselineCoversRangeOnce) {
+  ASSERT_EQ(GetParallelDispatch(), ParallelDispatch::kPooled);
+  SetParallelDispatch(ParallelDispatch::kSpawnPerCall);
+  std::vector<std::atomic<int>> visits(40);
+  ParallelChunks(0, 40, 4, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      visits[static_cast<size_t>(i)].fetch_add(1);
+    }
+  });
+  SetParallelDispatch(ParallelDispatch::kPooled);
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
 TEST(MultiplyParallel, MatchesSequentialBitwise) {
   SparseMatrix a = testing::RandomBipartiteAdjacency(64, 48, 0.2, 88);
   SparseMatrix b = testing::RandomBipartiteAdjacency(48, 52, 0.2, 89);
   SparseMatrix sequential = a.Multiply(b);
-  for (int threads : {1, 2, 3, 8, 64}) {
+  for (int threads : {0, 1, 2, 3, 8, 64}) {  // 0 = all hardware threads
     SparseMatrix parallel = a.MultiplyParallel(b, threads);
     // Bitwise: identical structure and values (same per-row computation).
     EXPECT_EQ(parallel.row_ptr(), sequential.row_ptr()) << threads;

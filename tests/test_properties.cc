@@ -95,6 +95,48 @@ TEST_P(RandomGraphProperties, CacheTransparency) {
   EXPECT_GE(cache->stats().hits, 4u);
 }
 
+TEST_P(RandomGraphProperties, PooledComputeIsThreadCountInvariant) {
+  // The pooled runtime must be a pure performance knob: num_threads 1
+  // (inline), 2 (partial) and 0 (all hardware threads) agree entrywise.
+  HeteSimEngine sequential(graph_);
+  DenseMatrix expected = sequential.Compute(path_);
+  for (int threads : {2, 0}) {
+    HeteSimOptions options;
+    options.num_threads = threads;
+    HeteSimEngine pooled(graph_, options);
+    DenseMatrix scores = pooled.Compute(path_);
+    ASSERT_EQ(scores.rows(), expected.rows());
+    ASSERT_EQ(scores.cols(), expected.cols());
+    EXPECT_TRUE(scores.ApproxEquals(expected, 1e-12)) << threads;
+    EXPECT_LE(scores.MaxAbsDiff(expected), 0.0) << threads;  // in fact bitwise
+  }
+}
+
+TEST_P(RandomGraphProperties, SemiMetricPropertiesHoldUnderPooledPath) {
+  // Re-assert Section 4.5 under num_threads = 0: range [0, 1], symmetry
+  // (HeteSim(a,b|P) = HeteSim(b,a|P^-1)), and self-maximum (Property 4).
+  HeteSimOptions options;
+  options.num_threads = 0;
+  HeteSimEngine engine(graph_, options);
+  DenseMatrix forward = engine.Compute(path_);
+  DenseMatrix backward = engine.Compute(path_.Reverse());
+  EXPECT_TRUE(forward.ApproxEquals(backward.Transpose(), 1e-10));
+  for (Index i = 0; i < forward.rows(); ++i) {
+    for (Index j = 0; j < forward.cols(); ++j) {
+      EXPECT_GE(forward(i, j), -1e-15);
+      EXPECT_LE(forward(i, j), 1.0 + 1e-10);
+    }
+  }
+  if (path_.IsSymmetric()) {
+    for (Index i = 0; i < forward.rows(); ++i) {
+      EXPECT_NEAR(forward(i, i), 1.0, 1e-10);
+      for (Index j = 0; j < forward.cols(); ++j) {
+        EXPECT_LE(forward(i, j), forward(i, i) + 1e-10);
+      }
+    }
+  }
+}
+
 TEST_P(RandomGraphProperties, PrunedTopKIsExact) {
   TopKSearcher searcher(graph_, path_);
   const Index n = graph_.NumNodes(path_.SourceType());

@@ -7,12 +7,15 @@
 //   hetesim_cli paths    --graph FILE --from TYPE --to TYPE
 //                        [--max-length N] [--symmetric]
 //   hetesim_cli pair     --graph FILE --path SPEC --source NAME --target NAME
-//                        [--unnormalized]
+//                        [--unnormalized] [--threads N]
 //   hetesim_cli topk     --graph FILE --path SPEC --source NAME [--k N]
 //   hetesim_cli topk-pairs --graph FILE --path SPEC [--k N]
 //                        [--exclude-diagonal]
 //   hetesim_cli matrix   --graph FILE --path SPEC --out FILE.csv
 //                        [--threads N]
+//
+// --threads follows the library convention: 1 (default) is sequential,
+// 0 uses every hardware thread via the shared pool.
 //
 // Path SPECs use the meta-path syntax of MetaPath::Parse: type codes
 // ("APVC", "A-P-V-C") or full type names ("author-paper-venue-conference").
@@ -167,7 +170,9 @@ Status RunCluster(const Args& args) {
         "cluster needs a same-typed (ideally symmetric) path");
   }
   const int k = args.GetInt("k", 4);
-  HeteSimEngine engine(graph);
+  HeteSimOptions options;
+  options.num_threads = args.GetInt("threads", 1);
+  HeteSimEngine engine(graph, options);
   DenseMatrix affinity = engine.Compute(path);
   HETESIM_ASSIGN_OR_RETURN(std::vector<int> clusters,
                            SpectralClusterNormalizedCut(affinity, k));
@@ -216,6 +221,7 @@ Status RunPair(const Args& args) {
                            graph.FindNode(path.TargetType(), *target_name));
   HeteSimOptions options;
   options.normalized = !args.Has("unnormalized");
+  options.num_threads = args.GetInt("threads", 1);
   HeteSimEngine engine(graph, options);
   HETESIM_ASSIGN_OR_RETURN(double score, engine.ComputePair(path, source, target));
   std::printf("HeteSim(%s, %s | %s) = %.6f\n", source_name->c_str(),
@@ -303,11 +309,11 @@ void PrintUsage() {
                "  summary  --graph FILE [--detailed]\n"
                "  dot      --graph FILE (--schema | --type TYPE --node NAME "
                "[--radius N] [--max-nodes N])\n"
-               "  cluster  --graph FILE --path SPEC [--k N]\n"
+               "  cluster  --graph FILE --path SPEC [--k N] [--threads N]\n"
                "  paths    --graph FILE --from TYPE --to TYPE "
                "[--max-length N] [--symmetric]\n"
                "  pair     --graph FILE --path SPEC --source NAME "
-               "--target NAME [--unnormalized]\n"
+               "--target NAME [--unnormalized] [--threads N]\n"
                "  topk     --graph FILE --path SPEC --source NAME [--k N]\n"
                "  topk-pairs --graph FILE --path SPEC [--k N] "
                "[--exclude-diagonal]\n"
