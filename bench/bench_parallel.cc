@@ -13,8 +13,13 @@
 //     `BM_ComputeDblpSpawnPerCall` at every thread count > 1, and
 //     `BM_DispatchOverhead*` isolates the per-region cost difference.
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include <benchmark/benchmark.h>
 
+#include "common/context.h"
 #include "common/parallel.h"
 #include "common/thread_pool.h"
 #include "core/hetesim.h"
@@ -126,6 +131,42 @@ void BM_DispatchOverheadSpawnPerCall(benchmark::State& state) {
   DispatchOverhead(state, ParallelDispatch::kSpawnPerCall);
 }
 BENCHMARK(BM_DispatchOverheadSpawnPerCall)->Arg(2)->Arg(4)->Arg(8)->UseRealTime();
+
+// --- Cancellation latency: Cancel() to pool quiescence ---
+//
+// A worker grinds SpGEMM products under one QueryContext; the measured
+// interval runs from the main thread's Cancel() to the worker observing the
+// cancellation and returning — i.e. until every in-flight chunk has drained
+// and the region has joined. The documented bound is one chunk's worth of
+// work; results land in BENCH_resilience.json.
+
+void BM_CancellationLatency(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  SparseMatrix a = RandomBipartiteAdjacency(2500, 2500, 0.01, 41);
+  SparseMatrix b = RandomBipartiteAdjacency(2500, 2500, 0.01, 42);
+  for (auto _ : state) {
+    QueryContext ctx;
+    std::atomic<bool> started{false};
+    std::thread worker([&] {
+      // Loop products so the cancel almost always lands mid-region; the
+      // between-products window is caught by the next region's entry check.
+      for (;;) {
+        started.store(true, std::memory_order_release);
+        Result<SparseMatrix> product = a.MultiplyParallel(b, threads, ctx);
+        if (!product.ok()) return;
+        benchmark::DoNotOptimize(product->NumNonZeros());
+      }
+    });
+    while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+    const auto cancel_time = std::chrono::steady_clock::now();
+    ctx.Cancel();
+    worker.join();
+    state.SetIterationTime(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - cancel_time)
+                               .count());
+  }
+}
+BENCHMARK(BM_CancellationLatency)->Arg(1)->Arg(4)->Arg(8)->UseManualTime();
 
 }  // namespace
 

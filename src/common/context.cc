@@ -1,0 +1,75 @@
+#include "common/context.h"
+
+#include "common/string_util.h"
+
+namespace hetesim {
+
+bool MemoryBudget::TryReserve(size_t bytes) {
+  size_t used = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (bytes > limit_ || used > limit_ - bytes) return false;
+    if (used_.compare_exchange_weak(used, used + bytes,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      break;
+    }
+  }
+  const size_t now_used = used + bytes;
+  size_t peak = peak_.load(std::memory_order_relaxed);
+  while (now_used > peak &&
+         !peak_.compare_exchange_weak(peak, now_used, std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+  }
+  return true;
+}
+
+void MemoryBudget::Release(size_t bytes) {
+  size_t used = used_.load(std::memory_order_relaxed);
+  for (;;) {
+    const size_t next = bytes > used ? 0 : used - bytes;
+    if (used_.compare_exchange_weak(used, next, std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+const QueryContext& QueryContext::Background() {
+  // Leaked like ThreadPool::Global(): reachable forever, so no static
+  // destruction ordering hazards and no LeakSanitizer report.
+  static const QueryContext* const kBackground = new QueryContext();
+  return *kBackground;
+}
+
+Status QueryContext::CheckAlive() const {
+  if (cancelled()) return Status::Cancelled("query cancelled");
+  if (deadline_expired()) return Status::DeadlineExceeded("query deadline exceeded");
+  return Status::OK();
+}
+
+Result<MemoryReservation> QueryContext::Reserve(size_t bytes) const {
+  if (budget_ == nullptr) return MemoryReservation();
+  if (!budget_->TryReserve(bytes)) {
+    return Status::ResourceExhausted(StrFormat(
+        "memory budget exhausted: need %zu bytes, %zu of %zu in use", bytes,
+        budget_->used_bytes(), budget_->limit_bytes()));
+  }
+  return MemoryReservation(budget_, bytes);
+}
+
+void SharedStatus::Update(Status status) {
+  if (status.ok()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (first_.ok()) {
+    first_ = std::move(status);
+    failed_.store(true, std::memory_order_release);
+  }
+}
+
+Status SharedStatus::status() const {
+  if (ok()) return Status::OK();
+  std::lock_guard<std::mutex> lock(mutex_);
+  return first_;
+}
+
+}  // namespace hetesim

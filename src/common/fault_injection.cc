@@ -1,0 +1,96 @@
+#include "common/fault_injection.h"
+
+#include <cstdlib>
+
+namespace hetesim {
+
+namespace {
+
+/// SplitMix64: a tiny, high-quality mixer; the standard choice for turning
+/// (seed, site, counter) into an i.i.d.-looking decision stream.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(std::string_view site) {
+  // FNV-1a: stable across platforms (std::hash is not).
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* const kInjector = new FaultInjector();
+  return *kInjector;
+}
+
+FaultInjector::FaultInjector() {
+  if (const char* env = std::getenv("HETESIM_FAULT_SEED")) {
+    seed_ = std::strtoull(env, nullptr, 10);
+  }
+}
+
+void FaultInjector::Seed(uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  seed_ = seed;
+  sites_.clear();
+}
+
+void FaultInjector::Arm(const std::string& site_prefix, double probability,
+                        int64_t max_failures) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back({site_prefix, probability, max_failures});
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+  sites_.clear();
+}
+
+bool FaultInjector::ShouldFail(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (rules_.empty()) return false;
+  const Rule* match = nullptr;
+  for (const Rule& rule : rules_) {
+    if (site.substr(0, rule.prefix.size()) == rule.prefix) match = &rule;
+  }
+  SiteState& state = sites_[std::string(site)];
+  const uint64_t n = state.evaluations++;
+  if (match == nullptr || match->probability <= 0.0) return false;
+  if (match->max_failures >= 0 &&
+      state.failures >= static_cast<uint64_t>(match->max_failures)) {
+    return false;
+  }
+  const uint64_t draw = SplitMix64(seed_ ^ HashSite(site) ^ (n * 0xda942042e4dd58b5ULL));
+  const double unit = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  if (unit < match->probability) {
+    ++state.failures;
+    return true;
+  }
+  return false;
+}
+
+FaultInjector::SiteStats FaultInjector::StatsFor(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sites_.find(std::string(site));
+  if (it == sites_.end()) return {};
+  return {it->second.evaluations, it->second.failures};
+}
+
+uint64_t FaultInjector::TotalFailures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [site, state] : sites_) total += state.failures;
+  return total;
+}
+
+}  // namespace hetesim

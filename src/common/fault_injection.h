@@ -1,0 +1,108 @@
+#ifndef HETESIM_COMMON_FAULT_INJECTION_H_
+#define HETESIM_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace hetesim {
+
+/// \brief Deterministic, seedable fault injection for resilience tests.
+///
+/// Production code marks failure-prone sites with `HETESIM_FAULT_POINT`:
+///
+/// \code
+///   if (HETESIM_FAULT_POINT("spgemm.alloc")) {
+///     return Status::ResourceExhausted("injected: spgemm.alloc");
+///   }
+/// \endcode
+///
+/// In a release build (no `HETESIM_FAULT_INJECTION` compile definition) the
+/// macro is the constant `false` and the branch folds away — fault points
+/// cost nothing and cannot fire in production. In an instrumented build
+/// (`-DHETESIM_FAULT_INJECTION=ON`), `FaultInjector::Global()` decides at
+/// each evaluation whether the site fails.
+///
+/// Decisions are *deterministic*: site `s` fails on its `n`-th evaluation
+/// iff `hash(seed, s, n) < probability`. The per-site decision sequence
+/// therefore depends only on the seed, never on thread interleaving — which
+/// call observes the n-th decision may vary across runs, but a seed sweep
+/// still explores a reproducible family of failure patterns (CI sweeps
+/// `HETESIM_FAULT_SEED` over 8 seeds). Disarmed sites (the default) never
+/// fail, so an instrumented build with no `Arm` calls behaves exactly like
+/// release.
+class FaultInjector {
+ public:
+  /// The process-wide injector. Seeded from the `HETESIM_FAULT_SEED`
+  /// environment variable on first use (0 when unset).
+  static FaultInjector& Global();
+
+  /// True when the build has fault points compiled in; tests skip
+  /// injection scenarios otherwise.
+  static constexpr bool CompiledIn() {
+#ifdef HETESIM_FAULT_INJECTION
+    return true;
+#else
+    return false;
+#endif
+  }
+
+  /// Re-seeds the decision stream and resets all per-site counters.
+  void Seed(uint64_t seed);
+
+  /// Arms every site whose name starts with `site_prefix`:  each
+  /// evaluation fails with `probability` (in [0, 1]), up to `max_failures`
+  /// total failures for that site (-1 = unlimited).
+  void Arm(const std::string& site_prefix, double probability,
+           int64_t max_failures = -1);
+
+  /// Disarms everything and resets counters; the seed is kept.
+  void Reset();
+
+  /// Decision point, normally reached via `HETESIM_FAULT_POINT`.
+  /// Thread-safe.
+  bool ShouldFail(std::string_view site);
+
+  /// Per-site counters since the last `Seed`/`Reset`.
+  struct SiteStats {
+    uint64_t evaluations = 0;
+    uint64_t failures = 0;
+  };
+  SiteStats StatsFor(std::string_view site) const;
+  /// Total injected failures across all sites since the last `Seed`/`Reset`.
+  uint64_t TotalFailures() const;
+
+ private:
+  FaultInjector();
+
+  struct Rule {
+    std::string prefix;
+    double probability = 0.0;
+    int64_t max_failures = -1;
+  };
+  struct SiteState {
+    uint64_t evaluations = 0;
+    uint64_t failures = 0;
+  };
+
+  mutable std::mutex mutex_;
+  uint64_t seed_ = 0;
+  std::vector<Rule> rules_;
+  std::unordered_map<std::string, SiteState> sites_;
+};
+
+}  // namespace hetesim
+
+/// Marks a failure-injection site. Evaluates to `true` when the global
+/// injector decides this evaluation should fail; constant `false` (zero
+/// cost, dead-code eliminated) in builds without HETESIM_FAULT_INJECTION.
+#ifdef HETESIM_FAULT_INJECTION
+#define HETESIM_FAULT_POINT(site) (::hetesim::FaultInjector::Global().ShouldFail(site))
+#else
+#define HETESIM_FAULT_POINT(site) (false)
+#endif
+
+#endif  // HETESIM_COMMON_FAULT_INJECTION_H_

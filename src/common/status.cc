@@ -29,6 +29,12 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Not implemented";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kDeadlineExceeded:
+      return "Deadline exceeded";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }
@@ -75,6 +81,15 @@ Status Status::NotImplemented(std::string message) {
 }
 Status Status::Internal(std::string message) {
   return Status(StatusCode::kInternal, std::move(message));
+}
+Status Status::DeadlineExceeded(std::string message) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status Status::ResourceExhausted(std::string message) {
+  return Status(StatusCode::kResourceExhausted, std::move(message));
+}
+Status Status::Cancelled(std::string message) {
+  return Status(StatusCode::kCancelled, std::move(message));
 }
 
 const std::string& Status::message() const {

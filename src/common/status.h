@@ -23,6 +23,9 @@ enum class StatusCode : int {
   kIOError = 6,
   kNotImplemented = 7,
   kInternal = 8,
+  kDeadlineExceeded = 9,
+  kResourceExhausted = 10,
+  kCancelled = 11,
 };
 
 /// \brief Returns a stable human-readable name for a status code
@@ -66,6 +69,9 @@ class Status {
   static Status IOError(std::string message);
   static Status NotImplemented(std::string message);
   static Status Internal(std::string message);
+  static Status DeadlineExceeded(std::string message);
+  static Status ResourceExhausted(std::string message);
+  static Status Cancelled(std::string message);
 
   /// True iff the status carries no error.
   bool ok() const { return state_ == nullptr; }
@@ -82,6 +88,9 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const { return code() == StatusCode::kDeadlineExceeded; }
+  bool IsResourceExhausted() const { return code() == StatusCode::kResourceExhausted; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

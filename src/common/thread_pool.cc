@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/parallel.h"
 
 namespace hetesim {
@@ -139,6 +140,10 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int num_threads,
   const int64_t helpers = std::min<int64_t>(
       {threads - 1, blocks - 1, static_cast<int64_t>(this->num_threads())});
   for (int64_t h = 0; h < helpers; ++h) {
+    // Fault site "pool.dispatch": a lost helper submission. The region must
+    // still complete correctly (just with less parallelism) because the
+    // caller's own drain below claims every unclaimed block.
+    if (HETESIM_FAULT_POINT("pool.dispatch")) continue;
     Submit([drain] { drain(/*stolen=*/true); });
   }
   drain(/*stolen=*/false);

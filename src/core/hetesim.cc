@@ -28,36 +28,92 @@ void HeteSimEngine::GetReachMatrices(const MetaPath& path, SparseMatrix* left,
   *right = RightReachMatrix(decomposition);
 }
 
+Status HeteSimEngine::GetReachMatrices(const MetaPath& path, const QueryContext& ctx,
+                                       SparseMatrix* left, SparseMatrix* right) const {
+  if (cache_ != nullptr) {
+    HETESIM_ASSIGN_OR_RETURN(
+        std::shared_ptr<const SparseMatrix> cached_left,
+        cache_->GetLeft(graph_, path, ctx, options_.num_threads));
+    HETESIM_ASSIGN_OR_RETURN(
+        std::shared_ptr<const SparseMatrix> cached_right,
+        cache_->GetRight(graph_, path, ctx, options_.num_threads));
+    *left = *cached_left;
+    *right = *cached_right;
+    return Status::OK();
+  }
+  PathDecomposition decomposition = DecomposePath(graph_, path);
+  HETESIM_ASSIGN_OR_RETURN(
+      *left, LeftReachMatrixWithContext(decomposition, options_.num_threads, ctx));
+  HETESIM_ASSIGN_OR_RETURN(
+      *right, RightReachMatrixWithContext(decomposition, options_.num_threads, ctx));
+  return Status::OK();
+}
+
 DenseMatrix HeteSimEngine::Compute(const MetaPath& path) const {
   HETESIM_CHECK(&path.schema() == &graph_.schema())
       << "meta-path was parsed against a different schema object";
+  // The background context never expires, is never cancelled, and carries
+  // no budget, so the ctx-aware path cannot fail here.
+  return Compute(path, QueryContext::Background()).value();
+}
+
+Result<DenseMatrix> HeteSimEngine::Compute(const MetaPath& path,
+                                           const QueryContext& ctx) const {
+  if (&path.schema() != &graph_.schema()) {
+    return Status::InvalidArgument(
+        "meta-path was parsed against a different schema object");
+  }
   SparseMatrix left;
   SparseMatrix right;
-  GetReachMatrices(path, &left, &right);
+  HETESIM_RETURN_NOT_OK(GetReachMatrices(path, ctx, &left, &right));
   // Equation 6: HeteSim(A1, A(l+1) | P) = PM_PL * PM_(PR^-1)'. Relevance
   // matrices of connected networks are dense, so the product is densified.
-  DenseMatrix scores =
-      left.MultiplyParallel(right.Transpose(), options_.num_threads).ToDense();
+  HETESIM_ASSIGN_OR_RETURN(
+      SparseMatrix product,
+      left.MultiplyParallel(right.Transpose(), options_.num_threads, ctx));
+  DenseMatrix scores = product.ToDense();
   if (!options_.normalized) return scores;
   // Definition 10: divide entry (a, b) by |PM_PL(a,:)| * |PM_(PR^-1)(b,:)|.
   std::vector<double> left_norms(static_cast<size_t>(left.rows()));
   for (Index a = 0; a < left.rows(); ++a) left_norms[static_cast<size_t>(a)] = left.RowNorm(a);
   std::vector<double> right_norms(static_cast<size_t>(right.rows()));
   for (Index b = 0; b < right.rows(); ++b) right_norms[static_cast<size_t>(b)] = right.RowNorm(b);
+  SharedStatus region_status;
   ParallelFor(
       0, scores.rows(), options_.num_threads,
       [&](int64_t row_begin, int64_t row_end) {
+        // Chunk-granular liveness check: once the context dies (or another
+        // chunk failed), the remaining chunks are no-ops and the region
+        // drains without leaking pool tasks.
+        if (!region_status.ok()) return;
+        if (Status alive = ctx.CheckAlive(); !alive.ok()) {
+          region_status.Update(std::move(alive));
+          return;
+        }
         for (Index a = row_begin; a < row_end; ++a) {
           double* row = scores.RowData(a);
           const double na = left_norms[static_cast<size_t>(a)];
-          if (na == 0.0) continue;  // unreachable source row
+          // Skip unreachable source rows; non-finite norms (poisoned input
+          // weights that escaped sanitization) degrade to 0 relevance
+          // instead of propagating NaN through the whole row.
+          if (na == 0.0 || !std::isfinite(na)) {
+            if (!std::isfinite(na)) {
+              for (Index b = 0; b < scores.cols(); ++b) row[b] = 0.0;
+            }
+            continue;
+          }
           for (Index b = 0; b < scores.cols(); ++b) {
             const double nb = right_norms[static_cast<size_t>(b)];
-            if (nb != 0.0) row[b] /= na * nb;
+            if (!std::isfinite(nb)) {
+              row[b] = 0.0;
+            } else if (nb != 0.0) {
+              row[b] /= na * nb;
+            }
           }
         }
       },
       {.cost_per_element = static_cast<double>(scores.cols())});
+  HETESIM_RETURN_NOT_OK(region_status.status());
   return scores;
 }
 
@@ -142,6 +198,12 @@ Result<double> HeteSimEngine::ComputePair(const MetaPath& path, Index source,
 
 Result<std::vector<double>> HeteSimEngine::ComputePairs(
     const MetaPath& path, const std::vector<std::pair<Index, Index>>& pairs) const {
+  return ComputePairs(path, pairs, QueryContext::Background());
+}
+
+Result<std::vector<double>> HeteSimEngine::ComputePairs(
+    const MetaPath& path, const std::vector<std::pair<Index, Index>>& pairs,
+    const QueryContext& ctx) const {
   if (&path.schema() != &graph_.schema()) {
     return Status::InvalidArgument(
         "meta-path was parsed against a different schema object");
@@ -157,14 +219,24 @@ Result<std::vector<double>> HeteSimEngine::ComputePairs(
     }
   }
   if (cache_ != nullptr) {
-    std::shared_ptr<const SparseMatrix> left = cache_->GetLeft(graph_, path);
-    std::shared_ptr<const SparseMatrix> right = cache_->GetRight(graph_, path);
+    HETESIM_ASSIGN_OR_RETURN(
+        std::shared_ptr<const SparseMatrix> left,
+        cache_->GetLeft(graph_, path, ctx, options_.num_threads));
+    HETESIM_ASSIGN_OR_RETURN(
+        std::shared_ptr<const SparseMatrix> right,
+        cache_->GetRight(graph_, path, ctx, options_.num_threads));
     // Each pair's score is independent, so candidate-list scoring is
     // pair-parallel on the shared pool (cost hint: one sparse row merge).
     std::vector<double> scores(pairs.size(), 0.0);
+    SharedStatus region_status;
     ParallelFor(
         0, static_cast<int64_t>(pairs.size()), options_.num_threads,
         [&](int64_t pair_begin, int64_t pair_end) {
+          if (!region_status.ok()) return;
+          if (Status alive = ctx.CheckAlive(); !alive.ok()) {
+            region_status.Update(std::move(alive));
+            return;
+          }
           for (int64_t p = pair_begin; p < pair_end; ++p) {
             const auto& [source, target] = pairs[static_cast<size_t>(p)];
             scores[static_cast<size_t>(p)] =
@@ -173,6 +245,7 @@ Result<std::vector<double>> HeteSimEngine::ComputePairs(
           }
         },
         {.cost_per_element = 64.0});
+    HETESIM_RETURN_NOT_OK(region_status.status());
     return scores;
   }
   // One decomposition; distributions propagated once per distinct id.
@@ -195,6 +268,10 @@ Result<std::vector<double>> HeteSimEngine::ComputePairs(
   std::vector<double> scores;
   scores.reserve(pairs.size());
   for (const auto& [source, target] : pairs) {
+    // Each iteration propagates at most two indicator vectors — chunk-ish
+    // units of work, so per-pair polling keeps cancellation prompt without
+    // measurable cost.
+    HETESIM_RETURN_NOT_OK(ctx.CheckAlive());
     const std::vector<double>& u = distribution_of(
         source, num_sources, decomposition.left_transitions, source_distributions);
     const std::vector<double>& v = distribution_of(

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/context.h"
 #include "common/result.h"
 #include "core/path_matrix.h"
 #include "hin/graph.h"
@@ -67,6 +68,14 @@ class HeteSimEngine {
   /// entry (a, b) is HeteSim(a, b | P). Shape |A1| x |A(l+1)|.
   DenseMatrix Compute(const MetaPath& path) const;
 
+  /// Deadline/cancellation/budget-aware `Compute`: the reachable-matrix
+  /// products and the normalization sweep poll `ctx` at chunk granularity,
+  /// so an expired or cancelled query stops within one chunk's worth of
+  /// work. Fails with `DeadlineExceeded` / `Cancelled` /
+  /// `ResourceExhausted`; with `QueryContext::Background()` this is exactly
+  /// the plain `Compute`.
+  Result<DenseMatrix> Compute(const MetaPath& path, const QueryContext& ctx) const;
+
   /// Relevance of `source` to every target object: one row of `Compute`.
   /// Errors when `source` is out of range for the path's source type.
   Result<std::vector<double>> ComputeSingleSource(const MetaPath& path,
@@ -84,6 +93,12 @@ class HeteSimEngine {
   Result<std::vector<double>> ComputePairs(
       const MetaPath& path, const std::vector<std::pair<Index, Index>>& pairs) const;
 
+  /// Context-aware `ComputePairs`: materialization and the scoring loop
+  /// poll `ctx`; nothing partial is returned on expiry.
+  Result<std::vector<double>> ComputePairs(
+      const MetaPath& path, const std::vector<std::pair<Index, Index>>& pairs,
+      const QueryContext& ctx) const;
+
   /// Sum of unnormalized HeteSim over the paths `(R R^-1)^k`, k = 1..depth,
   /// for two objects of the relation's source type. By Property 5 this
   /// converges to SimRank(a1, a2) with damping C = 1 on the bipartite graph
@@ -100,6 +115,9 @@ class HeteSimEngine {
   /// Left/right reachable matrices for `path`, via the cache when present.
   void GetReachMatrices(const MetaPath& path, SparseMatrix* left,
                         SparseMatrix* right) const;
+  /// Context-aware variant; cache misses compute under `ctx`.
+  Status GetReachMatrices(const MetaPath& path, const QueryContext& ctx,
+                          SparseMatrix* left, SparseMatrix* right) const;
 
   const HinGraph& graph_;
   HeteSimOptions options_;

@@ -1,8 +1,11 @@
 #include "core/materialize.h"
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
+#include "common/fault_injection.h"
 #include "common/string_util.h"
 #include "matrix/serialize.h"
 
@@ -30,6 +33,11 @@ std::string InverseStepRangeString(const MetaPath& path, int begin, int end) {
   }
   return Join(parts, ",");
 }
+
+/// How long a waiter sleeps between cancellation checks while blocked on an
+/// in-flight computation. Bounds cancellation latency for waiters; the
+/// computing thread itself polls at chunk granularity.
+constexpr std::chrono::milliseconds kWaiterPollInterval{5};
 
 }  // namespace
 
@@ -62,34 +70,88 @@ std::string PathMatrixCache::RightKey(const MetaPath& path) {
 
 std::shared_ptr<const SparseMatrix> PathMatrixCache::GetLeft(const HinGraph& graph,
                                                              const MetaPath& path) {
-  return GetOrCompute(LeftKey(path), [&graph, &path] {
-    return LeftReachMatrix(DecomposePath(graph, path));
-  });
+  // With the background context the computation cannot be cancelled or
+  // budget-starved, so the Result is always OK (fault injection targets the
+  // ctx-aware entry points through their own contexts).
+  return GetLeft(graph, path, QueryContext::Background()).value();
 }
 
 std::shared_ptr<const SparseMatrix> PathMatrixCache::GetRight(const HinGraph& graph,
                                                               const MetaPath& path) {
-  return GetOrCompute(RightKey(path), [&graph, &path] {
-    return RightReachMatrix(DecomposePath(graph, path));
-  });
+  return GetRight(graph, path, QueryContext::Background()).value();
 }
 
 std::shared_ptr<const SparseMatrix> PathMatrixCache::GetReach(const HinGraph& graph,
                                                               const MetaPath& path) {
-  return GetOrCompute(ReachKey(path),
-                      [&graph, &path] { return ReachProbability(graph, path); });
+  return GetReach(graph, path, QueryContext::Background()).value();
+}
+
+Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetLeft(
+    const HinGraph& graph, const MetaPath& path, const QueryContext& ctx,
+    int num_threads) {
+  return GetOrCompute(LeftKey(path), ctx,
+                      [&graph, &path, &ctx, num_threads]() -> Result<SparseMatrix> {
+                        return LeftReachMatrixWithContext(DecomposePath(graph, path),
+                                                          num_threads, ctx);
+                      });
+}
+
+Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetRight(
+    const HinGraph& graph, const MetaPath& path, const QueryContext& ctx,
+    int num_threads) {
+  return GetOrCompute(RightKey(path), ctx,
+                      [&graph, &path, &ctx, num_threads]() -> Result<SparseMatrix> {
+                        return RightReachMatrixWithContext(DecomposePath(graph, path),
+                                                           num_threads, ctx);
+                      });
+}
+
+Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetReach(
+    const HinGraph& graph, const MetaPath& path, const QueryContext& ctx,
+    int num_threads) {
+  return GetOrCompute(ReachKey(path), ctx,
+                      [&graph, &path, &ctx, num_threads]() -> Result<SparseMatrix> {
+                        return ReachProbabilityWithContext(graph, path, num_threads,
+                                                           ctx);
+                      });
+}
+
+void PathMatrixCache::SetMemoryBudget(std::shared_ptr<MemoryBudget> budget) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  budget_ = std::move(budget);
 }
 
 PathMatrixCache::Stats PathMatrixCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return Stats{hits_, misses_, entries_.size()};
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.entries = entries_.size();
+  s.evictions = evictions_;
+  s.failed_computes = failed_computes_;
+  s.rejected_inserts = rejected_inserts_;
+  s.accounted_bytes = accounted_bytes_;
+  s.peak_accounted_bytes = peak_accounted_bytes_;
+  return s;
 }
 
 void PathMatrixCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
+  // Release budget charges deterministically here: a slot kept alive by a
+  // concurrent waiter's shared_ptr must not keep its bytes reserved after
+  // the cache has dropped it.
+  for (auto& [key, slot] : entries_) {
+    slot->reservation.reset();
+  }
   entries_.clear();
+  compute_counts_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
+  failed_computes_ = 0;
+  rejected_inserts_ = 0;
+  accounted_bytes_ = 0;
+  peak_accounted_bytes_ = 0;
 }
 
 Status PathMatrixCache::SaveToDirectory(const std::string& directory) const {
@@ -107,16 +169,20 @@ Status PathMatrixCache::SaveToDirectory(const std::string& directory) const {
   }
   int sequence = 0;
   for (const auto& [key, slot] : entries_) {
-    const std::string file_name = StrFormat("entry_%04d.hsm", sequence++);
     // Keys contain no newlines (relation names reject none, but be safe).
     if (key.find('\n') != std::string::npos) {
       return Status::InvalidArgument("cache key contains a newline");
     }
-    manifest << file_name << "\t" << key << "\n";
     // Waits for any in-flight computation of this key: publishing needs no
-    // cache lock, so holding mutex_ here cannot deadlock the computer.
+    // cache lock, so holding mutex_ here cannot deadlock the computer. A
+    // computation that failed (and whose slot is about to be removed by its
+    // claimant) is simply not persisted.
+    Result<std::shared_ptr<const SparseMatrix>> entry = slot->future.get();
+    if (!entry.ok()) continue;
+    const std::string file_name = StrFormat("entry_%04d.hsm", sequence++);
+    manifest << file_name << "\t" << key << "\n";
     HETESIM_RETURN_NOT_OK(WriteSparseMatrixToFile(
-        *slot->future.get(), (fs::path(directory) / file_name).string()));
+        **entry, (fs::path(directory) / file_name).string()));
   }
   if (!manifest.good()) {
     return Status::IOError("cache manifest write failed");
@@ -130,7 +196,7 @@ Status PathMatrixCache::LoadFromDirectory(const std::string& directory) {
   if (!manifest.is_open()) {
     return Status::IOError("cannot read cache manifest in '" + directory + "'");
   }
-  std::unordered_map<std::string, std::shared_ptr<Slot>> loaded;
+  std::vector<std::pair<std::string, std::shared_ptr<Slot>>> loaded;
   std::string line;
   int line_number = 0;
   while (std::getline(manifest, line)) {
@@ -146,59 +212,194 @@ Status PathMatrixCache::LoadFromDirectory(const std::string& directory) {
     Result<SparseMatrix> matrix =
         ReadSparseMatrixFromFile((fs::path(directory) / file_name).string());
     if (!matrix.ok()) return matrix.status();
-    loaded.emplace(key, ReadySlot(std::make_shared<const SparseMatrix>(
-                            *std::move(matrix))));
+    loaded.emplace_back(key, ReadySlot(std::make_shared<const SparseMatrix>(
+                                 *std::move(matrix))));
   }
   std::lock_guard<std::mutex> lock(mutex_);
-  entries_ = std::move(loaded);
+  for (auto& [key, slot] : entries_) {
+    slot->reservation.reset();
+  }
+  entries_.clear();
+  compute_counts_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
+  failed_computes_ = 0;
+  rejected_inserts_ = 0;
+  accounted_bytes_ = 0;
+  peak_accounted_bytes_ = 0;
+  clock_ = 0;
+  for (auto& [key, slot] : loaded) {
+    if (entries_.count(key) != 0) continue;
+    if (!AdmitLocked(*slot)) continue;  // budget full even after eviction
+    entries_.emplace(key, std::move(slot));
+  }
   return Status::OK();
 }
 
 std::shared_ptr<PathMatrixCache::Slot> PathMatrixCache::ReadySlot(
     std::shared_ptr<const SparseMatrix> matrix) {
   auto slot = std::make_shared<Slot>();
-  std::promise<std::shared_ptr<const SparseMatrix>> promise;
+  std::promise<Result<std::shared_ptr<const SparseMatrix>>> promise;
   slot->future = promise.get_future().share();
-  promise.set_value(std::move(matrix));
+  slot->ready = true;
+  slot->bytes = matrix->ApproxBytes();
+  // Disk loads have no measured compute cost; a zero cost makes them the
+  // cheapest entries to evict, which is the safe default (they can be
+  // re-read offline).
+  slot->compute_seconds = 0.0;
+  promise.set_value(
+      Result<std::shared_ptr<const SparseMatrix>>(std::move(matrix)));
   return slot;
 }
 
-std::shared_ptr<const SparseMatrix> PathMatrixCache::GetOrCompute(
-    const std::string& key, const std::function<SparseMatrix()>& compute) {
-  std::promise<std::shared_ptr<const SparseMatrix>> promise;
-  std::shared_ptr<Slot> slot;
-  {
-    std::unique_lock<std::mutex> lock(mutex_);
-    auto it = entries_.find(key);
-    if (it != entries_.end()) {
-      ++hits_;
-      // Blocks until the computing thread publishes, without holding the
-      // map lock — concurrent requests for *other* keys proceed freely.
-      std::shared_future<std::shared_ptr<const SparseMatrix>> future =
-          it->second->future;
-      lock.unlock();
-      return future.get();
+Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetOrCompute(
+    const std::string& key, const QueryContext& ctx,
+    const std::function<Result<SparseMatrix>()>& compute) {
+  for (;;) {
+    HETESIM_RETURN_NOT_OK(ctx.CheckAlive());
+    std::promise<Result<std::shared_ptr<const SparseMatrix>>> promise;
+    std::shared_ptr<Slot> slot;
+    bool claimed = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        ++hits_;
+        slot = it->second;
+        if (slot->ready) TouchLocked(*slot);
+      } else {
+        // First requester claims the key; everyone arriving from here on
+        // finds the slot above and waits, so each key is computed at most
+        // once per residency.
+        ++misses_;
+        ++compute_counts_[key];
+        slot = std::make_shared<Slot>();
+        slot->future = promise.get_future().share();
+        entries_.emplace(key, slot);
+        claimed = true;
+      }
     }
-    // First requester claims the key; everyone arriving from here on finds
-    // the slot above and waits, so each key is computed exactly once.
-    ++misses_;
-    slot = std::make_shared<Slot>();
-    slot->future = promise.get_future().share();
-    entries_.emplace(key, slot);
+
+    if (!claimed) {
+      // Wait without holding the map lock — concurrent requests for other
+      // keys proceed freely. The wait is bounded by OUR deadline and polled
+      // for OUR cancellation; abandoning it does not poison the slot — the
+      // computing thread still publishes for later callers.
+      for (;;) {
+        HETESIM_RETURN_NOT_OK(ctx.CheckAlive());
+        if (slot->future.wait_for(kWaiterPollInterval) ==
+            std::future_status::ready) {
+          break;
+        }
+      }
+      Result<std::shared_ptr<const SparseMatrix>> published = slot->future.get();
+      if (published.ok()) return published;
+      // The computation failed under its claimant's context (deadline,
+      // cancellation, or an injected fault). Remove the dead slot if it is
+      // still installed — pointer identity guards against erasing a
+      // successor — then retry under our own context.
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end() && it->second == slot) entries_.erase(it);
+      }
+      continue;
+    }
+
+    // We claimed the key: compute outside the lock.
+    const auto start = std::chrono::steady_clock::now();
+    Result<SparseMatrix> computed = compute();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (!computed.ok()) {
+      // Publish the error FIRST (waiters — including SaveToDirectory, which
+      // waits while holding mutex_ — must never block on a thread that needs
+      // the lock), then unlink the slot so the next caller recomputes.
+      promise.set_value(computed.status());
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++failed_computes_;
+        auto it = entries_.find(key);
+        if (it != entries_.end() && it->second == slot) entries_.erase(it);
+      }
+      return computed.status();
+    }
+
+    auto matrix = std::make_shared<const SparseMatrix>(*std::move(computed));
+    // Same ordering rule: resolve the future before taking the lock.
+    promise.set_value(Result<std::shared_ptr<const SparseMatrix>>(matrix));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = entries_.find(key);
+      if (it != entries_.end() && it->second == slot) {
+        slot->bytes = matrix->ApproxBytes();
+        slot->compute_seconds = seconds;
+        if (AdmitLocked(*slot)) {
+          slot->ready = true;
+        } else {
+          // Does not fit even after eviction: serve uncached.
+          ++rejected_inserts_;
+          entries_.erase(it);
+        }
+      }
+      // else: Clear()/Load() raced us and already dropped the slot; the
+      // matrix is still delivered to us and any waiters, just not retained.
+    }
+    return matrix;
   }
-  slot->compute_count.fetch_add(1, std::memory_order_relaxed);
-  auto computed = std::make_shared<const SparseMatrix>(compute());
-  promise.set_value(computed);
-  return computed;
+}
+
+bool PathMatrixCache::AdmitLocked(Slot& slot) {
+  if (HETESIM_FAULT_POINT("cache.insert")) return false;
+  TouchLocked(slot);
+  if (budget_ != nullptr) {
+    while (!budget_->TryReserve(slot.bytes)) {
+      if (!EvictOneLocked()) return false;
+    }
+    slot.reservation = MemoryReservation(budget_.get(), slot.bytes);
+  }
+  accounted_bytes_ += slot.bytes;
+  peak_accounted_bytes_ = std::max(peak_accounted_bytes_, accounted_bytes_);
+  return true;
+}
+
+bool PathMatrixCache::EvictOneLocked() {
+  auto victim = entries_.end();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (!it->second->ready) continue;  // never evict in-flight entries
+    if (victim == entries_.end() ||
+        it->second->priority < victim->second->priority) {
+      victim = it;
+    }
+  }
+  if (victim == entries_.end()) return false;
+  Slot& slot = *victim->second;
+  // GreedyDual-Size aging: the clock rises to the evicted priority, so
+  // long-untouched survivors gradually lose their head start.
+  clock_ = std::max(clock_, slot.priority);
+  accounted_bytes_ -= slot.bytes;
+  slot.reservation.reset();
+  ++evictions_;
+  entries_.erase(victim);
+  return true;
+}
+
+void PathMatrixCache::TouchLocked(Slot& slot) {
+  // GreedyDual-Size priority: recency (clock_) plus recompute cost per
+  // byte, so a bulky-but-cheap product is evicted before a compact one
+  // that took a long SpGEMM chain to build.
+  const double cost_per_byte =
+      slot.compute_seconds / static_cast<double>(std::max<size_t>(slot.bytes, 1));
+  slot.priority = clock_ + cost_per_byte;
 }
 
 size_t PathMatrixCache::ComputeCount(const std::string& key) const {
   std::lock_guard<std::mutex> lock(mutex_);
-  auto it = entries_.find(key);
-  if (it == entries_.end()) return 0;
-  return it->second->compute_count.load(std::memory_order_relaxed);
+  auto it = compute_counts_.find(key);
+  if (it == compute_counts_.end()) return 0;
+  return it->second;
 }
 
 }  // namespace hetesim

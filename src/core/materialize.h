@@ -9,6 +9,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/context.h"
 #include "core/path_matrix.h"
 #include "hin/graph.h"
 #include "hin/metapath.h"
@@ -31,17 +32,40 @@ namespace hetesim {
 /// `std::shared_ptr`.
 ///
 /// Concurrency guarantees:
-///  * Each key is computed **exactly once**, even under a miss-storm where
-///    many threads request the same not-yet-materialized half at the same
-///    instant: the first requester claims the key and computes; later
-///    requesters block on the in-flight result instead of duplicating the
-///    (potentially huge) SpGEMM chain. `ComputeCount(key)` exposes the
-///    per-key computation count so tests can assert this.
+///  * Each key is computed **at most once per residency**, even under a
+///    miss-storm where many threads request the same not-yet-materialized
+///    half at the same instant: the first requester claims the key and
+///    computes; later requesters block on the in-flight result instead of
+///    duplicating the (potentially huge) SpGEMM chain. `ComputeCount(key)`
+///    exposes the per-key computation count so tests can assert this (it
+///    stays exactly 1 unless the entry is evicted or its computation fails
+///    and is legitimately redone).
 ///  * Different keys never serialize against each other — the map lock is
-///    only held for lookup/insert, never during a computation.
+///    only held for lookup/insert/eviction bookkeeping, never during a
+///    computation or while waiting on one.
 ///  * `Clear()` during an in-flight computation is safe: the computation
 ///    finishes against its detached slot and its waiters still receive the
 ///    matrix; the cache simply no longer retains it.
+///
+/// Failure semantics (see DESIGN.md §9):
+///  * A *waiter* whose deadline expires or that is cancelled abandons the
+///    shared future without poisoning the slot — the computing thread still
+///    publishes, and later callers get the cached matrix.
+///  * A *computation* that fails (its claimant's deadline/cancellation, an
+///    injected allocation fault) publishes the error to current waiters and
+///    removes the slot, so the key is recomputed by the next caller whose
+///    own context is still alive — per-key recompute-or-propagate, never a
+///    permanently wedged entry.
+///
+/// Memory budgeting: attach a `MemoryBudget` via `SetMemoryBudget` and
+/// every materialized matrix is charged (`SparseMatrix::ApproxBytes`)
+/// before admission. Admission that would exceed the limit first evicts
+/// ready entries in cost-aware-LRU order (GreedyDual-Size: lowest
+/// `clock + compute_seconds / bytes` first, so cheap-to-recompute bulky
+/// halves go before expensive compact ones); if the matrix still cannot
+/// fit it is returned to callers *uncached*. Accounted bytes therefore
+/// never exceed the budget limit, which is the `--max-cache-mb` guarantee.
+/// In-flight entries are never evicted.
 class PathMatrixCache {
  public:
   PathMatrixCache() = default;
@@ -71,6 +95,30 @@ class PathMatrixCache {
   std::shared_ptr<const SparseMatrix> GetReach(const HinGraph& graph,
                                                const MetaPath& path);
 
+  /// Context-aware variants: the computation polls `ctx` at chunk
+  /// granularity and waiters wait no longer than `ctx`'s deadline.
+  /// `num_threads` parallelizes a cache-miss computation (library
+  /// convention: 1 sequential, 0 = all hardware threads).
+  Result<std::shared_ptr<const SparseMatrix>> GetLeft(const HinGraph& graph,
+                                                      const MetaPath& path,
+                                                      const QueryContext& ctx,
+                                                      int num_threads = 1);
+  Result<std::shared_ptr<const SparseMatrix>> GetRight(const HinGraph& graph,
+                                                       const MetaPath& path,
+                                                       const QueryContext& ctx,
+                                                       int num_threads = 1);
+  Result<std::shared_ptr<const SparseMatrix>> GetReach(const HinGraph& graph,
+                                                       const MetaPath& path,
+                                                       const QueryContext& ctx,
+                                                       int num_threads = 1);
+
+  /// Attaches the byte budget charged by every subsequent admission
+  /// (nullptr = unlimited, the default). Existing entries are *not*
+  /// retroactively charged; attach before populating. The budget may be
+  /// shared with other consumers — the cache releases exactly what it
+  /// reserved.
+  void SetMemoryBudget(std::shared_ptr<MemoryBudget> budget);
+
   /// Cache effectiveness counters. A request that finds the key present —
   /// ready or still being computed by another thread — counts as a hit; a
   /// request that claims a fresh key (and therefore computes it) counts as
@@ -79,16 +127,22 @@ class PathMatrixCache {
     size_t hits = 0;
     size_t misses = 0;
     size_t entries = 0;
+    size_t evictions = 0;         ///< entries removed by the budget
+    size_t failed_computes = 0;   ///< computations that published an error
+    size_t rejected_inserts = 0;  ///< matrices served uncached (didn't fit)
+    size_t accounted_bytes = 0;   ///< bytes currently admitted
+    size_t peak_accounted_bytes = 0;  ///< high-water mark of the above
   };
   Stats stats() const;
 
   /// How many times the value for `key` has been computed since the last
-  /// `Clear()`/`LoadFromDirectory()`: 0 (never requested or loaded from
-  /// disk) or 1 — the per-key once-computation guarantee. Keys come from
-  /// `LeftKey`/`RightKey`/`ReachKey`.
+  /// `Clear()`/`LoadFromDirectory()`. Exactly 1 after a miss-storm on a
+  /// resident key (the at-most-once-per-residency guarantee); higher only
+  /// when the entry was evicted or a failed computation was redone. Keys
+  /// come from `LeftKey`/`RightKey`/`ReachKey`.
   size_t ComputeCount(const std::string& key) const;
 
-  /// Drops all entries and resets counters.
+  /// Drops all entries and resets counters (releasing any budget bytes).
   void Clear();
 
   /// Persists every cached matrix under `directory` (created if missing):
@@ -100,28 +154,55 @@ class PathMatrixCache {
 
   /// Loads a previously saved cache, replacing the current contents.
   /// Counters are reset; loaded entries count as neither hits nor misses
-  /// until queried.
+  /// until queried. With a budget attached, entries are admitted in
+  /// manifest order until the budget is full; the rest are skipped.
   Status LoadFromDirectory(const std::string& directory);
 
  private:
   /// One cache entry. The future becomes ready exactly when the claiming
-  /// thread finishes computing; waiters block on it without holding the
-  /// map lock.
+  /// thread publishes (a matrix or an error); waiters block on it without
+  /// holding the map lock. Admission metadata is guarded by `mutex_`.
   struct Slot {
-    std::shared_future<std::shared_ptr<const SparseMatrix>> future;
-    std::atomic<size_t> compute_count{0};
+    std::shared_future<Result<std::shared_ptr<const SparseMatrix>>> future;
+    bool ready = false;        ///< future resolved OK; admission decided
+    size_t bytes = 0;          ///< ApproxBytes of the matrix once ready
+    double compute_seconds = 0;  ///< measured cost of the materialization
+    double priority = 0;       ///< GreedyDual-Size eviction priority
+    MemoryReservation reservation;  ///< budget charge (empty if unbudgeted)
   };
 
   /// Wraps an already-materialized matrix in a ready slot (disk loads).
   static std::shared_ptr<Slot> ReadySlot(std::shared_ptr<const SparseMatrix> matrix);
 
-  std::shared_ptr<const SparseMatrix> GetOrCompute(
-      const std::string& key, const std::function<SparseMatrix()>& compute);
+  Result<std::shared_ptr<const SparseMatrix>> GetOrCompute(
+      const std::string& key, const QueryContext& ctx,
+      const std::function<Result<SparseMatrix>()>& compute);
+
+  /// Admission bookkeeping for a freshly computed `slot` (locked): charges
+  /// the budget, evicting in priority order as needed. Returns false when
+  /// the matrix cannot fit even after eviction — the caller then removes
+  /// the entry and the matrix is served uncached.
+  bool AdmitLocked(Slot& slot);
+  /// Evicts the lowest-priority ready entry; false when none is evictable.
+  bool EvictOneLocked();
+  /// Refreshes `slot`'s GreedyDual-Size priority on access (locked).
+  void TouchLocked(Slot& slot);
 
   mutable std::mutex mutex_;
+  // budget_ must be declared before entries_: slot destructors release
+  // their MemoryReservation against the raw budget pointer, so the budget
+  // has to outlive the slot map when the cache holds the last reference.
+  std::shared_ptr<MemoryBudget> budget_;
   std::unordered_map<std::string, std::shared_ptr<Slot>> entries_;
+  std::unordered_map<std::string, size_t> compute_counts_;
+  double clock_ = 0;  ///< GreedyDual-Size aging clock (max evicted priority)
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t evictions_ = 0;
+  size_t failed_computes_ = 0;
+  size_t rejected_inserts_ = 0;
+  size_t accounted_bytes_ = 0;
+  size_t peak_accounted_bytes_ = 0;
 };
 
 }  // namespace hetesim

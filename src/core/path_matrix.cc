@@ -7,17 +7,56 @@
 
 namespace hetesim {
 
+SparseMatrix SanitizeTransition(SparseMatrix m) {
+  bool all_finite = true;
+  for (double v : m.values()) {
+    if (!std::isfinite(v)) {
+      all_finite = false;
+      break;
+    }
+  }
+  if (all_finite) return m;
+  // Rebuild without the poisoned rows: one NaN/Inf weight invalidates the
+  // whole row's probability mass, so the row becomes all-zero (its object
+  // contributes 0 relevance downstream, matching the unreachable case).
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<size_t>(m.NumNonZeros()));
+  for (Index r = 0; r < m.rows(); ++r) {
+    auto values = m.RowValues(r);
+    bool row_finite = true;
+    for (double v : values) {
+      if (!std::isfinite(v)) {
+        row_finite = false;
+        break;
+      }
+    }
+    if (!row_finite) continue;
+    auto indices = m.RowIndices(r);
+    for (size_t k = 0; k < indices.size(); ++k) {
+      triplets.push_back({r, indices[k], values[k]});
+    }
+  }
+  return SparseMatrix::FromTriplets(m.rows(), m.cols(), std::move(triplets));
+}
+
 std::vector<SparseMatrix> TransitionChain(const HinGraph& graph, const MetaPath& path) {
   std::vector<SparseMatrix> chain;
   chain.reserve(static_cast<size_t>(path.length()));
   for (int i = 0; i < path.length(); ++i) {
-    chain.push_back(graph.StepTransition(path.StepAt(i)));
+    chain.push_back(SanitizeTransition(graph.StepTransition(path.StepAt(i))));
   }
   return chain;
 }
 
 SparseMatrix ReachProbability(const HinGraph& graph, const MetaPath& path) {
   return MultiplyChain(TransitionChain(graph, path));
+}
+
+Result<SparseMatrix> ReachProbabilityWithContext(const HinGraph& graph,
+                                                 const MetaPath& path,
+                                                 int num_threads,
+                                                 const QueryContext& ctx) {
+  return MultiplyChainWithContext(TransitionChain(graph, path), num_threads, ctx);
 }
 
 std::vector<double> ReachDistribution(const HinGraph& graph, const MetaPath& path,
@@ -41,6 +80,14 @@ AtomicDecomposition DecomposeAtomicRelation(const HinGraph& graph,
     auto indices = w.RowIndices(a);
     auto values = w.RowValues(a);
     for (size_t k = 0; k < indices.size(); ++k) {
+      // Skip weights whose square root is not a finite probability mass
+      // (NaN/Inf, or negative — sqrt would be NaN): the relation instance
+      // simply does not exist, so the pair contributes 0 relevance instead
+      // of poisoning whole rows of the half matrices.
+      if (!std::isfinite(values[k]) || values[k] < 0.0) {
+        ++edge_id;
+        continue;
+      }
       // w(a,e) = w(e,b) = sqrt(w(a,b)) so that W_out * W_in == W exactly.
       const double half_weight = std::sqrt(values[k]);
       out_triplets.push_back({a, edge_id, half_weight});
@@ -64,12 +111,13 @@ PathDecomposition DecomposePath(const HinGraph& graph, const MetaPath& path) {
     // Even length: split at the middle type M = TypeAt(l/2).
     const int mid = l / 2;
     for (int i = 0; i < mid; ++i) {
-      result.left_transitions.push_back(graph.StepTransition(path.StepAt(i)));
+      result.left_transitions.push_back(
+          SanitizeTransition(graph.StepTransition(path.StepAt(i))));
     }
     // PR^-1 walks the second half backwards: steps l-1 .. mid, inverted.
     for (int i = l - 1; i >= mid; --i) {
       result.right_transitions.push_back(
-          graph.StepTransition(path.StepAt(i).Inverse()));
+          SanitizeTransition(graph.StepTransition(path.StepAt(i).Inverse())));
     }
     result.middle_dimension = graph.NumNodes(path.TypeAt(mid));
     result.edge_object_inserted = false;
@@ -83,12 +131,13 @@ PathDecomposition DecomposePath(const HinGraph& graph, const MetaPath& path) {
   AtomicDecomposition atomic =
       DecomposeAtomicRelation(graph, path.StepAt(mid_step));
   for (int i = 0; i < mid_step; ++i) {
-    result.left_transitions.push_back(graph.StepTransition(path.StepAt(i)));
+    result.left_transitions.push_back(
+        SanitizeTransition(graph.StepTransition(path.StepAt(i))));
   }
   result.left_transitions.push_back(atomic.out.RowNormalized());
   for (int i = l - 1; i > mid_step; --i) {
     result.right_transitions.push_back(
-        graph.StepTransition(path.StepAt(i).Inverse()));
+        SanitizeTransition(graph.StepTransition(path.StepAt(i).Inverse())));
   }
   // Final right-hand step enters E against R_I: row-normalize W_EB'.
   result.right_transitions.push_back(atomic.in.Transpose().RowNormalized());
@@ -105,6 +154,18 @@ SparseMatrix LeftReachMatrix(const PathDecomposition& decomposition) {
 SparseMatrix RightReachMatrix(const PathDecomposition& decomposition) {
   HETESIM_CHECK(!decomposition.right_transitions.empty());
   return MultiplyChain(decomposition.right_transitions);
+}
+
+Result<SparseMatrix> LeftReachMatrixWithContext(const PathDecomposition& decomposition,
+                                                int num_threads,
+                                                const QueryContext& ctx) {
+  return MultiplyChainWithContext(decomposition.left_transitions, num_threads, ctx);
+}
+
+Result<SparseMatrix> RightReachMatrixWithContext(const PathDecomposition& decomposition,
+                                                 int num_threads,
+                                                 const QueryContext& ctx) {
+  return MultiplyChainWithContext(decomposition.right_transitions, num_threads, ctx);
 }
 
 }  // namespace hetesim

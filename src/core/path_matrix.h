@@ -3,12 +3,23 @@
 
 #include <vector>
 
+#include "common/context.h"
 #include "common/result.h"
 #include "hin/graph.h"
 #include "hin/metapath.h"
 #include "matrix/sparse.h"
 
 namespace hetesim {
+
+/// Zeroes every row of `m` that contains a non-finite entry (NaN or Inf),
+/// returning the sanitized copy. Transition rows poisoned by a bad input
+/// weight thus become all-zero, which downstream HeteSim semantics already
+/// handle: a walker at such an object reaches nothing, and the cosine
+/// combination of an all-zero distribution is 0 relevance (the paper's
+/// convention for unreachable pairs). When every entry is finite — the
+/// overwhelmingly common case — the matrix is returned unchanged without
+/// copying row data.
+SparseMatrix SanitizeTransition(SparseMatrix m);
 
 /// Transition probability matrices `U` (Definition 8) for every step of
 /// `path`, in order. `chain[i]` is `|TypeAt(i)| x |TypeAt(i+1)|` and
@@ -20,6 +31,14 @@ std::vector<SparseMatrix> TransitionChain(const HinGraph& graph, const MetaPath&
 /// of the source type reaches object `j` of the target type walking along
 /// `path`. This is also exactly the PCRW proximity matrix.
 SparseMatrix ReachProbability(const HinGraph& graph, const MetaPath& path);
+
+/// Deadline/cancellation/budget-aware `ReachProbability`: the chain product
+/// runs through the context-checked SpGEMM. `num_threads` follows the
+/// library convention (1 sequential, 0 = all hardware threads).
+Result<SparseMatrix> ReachProbabilityWithContext(const HinGraph& graph,
+                                                 const MetaPath& path,
+                                                 int num_threads,
+                                                 const QueryContext& ctx);
 
 /// Single-source row of `ReachProbability`: the distribution over the target
 /// type reached from `source`. O(edges touched), no matrix products.
@@ -69,6 +88,14 @@ PathDecomposition DecomposePath(const HinGraph& graph, const MetaPath& path);
 SparseMatrix LeftReachMatrix(const PathDecomposition& decomposition);
 /// Product of the right chain: `PM_(PR^-1)`, |A(l+1)| x |M|.
 SparseMatrix RightReachMatrix(const PathDecomposition& decomposition);
+
+/// Context-aware half products, polled at SpGEMM chunk granularity.
+Result<SparseMatrix> LeftReachMatrixWithContext(const PathDecomposition& decomposition,
+                                                int num_threads,
+                                                const QueryContext& ctx);
+Result<SparseMatrix> RightReachMatrixWithContext(const PathDecomposition& decomposition,
+                                                 int num_threads,
+                                                 const QueryContext& ctx);
 
 }  // namespace hetesim
 

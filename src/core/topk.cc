@@ -73,6 +73,26 @@ TopKSearcher::TopKSearcher(const HinGraph& graph, const MetaPath& path,
   }
 }
 
+Result<TopKSearcher> TopKSearcher::Prepare(const HinGraph& graph,
+                                           const MetaPath& path,
+                                           HeteSimOptions options,
+                                           const QueryContext& ctx) {
+  TopKSearcher searcher(graph, options, graph.NumNodes(path.SourceType()));
+  PathDecomposition decomposition = DecomposePath(graph, path);
+  searcher.left_transitions_ = std::move(decomposition.left_transitions);
+  HETESIM_ASSIGN_OR_RETURN(
+      searcher.right_,
+      MultiplyChainWithContext(decomposition.right_transitions,
+                               options.num_threads, ctx));
+  searcher.right_transpose_ = searcher.right_.Transpose();
+  searcher.right_norms_.resize(static_cast<size_t>(searcher.right_.rows()));
+  for (Index t = 0; t < searcher.right_.rows(); ++t) {
+    searcher.right_norms_[static_cast<size_t>(t)] = searcher.right_.RowNorm(t);
+  }
+  HETESIM_RETURN_NOT_OK(ctx.CheckAlive());
+  return searcher;
+}
+
 Result<std::vector<double>> TopKSearcher::SourceDistribution(Index source) const {
   if (source < 0 || source >= num_sources_) {
     return Status::OutOfRange("source id out of range");
@@ -83,15 +103,40 @@ Result<std::vector<double>> TopKSearcher::SourceDistribution(Index source) const
 }
 
 Result<TopKResult> TopKSearcher::Query(Index source, int k) const {
+  return Query(source, k, QueryContext::Background());
+}
+
+Result<TopKResult> TopKSearcher::Query(Index source, int k,
+                                       const QueryContext& ctx) const {
+  // Deliberately no up-front CheckAlive: a query whose deadline has already
+  // passed still produces a well-formed *partial* result (one poll stride of
+  // accumulation, truncation marker set) rather than an error — the
+  // documented best-effort contract. Invalid arguments still fail below.
   HETESIM_ASSIGN_OR_RETURN(std::vector<double> u, SourceDistribution(source));
   const double nu = Norm2(u);
   TopKResult result;
-  if (nu == 0.0) return result;  // source reaches nothing: empty answer
+  result.middle_total = static_cast<Index>(u.size());
+  if (nu == 0.0) {
+    // Source reaches nothing: the empty answer is complete, not truncated.
+    result.middle_processed = result.middle_total;
+    return result;
+  }
   // Accumulate scores only for targets that share a middle object with u.
   // `right_transpose_` maps each middle object to the targets reaching it.
+  // The context is polled once per stride: an expired deadline (or a
+  // cancellation) stops the accumulation and the partial scores are ranked
+  // and returned with the truncation marker set, so the caller always gets
+  // a best-effort answer within one stride of the deadline.
+  constexpr size_t kPollStride = 1024;
   std::vector<double> scores(static_cast<size_t>(right_.rows()), 0.0);
   std::vector<Index> touched;
+  size_t processed = u.size();
   for (size_t m = 0; m < u.size(); ++m) {
+    if (m % kPollStride == 0 && m > 0 && ctx.Expired()) {
+      result.truncated = true;
+      processed = m;
+      break;
+    }
     const double um = u[m];
     if (um == 0.0) continue;
     auto targets = right_transpose_.RowIndices(static_cast<Index>(m));
@@ -101,6 +146,7 @@ Result<TopKResult> TopKSearcher::Query(Index source, int k) const {
       scores[static_cast<size_t>(targets[j])] += um * weights[j];
     }
   }
+  result.middle_processed = static_cast<Index>(processed);
   result.candidates_examined = static_cast<Index>(touched.size());
   std::vector<Scored> candidates;
   candidates.reserve(touched.size());

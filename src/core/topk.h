@@ -36,6 +36,16 @@ struct TopKResult {
   /// objects to a searched object are a very small percentage ... pruning
   /// techniques can be used").
   Index candidates_examined = 0;
+  /// True when a deadline (or cancellation) cut the accumulation short:
+  /// `items` then ranks only the candidates reached through the first
+  /// `middle_processed` of `middle_total` middle objects — every reported
+  /// score is a valid partial lower bound, but objects may be missing or
+  /// under-scored. Always false for queries run without a context.
+  bool truncated = false;
+  /// Middle objects folded into the scores before stopping.
+  Index middle_processed = 0;
+  /// Size of the middle type (the full accumulation loop).
+  Index middle_total = 0;
 };
 
 /// A scored (source, target) pair for global top-k joins.
@@ -73,10 +83,23 @@ class TopKSearcher {
   TopKSearcher(const HinGraph& graph, const MetaPath& path,
                HeteSimOptions options = {});
 
+  /// Context-aware preparation: the right-chain product runs under `ctx`
+  /// (deadline / cancellation / budget), so even the one-time
+  /// materialization of a huge path respects `--deadline-ms`.
+  static Result<TopKSearcher> Prepare(const HinGraph& graph, const MetaPath& path,
+                                      HeteSimOptions options,
+                                      const QueryContext& ctx);
+
   /// Pruned query: scores only targets sharing at least one middle object
   /// with the source's reachable distribution. Exact — objects outside the
   /// candidate set provably score 0.
   Result<TopKResult> Query(Index source, int k) const;
+
+  /// Deadline-aware `Query`: the context is polled every ~1k middle
+  /// objects; on expiry the scores accumulated so far are ranked and
+  /// returned with `truncated = true` instead of an error, so callers get
+  /// a best-effort partial answer within one poll stride of the deadline.
+  Result<TopKResult> Query(Index source, int k, const QueryContext& ctx) const;
 
   /// Exhaustive reference query scoring every target.
   Result<TopKResult> QueryExhaustive(Index source, int k) const;
@@ -85,6 +108,10 @@ class TopKSearcher {
   Index num_targets() const { return right_.rows(); }
 
  private:
+  /// Partially-initialized searcher for `Prepare` to fill in.
+  TopKSearcher(const HinGraph& graph, HeteSimOptions options, Index num_sources)
+      : graph_(graph), options_(options), num_sources_(num_sources) {}
+
   /// Propagates the indicator of `source` through the left chain.
   Result<std::vector<double>> SourceDistribution(Index source) const;
 

@@ -1,8 +1,10 @@
 #include "datagen/io.h"
 
+#include <cmath>
 #include <fstream>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
 
 #include "common/string_util.h"
 #include "hin/builder.h"
@@ -72,11 +74,15 @@ Status ParseError(int line_number, const std::string& message) {
 
 }  // namespace
 
-Result<HinGraph> LoadHinGraph(std::istream& stream) {
+Result<HinGraph> LoadHinGraph(std::istream& stream,
+                              const LoadHinOptions& options) {
   HinGraphBuilder builder;
   std::string line;
   int line_number = 0;
   bool saw_header = false;
+  // (relation \x1f source \x1f target) triples already seen, for
+  // `reject_duplicate_edges`. \x1f cannot appear in space-split tokens.
+  std::unordered_set<std::string> seen_edges;
   while (std::getline(stream, line)) {
     ++line_number;
     std::string_view trimmed = Trim(line);
@@ -127,6 +133,25 @@ Result<HinGraph> LoadHinGraph(std::istream& stream) {
         if (parse.fail() || !parse.eof()) {
           return ParseError(line_number, "bad edge weight '" + tokens[4] + "'");
         }
+        if (!std::isfinite(weight)) {
+          return ParseError(line_number,
+                            "non-finite edge weight '" + tokens[4] + "'");
+        }
+      }
+      if (options.reject_self_edges && tokens[2] == tokens[3] &&
+          builder.schema().RelationSource(*relation) ==
+              builder.schema().RelationTarget(*relation)) {
+        return ParseError(line_number,
+                          "self edge '" + tokens[2] + "' forbidden on relation '" +
+                              tokens[1] + "'");
+      }
+      if (options.reject_duplicate_edges) {
+        std::string edge_key = tokens[1] + '\x1f' + tokens[2] + '\x1f' + tokens[3];
+        if (!seen_edges.insert(std::move(edge_key)).second) {
+          return ParseError(line_number, "duplicate edge '" + tokens[2] + "' -> '" +
+                                             tokens[3] + "' on relation '" +
+                                             tokens[1] + "'");
+        }
       }
       Status added = builder.AddEdgeByName(*relation, tokens[2], tokens[3], weight);
       if (!added.ok()) return ParseError(line_number, added.message());
@@ -134,18 +159,25 @@ Result<HinGraph> LoadHinGraph(std::istream& stream) {
       return ParseError(line_number, "unknown keyword '" + keyword + "'");
     }
   }
+  // getline stops on EOF (normal) or on a hard read error; treating the
+  // latter as success would silently build a graph from a truncated prefix.
+  if (stream.bad()) {
+    return Status::IOError(StrFormat(
+        "read failed after line %d: stream went bad mid-parse", line_number));
+  }
   if (!saw_header) {
     return Status::InvalidArgument("empty input: missing 'hin v1' header");
   }
   return std::move(builder).Build();
 }
 
-Result<HinGraph> LoadHinGraphFromFile(const std::string& path) {
+Result<HinGraph> LoadHinGraphFromFile(const std::string& path,
+                                      const LoadHinOptions& options) {
   std::ifstream file(path);
   if (!file.is_open()) {
     return Status::IOError("cannot open '" + path + "' for reading");
   }
-  return LoadHinGraph(file);
+  return LoadHinGraph(file, options);
 }
 
 }  // namespace hetesim

@@ -30,11 +30,27 @@ Status SaveHinGraph(const HinGraph& graph, std::ostream& stream);
 /// Writes `graph` to `path`.
 Status SaveHinGraphToFile(const HinGraph& graph, const std::string& path);
 
-/// Parses a graph from `stream`. Errors carry the offending line number.
-Result<HinGraph> LoadHinGraph(std::istream& stream);
+/// Strictness knobs for `LoadHinGraph`. The defaults match the historical
+/// permissive semantics (duplicates sum their weights per Definition 8's
+/// weighted adjacency; self-edges are legal on same-typed relations).
+struct LoadHinOptions {
+  /// Reject an `edge` line naming the same endpoint twice on a relation
+  /// whose source and target types coincide.
+  bool reject_self_edges = false;
+  /// Reject a second `edge` line for an already-seen
+  /// (relation, source, target) triple instead of summing the weights.
+  bool reject_duplicate_edges = false;
+};
+
+/// Parses a graph from `stream`. Errors carry the offending line number;
+/// a stream that dies mid-read (truncated/unreadable file) is an IOError
+/// rather than a silently shorter graph.
+Result<HinGraph> LoadHinGraph(std::istream& stream,
+                              const LoadHinOptions& options = {});
 
 /// Parses a graph from the file at `path`.
-Result<HinGraph> LoadHinGraphFromFile(const std::string& path);
+Result<HinGraph> LoadHinGraphFromFile(const std::string& path,
+                                      const LoadHinOptions& options = {});
 
 }  // namespace hetesim
 

@@ -1,5 +1,7 @@
 #include "hin/builder.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace hetesim {
@@ -60,8 +62,11 @@ Status HinGraphBuilder::AddEdge(RelationId relation, Index src, Index dst,
     return Status::OutOfRange("target node id out of range for relation '" +
                               schema_.RelationName(relation) + "'");
   }
-  if (weight <= 0.0) {
-    return Status::InvalidArgument("edge weight must be positive");
+  // `!(weight > 0.0)` rather than `weight <= 0.0` so NaN is rejected too
+  // (both comparisons are false for NaN); isfinite rules out +Inf, which
+  // would otherwise poison every transition row it normalizes.
+  if (!(weight > 0.0) || !std::isfinite(weight)) {
+    return Status::InvalidArgument("edge weight must be positive and finite");
   }
   edges_[static_cast<size_t>(relation)].push_back({src, dst, weight});
   return Status::OK();

@@ -73,6 +73,21 @@ SparseMatrix MultiplyChain(const std::vector<SparseMatrix>& chain) {
   return product;
 }
 
+Result<SparseMatrix> MultiplyChainWithContext(const std::vector<SparseMatrix>& chain,
+                                              int num_threads,
+                                              const QueryContext& ctx) {
+  if (chain.empty()) {
+    return Status::InvalidArgument("empty matrix chain");
+  }
+  SparseMatrix product = chain[0];
+  for (size_t i = 1; i < chain.size(); ++i) {
+    HETESIM_ASSIGN_OR_RETURN(product,
+                             product.MultiplyParallel(chain[i], num_threads, ctx));
+  }
+  HETESIM_RETURN_NOT_OK(ctx.CheckAlive());
+  return product;
+}
+
 DenseMatrix MultiplyChainDense(const std::vector<SparseMatrix>& chain) {
   HETESIM_CHECK(!chain.empty());
   if (chain.size() == 1) return chain[0].ToDense();

@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "common/context.h"
+#include "common/result.h"
 #include "matrix/dense.h"
 #include "matrix/sparse.h"
 
@@ -37,6 +39,14 @@ DenseMatrix MultiplyDenseSparse(const DenseMatrix& a, const SparseMatrix& b);
 /// order for transition chains, whose products stay row-stochastic and thus
 /// reasonably sparse.
 SparseMatrix MultiplyChain(const std::vector<SparseMatrix>& chain);
+
+/// Deadline/cancellation/budget-aware `MultiplyChain`: each link runs
+/// through the context-checked SpGEMM (polled at chunk granularity), so a
+/// long relevance-path product can be abandoned mid-chain. `num_threads`
+/// follows the library convention (1 sequential, 0 = all hardware threads).
+Result<SparseMatrix> MultiplyChainWithContext(const std::vector<SparseMatrix>& chain,
+                                              int num_threads,
+                                              const QueryContext& ctx);
 
 /// Multiplies a chain of sparse matrices into a dense result, densifying
 /// after the first product. Faster than `MultiplyChain` once intermediate

@@ -5,6 +5,9 @@
 #include <istream>
 #include <ostream>
 
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+
 namespace hetesim {
 
 namespace {
@@ -50,6 +53,19 @@ bool ReadArray(std::istream& stream, size_t count, std::vector<T>* values) {
   return !stream.bad();
 }
 
+/// Bytes between the current read position and end-of-stream, or -1 when
+/// the stream is not seekable (pipes). Used to reject headers whose claimed
+/// payload exceeds what the file can possibly hold *before* any allocation.
+int64_t RemainingBytes(std::istream& stream) {
+  const std::istream::pos_type pos = stream.tellg();
+  if (pos == std::istream::pos_type(-1)) return -1;
+  stream.seekg(0, std::ios::end);
+  const std::istream::pos_type end = stream.tellg();
+  stream.seekg(pos);
+  if (end == std::istream::pos_type(-1) || !stream.good()) return -1;
+  return static_cast<int64_t>(end - pos);
+}
+
 }  // namespace
 
 Status WriteSparseMatrix(const SparseMatrix& matrix, std::ostream& stream) {
@@ -81,6 +97,21 @@ Result<SparseMatrix> ReadSparseMatrix(std::istream& stream) {
       cols > kMaxReasonableDimension || nnz > kMaxReasonableDimension ||
       nnz > rows * cols) {
     return Status::InvalidArgument("corrupt sparse matrix header");
+  }
+  // Cross-check the claimed payload against what the stream actually holds
+  // (when seekable) so a corrupt nnz cannot trigger a huge allocation that
+  // only fails at the first missing chunk.
+  const int64_t payload_bytes =
+      (rows + 1) * static_cast<int64_t>(sizeof(Index)) +
+      nnz * static_cast<int64_t>(sizeof(Index) + sizeof(double));
+  const int64_t remaining = RemainingBytes(stream);
+  if (remaining >= 0 && remaining < payload_bytes) {
+    return Status::InvalidArgument(StrFormat(
+        "sparse matrix header claims %lld payload bytes but only %lld remain",
+        static_cast<long long>(payload_bytes), static_cast<long long>(remaining)));
+  }
+  if (HETESIM_FAULT_POINT("serialize.alloc")) {
+    return Status::ResourceExhausted("injected: serialize.alloc");
   }
   std::vector<Index> row_ptr;
   std::vector<Index> col_idx;
@@ -137,6 +168,19 @@ Result<DenseMatrix> ReadDenseMatrix(std::istream& stream) {
   if (rows < 0 || cols < 0 || rows > kMaxReasonableDimension ||
       cols > kMaxReasonableDimension) {
     return Status::InvalidArgument("corrupt dense matrix header");
+  }
+  // Compare cells against remaining/8 — `rows * cols * 8` could overflow
+  // int64 for adversarial headers that pass the dimension checks.
+  const int64_t cells = rows * cols;
+  const int64_t remaining = RemainingBytes(stream);
+  if (remaining >= 0 &&
+      cells > remaining / static_cast<int64_t>(sizeof(double))) {
+    return Status::InvalidArgument(StrFormat(
+        "dense matrix header claims %lld cells but only %lld bytes remain",
+        static_cast<long long>(cells), static_cast<long long>(remaining)));
+  }
+  if (HETESIM_FAULT_POINT("serialize.alloc")) {
+    return Status::ResourceExhausted("injected: serialize.alloc");
   }
   std::vector<double> data;
   if (!ReadArray(stream, static_cast<size_t>(rows * cols), &data)) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/fault_injection.h"
 #include "common/parallel.h"
 
 namespace hetesim {
@@ -121,6 +122,12 @@ SparseMatrix SparseMatrix::Transpose() const {
 
 namespace {
 
+/// Rows per context check when a budget/deadline-aware product runs
+/// sequentially: small enough that one stripe of even a dense-ish product
+/// completes in well under a millisecond at DBLP scale, so cancellation
+/// latency stays bounded without a parallel region.
+constexpr Index kSequentialStripeRows = 64;
+
 /// One Gustavson pass over the row range `[row_begin, row_end)` of `a * b`,
 /// appending results to chunk-local arrays. `row_sizes[i]` receives the
 /// number of stored entries of output row `row_begin + i`.
@@ -211,6 +218,100 @@ SparseMatrix SparseMatrix::MultiplyParallel(const SparseMatrix& other,
   out.values_.reserve(total_nnz);
   size_t row = 0;
   for (const ChunkResult& result : results) {
+    for (Index size : result.row_sizes) {
+      out.row_ptr_[row + 1] = out.row_ptr_[row] + size;
+      ++row;
+    }
+    out.col_idx_.insert(out.col_idx_.end(), result.col_idx.begin(),
+                        result.col_idx.end());
+    out.values_.insert(out.values_.end(), result.values.begin(),
+                       result.values.end());
+  }
+  HETESIM_CHECK_EQ(row, static_cast<size_t>(rows_));
+  return out;
+}
+
+Result<SparseMatrix> SparseMatrix::MultiplyParallel(const SparseMatrix& other,
+                                                    int num_threads,
+                                                    const QueryContext& ctx) const {
+  HETESIM_CHECK_EQ(cols_, other.rows_);
+  HETESIM_RETURN_NOT_OK(ctx.CheckAlive());
+  const int threads = ResolveNumThreads(num_threads);
+
+  struct ChunkResult {
+    std::vector<Index> row_sizes;
+    std::vector<Index> col_idx;
+    std::vector<double> values;
+    MemoryReservation reservation;
+  };
+  // Sequential case: same Gustavson pass, striped so the context is still
+  // polled at bounded intervals (a stripe is the sequential "chunk").
+  const bool sequential = threads <= 1 || rows_ < 2;
+  const Index chunks =
+      sequential ? std::max<Index>((rows_ + kSequentialStripeRows - 1) /
+                                       kSequentialStripeRows, 1)
+                 : std::min<Index>(static_cast<Index>(threads) * 4,
+                                   std::max<Index>(rows_, 1));
+  const Index chunk_size = (rows_ + chunks - 1) / chunks;
+  std::vector<ChunkResult> results(static_cast<size_t>(chunks));
+  SharedStatus region_status;
+
+  auto run_chunk = [&](Index c) {
+    // A failed/cancelled region turns every remaining chunk into a no-op:
+    // the pool task still runs (and the region joins normally — nothing is
+    // leaked), it just does no work. Promptness is therefore bounded by
+    // the one chunk already in flight.
+    if (!region_status.ok()) return;
+    Status alive = ctx.CheckAlive();
+    if (!alive.ok()) {
+      region_status.Update(std::move(alive));
+      return;
+    }
+    if (HETESIM_FAULT_POINT("spgemm.alloc")) {
+      region_status.Update(Status::ResourceExhausted("injected: spgemm.alloc"));
+      return;
+    }
+    const Index row_begin = c * chunk_size;
+    const Index row_end = std::min(rows_, row_begin + chunk_size);
+    if (row_begin >= row_end) return;
+    ChunkResult& result = results[static_cast<size_t>(c)];
+    GustavsonRange(*this, other, row_begin, row_end, &result.row_sizes,
+                   &result.col_idx, &result.values);
+    // Charge this chunk's output against the query budget; on exhaustion
+    // the chunk's buffers are dropped immediately and the region winds
+    // down (budgeted peak usage, not post-hoc accounting).
+    Result<MemoryReservation> reservation = ctx.Reserve(
+        result.col_idx.capacity() * sizeof(Index) +
+        result.values.capacity() * sizeof(double) +
+        result.row_sizes.capacity() * sizeof(Index));
+    if (!reservation.ok()) {
+      result = ChunkResult();
+      region_status.Update(reservation.status());
+      return;
+    }
+    result.reservation = *std::move(reservation);
+  };
+
+  if (sequential || chunks < 2) {
+    for (Index c = 0; c < chunks; ++c) run_chunk(c);
+  } else {
+    GrainOptions grain;
+    grain.cost_per_element = 1e9;  // each chunk id is its own block
+    ParallelFor(0, chunks, threads, [&](int64_t chunk_begin, int64_t chunk_end) {
+      for (int64_t c = chunk_begin; c < chunk_end; ++c) {
+        run_chunk(static_cast<Index>(c));
+      }
+    }, grain);
+  }
+  HETESIM_RETURN_NOT_OK(region_status.status());
+
+  SparseMatrix out(rows_, other.cols_);
+  size_t total_nnz = 0;
+  for (const ChunkResult& result : results) total_nnz += result.values.size();
+  out.col_idx_.reserve(total_nnz);
+  out.values_.reserve(total_nnz);
+  size_t row = 0;
+  for (ChunkResult& result : results) {
     for (Index size : result.row_sizes) {
       out.row_ptr_[row + 1] = out.row_ptr_[row] + size;
       ++row;

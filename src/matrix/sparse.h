@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "common/context.h"
 #include "matrix/dense.h"
 
 namespace hetesim {
@@ -71,6 +72,16 @@ class SparseMatrix {
   /// identical to `Multiply` at any thread count; `num_threads == 1` falls
   /// back to it, `num_threads == 0` uses all hardware threads.
   SparseMatrix MultiplyParallel(const SparseMatrix& other, int num_threads) const;
+  /// Deadline/cancellation/budget-aware `MultiplyParallel`: the context is
+  /// checked once per row chunk (sequentially: once per row stripe), so a
+  /// cancelled product stops within one chunk's worth of work and the
+  /// region drains cleanly — abandoned chunks become no-ops rather than
+  /// leaked pool tasks. Chunk outputs are charged against the context's
+  /// memory budget (transient working-set accounting, released on return).
+  /// Fails with `Cancelled`, `DeadlineExceeded`, or `ResourceExhausted`;
+  /// with `QueryContext::Background()` it is exactly `MultiplyParallel`.
+  Result<SparseMatrix> MultiplyParallel(const SparseMatrix& other, int num_threads,
+                                        const QueryContext& ctx) const;
   /// Sparse-dense product `this * other`.
   DenseMatrix MultiplyDense(const DenseMatrix& other) const;
   /// Matrix-vector product `this * x`.
@@ -109,6 +120,13 @@ class SparseMatrix {
 
   /// Fraction of entries stored: nnz / (rows*cols); 0 for empty shapes.
   double Density() const;
+
+  /// Approximate heap footprint in bytes (CSR arrays + object header) —
+  /// the quantity `PathMatrixCache` charges against its memory budget.
+  size_t ApproxBytes() const {
+    return sizeof(SparseMatrix) + row_ptr_.capacity() * sizeof(Index) +
+           col_idx_.capacity() * sizeof(Index) + values_.capacity() * sizeof(double);
+  }
 
   /// True iff shapes match and all entries differ by at most `tolerance`.
   bool ApproxEquals(const SparseMatrix& other, double tolerance = 1e-9) const;

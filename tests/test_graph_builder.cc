@@ -1,3 +1,6 @@
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "hin/builder.h"
@@ -138,6 +141,21 @@ TEST(HinGraph, SummaryMentionsTypesAndRelations) {
   EXPECT_NE(summary.find("author"), std::string::npos);
   EXPECT_NE(summary.find("writes"), std::string::npos);
   EXPECT_NE(summary.find("10 nodes"), std::string::npos);
+}
+
+TEST(HinGraphBuilder, NonFiniteWeightsRejected) {
+  HinGraphBuilder b;
+  TypeId a = *b.AddObjectType("alpha");
+  TypeId p = *b.AddObjectType("beta");
+  RelationId r = *b.AddRelation("rel", a, p);
+  b.AddNodes(a, 2);
+  b.AddNodes(p, 2);
+  EXPECT_TRUE(b.AddEdge(r, 0, 0, std::nan("")).IsInvalidArgument());
+  EXPECT_TRUE(
+      b.AddEdge(r, 0, 0, std::numeric_limits<double>::infinity()).IsInvalidArgument());
+  EXPECT_TRUE(b.AddEdge(r, 0, 0, -1.0).IsInvalidArgument());
+  EXPECT_TRUE(b.AddEdge(r, 0, 0, 0.0).IsInvalidArgument());
+  EXPECT_TRUE(b.AddEdge(r, 0, 0, 1.0).ok());
 }
 
 TEST(HinGraph, CopyIsIndependent) {

@@ -194,6 +194,80 @@ TEST(HinIo, TruncatedValidFileErrorsCleanly) {
   }
 }
 
+// --- Malformed-input corpus (tests/data/bad/, see its README.md) ---------
+
+std::string BadFile(const std::string& name) {
+  return std::string(HETESIM_TEST_DATA_DIR) + "/bad/" + name;
+}
+
+struct BadCorpusCase {
+  const char* file;
+  const char* expected_line;  // substring the error message must carry
+};
+
+class BadCorpus : public ::testing::TestWithParam<BadCorpusCase> {};
+
+TEST_P(BadCorpus, RejectedWithPreciseLineNumber) {
+  const BadCorpusCase& c = GetParam();
+  Status status = LoadHinGraphFromFile(BadFile(c.file)).status();
+  EXPECT_TRUE(status.IsInvalidArgument()) << c.file << ": " << status.ToString();
+  EXPECT_NE(status.message().find(c.expected_line), std::string::npos)
+      << c.file << ": " << status.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loader, BadCorpus,
+    ::testing::Values(BadCorpusCase{"bad_header.hin", "line 1"},
+                      BadCorpusCase{"unknown_keyword.hin", "line 3"},
+                      BadCorpusCase{"nonfinite_weight.hin", "line 5"},
+                      BadCorpusCase{"negative_weight.hin", "line 6"},
+                      BadCorpusCase{"zero_weight.hin", "line 5"},
+                      BadCorpusCase{"edge_before_relation.hin", "line 3"},
+                      BadCorpusCase{"truncated_midline.hin", "line 6"}),
+    [](const ::testing::TestParamInfo<BadCorpusCase>& info) {
+      std::string name = info.param.file;
+      return name.substr(0, name.find('.'));
+    });
+
+TEST(HinIo, SelfEdgesAllowedByDefaultRejectedWhenForbidden) {
+  ASSERT_TRUE(LoadHinGraphFromFile(BadFile("self_edge.hin")).ok());
+  LoadHinOptions strict;
+  strict.reject_self_edges = true;
+  Status status =
+      LoadHinGraphFromFile(BadFile("self_edge.hin"), strict).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("line 5"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("self edge"), std::string::npos);
+}
+
+TEST(HinIo, DuplicateEdgesSumByDefaultRejectedWhenForbidden) {
+  Result<HinGraph> lenient = LoadHinGraphFromFile(BadFile("duplicate_edge.hin"));
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  RelationId r = *lenient->schema().RelationByName("r");
+  EXPECT_DOUBLE_EQ(lenient->Adjacency(r).At(0, 0), 4.0);  // 1.5 + 2.5 summed
+  LoadHinOptions strict;
+  strict.reject_duplicate_edges = true;
+  Status status =
+      LoadHinGraphFromFile(BadFile("duplicate_edge.hin"), strict).status();
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("line 7"), std::string::npos)
+      << status.ToString();
+  EXPECT_NE(status.message().find("duplicate edge"), std::string::npos);
+}
+
+TEST(HinIo, NanWeightRejectedEvenIfItParses) {
+  // Whether "nan" survives operator>> is implementation-defined; either the
+  // parse or the finiteness guard must reject it — never a NaN adjacency.
+  std::istringstream in(
+      "hin v1\n"
+      "type alpha A\n"
+      "type beta B\n"
+      "relation r alpha beta\n"
+      "edge r x y nan\n");
+  EXPECT_TRUE(LoadHinGraph(in).status().IsInvalidArgument());
+}
+
 TEST(HinIo, GeneratedDblpRoundTrips) {
   DblpConfig config;
   config.num_papers = 120;

@@ -1,5 +1,8 @@
 #include "core/path_matrix.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "matrix/ops.h"
@@ -183,6 +186,39 @@ TEST_F(PathMatrixTest, RandomGraphDecompositionConsistency) {
     EXPECT_EQ(right.rows(), 5);
     EXPECT_EQ(left.cols(), right.cols());
   }
+}
+
+TEST(SanitizeTransition, AllFiniteIsUnchanged) {
+  SparseMatrix m = SparseMatrix::FromTriplets(2, 2, {{0, 0, 0.5}, {1, 1, 0.5}});
+  SparseMatrix sanitized = SanitizeTransition(m);
+  EXPECT_TRUE(sanitized.ApproxEquals(m, 0.0));
+}
+
+TEST(SanitizeTransition, PoisonedRowsBecomeZero) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      3, 2,
+      {{0, 0, 0.5}, {0, 1, std::nan("")},  // row 0: poisoned by NaN
+       {1, 0, 1.0},                        // row 1: clean, must survive
+       {2, 1, std::numeric_limits<double>::infinity()}});  // row 2: poisoned
+  SparseMatrix sanitized = SanitizeTransition(m);
+  EXPECT_EQ(sanitized.RowNnz(0), 0);
+  EXPECT_EQ(sanitized.RowNnz(2), 0);
+  EXPECT_DOUBLE_EQ(sanitized.At(1, 0), 1.0);
+  EXPECT_EQ(sanitized.rows(), 3);
+  EXPECT_EQ(sanitized.cols(), 2);
+}
+
+TEST(SanitizeTransition, ZeroRelevanceFlowsThroughHeteSim) {
+  // A NaN middle-step weight must surface as 0 relevance for the affected
+  // pairs, never as NaN scores (the paper's unreachable-pair convention).
+  SparseMatrix dirty = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, std::nan("")}, {1, 1, 1.0}});
+  SparseMatrix clean = SanitizeTransition(dirty);
+  std::vector<double> u{1.0, 0.0};
+  std::vector<double> reached = clean.LeftMultiplyVector(u);
+  for (double v : reached) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_DOUBLE_EQ(reached[0], 0.0);
+  EXPECT_DOUBLE_EQ(reached[1], 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,661 @@
+// Resilience suite: deadline-aware execution, cooperative cancellation,
+// memory-budgeted caching, and deterministic fault injection.
+//
+// The claims proven here back DESIGN.md §9 ("Failure semantics"):
+//  * cancellation is prompt — a cancelled parallel region drains within one
+//    chunk's worth of work and never leaks pool tasks;
+//  * an attached MemoryBudget is a hard cap — accounted bytes never exceed
+//    the limit, even transiently, even under concurrency;
+//  * the path-matrix cache computes each key at most once per residency,
+//    recomputes after a failed computation, and is never poisoned by a
+//    waiter whose own deadline expired;
+//  * injected faults (allocation failure, task-dispatch loss, cache
+//    admission failure) surface as precise Status codes or are absorbed
+//    without changing results, and the system recovers fully once the
+//    faults stop.
+//
+// Fault-dependent tests skip themselves unless the build compiles the hooks
+// in (-DHETESIM_FAULT_INJECTION=ON); CI runs that configuration under
+// ASan+UBSan with HETESIM_FAULT_SEED swept over several seeds.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/context.h"
+#include "common/fault_injection.h"
+#include "core/hetesim.h"
+#include "core/materialize.h"
+#include "core/topk.h"
+#include "matrix/ops.h"
+#include "matrix/serialize.h"
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+using std::chrono::steady_clock;
+
+/// A context whose deadline is already in the past.
+QueryContext ExpiredContext() {
+  return QueryContext().WithDeadline(steady_clock::now() -
+                                     std::chrono::milliseconds(10));
+}
+
+/// A deadline generous enough that only a hang would hit it.
+QueryContext GenerousContext() { return QueryContext().WithDeadlineAfterMs(60'000); }
+
+// ---------------------------------------------------------------------------
+// Context primitives.
+// ---------------------------------------------------------------------------
+
+TEST(QueryContext, BackgroundNeverExpires) {
+  const QueryContext& ctx = QueryContext::Background();
+  EXPECT_FALSE(ctx.Expired());
+  EXPECT_TRUE(ctx.CheckAlive().ok());
+  EXPECT_FALSE(ctx.deadline().has_value());
+  EXPECT_EQ(ctx.budget(), nullptr);
+}
+
+TEST(QueryContext, ExpiredDeadlineIsDeadlineExceeded) {
+  QueryContext ctx = ExpiredContext();
+  EXPECT_TRUE(ctx.Expired());
+  EXPECT_TRUE(ctx.CheckAlive().IsDeadlineExceeded());
+}
+
+TEST(QueryContext, CancellationSharedAcrossCopies) {
+  QueryContext original;
+  QueryContext copy = original.WithDeadlineAfterMs(60'000);
+  original.Cancel();
+  EXPECT_TRUE(copy.cancelled());
+  EXPECT_TRUE(copy.CheckAlive().IsCancelled());
+}
+
+TEST(QueryContext, CancellationWinsOverExpiredDeadline) {
+  QueryContext ctx = ExpiredContext();
+  ctx.Cancel();
+  // A caller-initiated stop is reported as Cancelled even when the deadline
+  // has also passed, so operators can tell the two apart in logs.
+  EXPECT_TRUE(ctx.CheckAlive().IsCancelled());
+}
+
+TEST(MemoryBudget, ReserveReleasePeak) {
+  MemoryBudget budget(100);
+  EXPECT_TRUE(budget.TryReserve(60));
+  EXPECT_FALSE(budget.TryReserve(41));  // 101 > 100: rejected, nothing charged
+  EXPECT_EQ(budget.used_bytes(), 60u);
+  EXPECT_TRUE(budget.TryReserve(40));
+  EXPECT_EQ(budget.used_bytes(), 100u);
+  budget.Release(100);
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  EXPECT_EQ(budget.peak_bytes(), 100u);
+  // Over-release clamps instead of wrapping around.
+  budget.Release(1u << 20);
+  EXPECT_EQ(budget.used_bytes(), 0u);
+}
+
+TEST(MemoryBudget, ConcurrentReservationsNeverOvershoot) {
+  constexpr size_t kLimit = 1u << 20;
+  constexpr size_t kChunk = 4096;
+  MemoryBudget budget(kLimit);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&budget] {
+      for (int i = 0; i < 2000; ++i) {
+        if (budget.TryReserve(kChunk)) {
+          // The invariant under test lives inside TryReserve's CAS: at no
+          // instant does `used` pass the limit. Holding briefly raises
+          // contention on the high-water path.
+          budget.Release(kChunk);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(budget.used_bytes(), 0u);
+  EXPECT_LE(budget.peak_bytes(), kLimit);
+  EXPECT_GT(budget.peak_bytes(), 0u);
+}
+
+TEST(MemoryReservation, RaiiReleasesOnScopeExit) {
+  // The handle takes ownership of bytes the caller already reserved.
+  MemoryBudget budget(100);
+  ASSERT_TRUE(budget.TryReserve(80));
+  {
+    MemoryReservation r(&budget, 80);
+    EXPECT_EQ(r.bytes(), 80u);
+    EXPECT_EQ(budget.used_bytes(), 80u);
+    MemoryReservation moved = std::move(r);
+    EXPECT_TRUE(r.empty());  // NOLINT(bugprone-use-after-move): tested state
+    EXPECT_EQ(moved.bytes(), 80u);
+    EXPECT_EQ(budget.used_bytes(), 80u);  // a move transfers, never releases
+  }
+  EXPECT_EQ(budget.used_bytes(), 0u);
+}
+
+TEST(QueryContextBudget, ReserveFailsWithResourceExhausted) {
+  MemoryBudget budget(100);
+  QueryContext ctx = QueryContext().WithBudget(&budget);
+  Result<MemoryReservation> first = ctx.Reserve(60);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->bytes(), 60u);
+  EXPECT_TRUE(ctx.Reserve(60).status().IsResourceExhausted());
+  first->reset();
+  EXPECT_TRUE(ctx.Reserve(60).ok());
+  // Unbudgeted contexts hand out empty reservations and never fail.
+  Result<MemoryReservation> unbudgeted = QueryContext().Reserve(1u << 30);
+  ASSERT_TRUE(unbudgeted.ok());
+  EXPECT_TRUE(unbudgeted->empty());
+}
+
+TEST(SharedStatus, FirstErrorWinsUnderConcurrency) {
+  SharedStatus shared;
+  shared.Update(Status::OK());
+  EXPECT_TRUE(shared.ok());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&shared, t] {
+      shared.Update(Status::Internal("worker " + std::to_string(t)));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_FALSE(shared.ok());
+  Status final = shared.status();
+  EXPECT_TRUE(final.IsInternal());
+  // Exactly one of the racing updates was kept; later ones were ignored.
+  EXPECT_NE(final.message().find("worker "), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation and deadline plumbing through the compute stack.
+// ---------------------------------------------------------------------------
+
+class CancellationTest : public ::testing::Test {
+ protected:
+  CancellationTest() : graph_(testing::BuildFig4Graph()) {}
+  MetaPath Path(const char* spec) const {
+    return *MetaPath::Parse(graph_.schema(), spec);
+  }
+  HinGraph graph_;
+};
+
+TEST_F(CancellationTest, PreCancelledMultiplyFailsFast) {
+  SparseMatrix a = testing::RandomBipartiteAdjacency(64, 64, 0.2, 11);
+  QueryContext ctx;
+  ctx.Cancel();
+  for (int threads : {1, 4}) {
+    Result<SparseMatrix> product = a.MultiplyParallel(a.Transpose(), threads, ctx);
+    EXPECT_TRUE(product.status().IsCancelled()) << threads;
+  }
+}
+
+TEST_F(CancellationTest, ExpiredComputeReturnsDeadlineExceeded) {
+  HeteSimEngine engine(graph_);
+  Result<DenseMatrix> result = engine.Compute(Path("APCPA"), ExpiredContext());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded());
+}
+
+TEST_F(CancellationTest, PreCancelledPairsQueryFails) {
+  HeteSimEngine engine(graph_);
+  QueryContext ctx;
+  ctx.Cancel();
+  Result<std::vector<double>> scores =
+      engine.ComputePairs(Path("APA"), {{0, 1}, {1, 2}}, ctx);
+  EXPECT_TRUE(scores.status().IsCancelled());
+}
+
+TEST_F(CancellationTest, GenerousDeadlineMatchesPlainCompute) {
+  HeteSimOptions options;
+  options.num_threads = 4;
+  HeteSimEngine engine(graph_, options);
+  MetaPath path = Path("APCPA");
+  DenseMatrix expected = engine.Compute(path);
+  Result<DenseMatrix> bounded = engine.Compute(path, GenerousContext());
+  ASSERT_TRUE(bounded.ok()) << bounded.status().ToString();
+  EXPECT_TRUE(bounded->ApproxEquals(expected, 0.0));  // bitwise identical
+}
+
+TEST_F(CancellationTest, ConcurrentCancelStopsParallelWorkPromptly) {
+  // A worker grinds repeated parallel products under one context; the main
+  // thread cancels mid-flight. The worker must observe Cancelled and return
+  // quickly: each chunk polls the token, so the bound is one chunk of work
+  // plus scheduling noise (asserted loosely — this catches hangs and leaked
+  // pool tasks, not scheduler jitter).
+  SparseMatrix a = testing::RandomBipartiteAdjacency(300, 300, 0.05, 5);
+  SparseMatrix b = a.Transpose();
+  QueryContext ctx;
+  std::atomic<bool> started{false};
+  Status final_status;
+  steady_clock::time_point finished;
+  std::thread worker([&] {
+    for (;;) {
+      Result<SparseMatrix> product = a.MultiplyParallel(b, 4, ctx);
+      started.store(true, std::memory_order_release);
+      if (!product.ok()) {
+        final_status = product.status();
+        finished = steady_clock::now();
+        return;
+      }
+    }
+  });
+  while (!started.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  const steady_clock::time_point cancel_time = steady_clock::now();
+  ctx.Cancel();
+  worker.join();
+  EXPECT_TRUE(final_status.IsCancelled()) << final_status.ToString();
+  EXPECT_LT(std::chrono::duration<double>(finished - cancel_time).count(), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Memory-budgeted path-matrix cache.
+// ---------------------------------------------------------------------------
+
+class CacheBudgetTest : public ::testing::Test {
+ protected:
+  CacheBudgetTest() : graph_(testing::RandomTripartite(150, 200, 150, 0.05, 3)) {}
+  MetaPath Path(const char* spec) const {
+    return *MetaPath::Parse(graph_.schema(), spec);
+  }
+  HinGraph graph_;
+};
+
+TEST_F(CacheBudgetTest, AccountedBytesNeverExceedLimit) {
+  const std::vector<const char*> paths = {"ABC", "ABA", "BCB", "ABCBA", "CBA"};
+  // Measure the real working set first so the limit provably forces
+  // pressure. Keys are shared across paths (the left half of ABC *is* the
+  // left half of ABA), so the distinct total comes from an unbudgeted
+  // cache's accounting, not from summing per-path requests.
+  size_t largest = 0;
+  size_t distinct_total = 0;
+  {
+    PathMatrixCache sizing;
+    for (const char* spec : paths) {
+      largest = std::max(largest, sizing.GetLeft(graph_, Path(spec))->ApproxBytes());
+      largest = std::max(largest, sizing.GetRight(graph_, Path(spec))->ApproxBytes());
+    }
+    distinct_total = sizing.stats().accounted_bytes;
+  }
+  // Big enough to admit any single entry, too small to hold them all.
+  const size_t limit = std::max(largest, distinct_total * 3 / 5);
+  ASSERT_LT(limit, distinct_total);
+
+  auto budget = std::make_shared<MemoryBudget>(limit);
+  PathMatrixCache cache;
+  cache.SetMemoryBudget(budget);
+  for (int round = 0; round < 2; ++round) {
+    for (const char* spec : paths) {
+      Result<std::shared_ptr<const SparseMatrix>> left =
+          cache.GetLeft(graph_, Path(spec), QueryContext::Background());
+      ASSERT_TRUE(left.ok()) << left.status().ToString();
+      EXPECT_NE(*left, nullptr);
+      Result<std::shared_ptr<const SparseMatrix>> right =
+          cache.GetRight(graph_, Path(spec), QueryContext::Background());
+      ASSERT_TRUE(right.ok()) << right.status().ToString();
+      EXPECT_LE(budget->used_bytes(), limit);
+    }
+  }
+  PathMatrixCache::Stats stats = cache.stats();
+  EXPECT_LE(stats.accounted_bytes, limit);
+  EXPECT_LE(stats.peak_accounted_bytes, limit);
+  EXPECT_LE(budget->peak_bytes(), limit);  // the --max-cache-mb guarantee
+  // The limit was chosen below the working set, so the budget had to act.
+  EXPECT_GT(stats.evictions + stats.rejected_inserts, 0u);
+}
+
+TEST_F(CacheBudgetTest, EvictedEntryIsRecomputedOnReturn) {
+  MetaPath first = Path("ABCBA");
+  MetaPath second = Path("BCB");
+  size_t first_bytes = 0;
+  size_t second_bytes = 0;
+  {
+    PathMatrixCache sizing;
+    first_bytes = sizing.GetLeft(graph_, first)->ApproxBytes();
+    second_bytes = sizing.GetLeft(graph_, second)->ApproxBytes();
+  }
+  // Either entry fits alone; the two never fit together.
+  const size_t limit =
+      std::max(first_bytes, second_bytes) + std::min(first_bytes, second_bytes) / 2;
+
+  PathMatrixCache cache;
+  cache.SetMemoryBudget(std::make_shared<MemoryBudget>(limit));
+  const std::string first_key = PathMatrixCache::LeftKey(first);
+  cache.GetLeft(graph_, first);
+  EXPECT_EQ(cache.ComputeCount(first_key), 1u);
+  cache.GetLeft(graph_, second);  // must evict `first` to fit
+  EXPECT_GE(cache.stats().evictions, 1u);
+  cache.GetLeft(graph_, first);  // gone, so this recomputes
+  EXPECT_EQ(cache.ComputeCount(first_key), 2u);
+}
+
+TEST_F(CacheBudgetTest, OversizedEntryServedUncachedAndCorrect) {
+  PathMatrixCache cache;
+  cache.SetMemoryBudget(std::make_shared<MemoryBudget>(64));  // fits nothing
+  MetaPath path = Path("ABC");
+  SparseMatrix expected = LeftReachMatrix(DecomposePath(graph_, path));
+  for (int i = 1; i <= 2; ++i) {
+    Result<std::shared_ptr<const SparseMatrix>> left =
+        cache.GetLeft(graph_, path, QueryContext::Background());
+    ASSERT_TRUE(left.ok()) << left.status().ToString();
+    EXPECT_TRUE((*left)->ApproxEquals(expected, 0.0));
+    PathMatrixCache::Stats stats = cache.stats();
+    EXPECT_EQ(stats.entries, 0u);
+    EXPECT_EQ(stats.rejected_inserts, static_cast<size_t>(i));
+    // Never cached, so every request recomputes — the documented trade for
+    // keeping the budget a hard cap.
+    EXPECT_EQ(cache.ComputeCount(PathMatrixCache::LeftKey(path)),
+              static_cast<size_t>(i));
+  }
+}
+
+TEST_F(CacheBudgetTest, MissStormComputesOncePerResidency) {
+  PathMatrixCache cache;
+  MetaPath path = Path("ABCBA");
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      Result<std::shared_ptr<const SparseMatrix>> left =
+          cache.GetLeft(graph_, path, QueryContext::Background());
+      if (!left.ok() || *left == nullptr) failures.fetch_add(1);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cache.ComputeCount(PathMatrixCache::LeftKey(path)), 1u);
+  PathMatrixCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 7u);
+}
+
+TEST_F(CacheBudgetTest, ExpiredCallerDoesNotPoisonResidentEntry) {
+  PathMatrixCache cache;
+  MetaPath path = Path("ABC");
+  ASSERT_TRUE(cache.GetLeft(graph_, path, QueryContext::Background()).ok());
+  // A caller arriving with a dead context is refused under ITS context...
+  EXPECT_TRUE(cache.GetLeft(graph_, path, ExpiredContext())
+                  .status()
+                  .IsDeadlineExceeded());
+  // ...but the resident entry is untouched for everyone else.
+  Result<std::shared_ptr<const SparseMatrix>> again =
+      cache.GetLeft(graph_, path, QueryContext::Background());
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(cache.ComputeCount(PathMatrixCache::LeftKey(path)), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Deadline-truncated top-k queries.
+// ---------------------------------------------------------------------------
+
+class TopKDeadlineTest : public ::testing::Test {
+ protected:
+  // 4000 middle objects: several poll strides, so an expired deadline
+  // truncates mid-accumulation rather than before the first stride.
+  TopKDeadlineTest() : graph_(testing::RandomTripartite(10, 4000, 10, 0.02, 7)) {}
+  HinGraph graph_;
+};
+
+TEST_F(TopKDeadlineTest, ExpiredQueryReturnsTruncatedPartial) {
+  MetaPath path = *MetaPath::Parse(graph_.schema(), "ABC");
+  TopKSearcher searcher(graph_, path);
+  Result<TopKResult> full = searcher.Query(0, 10);
+  ASSERT_TRUE(full.ok());
+  EXPECT_FALSE(full->truncated);
+  EXPECT_EQ(full->middle_processed, full->middle_total);
+
+  QueryContext ctx = GenerousContext();
+  Result<TopKResult> pre = searcher.Query(0, 10, ctx);
+  ASSERT_TRUE(pre.ok());
+  EXPECT_EQ(pre->items, full->items);  // an alive context changes nothing
+
+  Result<TopKResult> partial = searcher.Query(0, 10, ExpiredContext());
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_TRUE(partial->truncated);
+  EXPECT_EQ(partial->middle_total, 4000);
+  EXPECT_GT(partial->middle_processed, 0);
+  EXPECT_LT(partial->middle_processed, partial->middle_total);
+  // Partial scores are lower bounds: the accumulation is a sum of
+  // non-negative terms and the norms divide by the FULL source norm.
+  for (const Scored& item : partial->items) {
+    double complete = 0.0;
+    for (const Scored& ref : full->items) {
+      if (ref.id == item.id) complete = ref.score;
+    }
+    if (complete > 0.0) {
+      EXPECT_LE(item.score, complete + 1e-12);
+    }
+  }
+}
+
+TEST_F(TopKDeadlineTest, PrepareUnderExpiredDeadlineFails) {
+  MetaPath path = *MetaPath::Parse(graph_.schema(), "ABC");
+  Result<TopKSearcher> searcher =
+      TopKSearcher::Prepare(graph_, path, {}, ExpiredContext());
+  EXPECT_TRUE(searcher.status().IsDeadlineExceeded());
+}
+
+TEST_F(TopKDeadlineTest, PreparedSearcherMatchesDirectConstruction) {
+  MetaPath path = *MetaPath::Parse(graph_.schema(), "ABC");
+  Result<TopKSearcher> prepared =
+      TopKSearcher::Prepare(graph_, path, {}, GenerousContext());
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  TopKSearcher direct(graph_, path);
+  Result<TopKResult> a = prepared->Query(3, 5);
+  Result<TopKResult> b = direct.Query(3, 5);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->items, b->items);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic fault injection. Every test here skips in builds without
+// -DHETESIM_FAULT_INJECTION=ON and leaves the injector disarmed on exit.
+// ---------------------------------------------------------------------------
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!FaultInjector::CompiledIn()) {
+      GTEST_SKIP() << "built without HETESIM_FAULT_INJECTION";
+    }
+    FaultInjector::Global().Reset();
+  }
+  void TearDown() override {
+    if (FaultInjector::CompiledIn()) FaultInjector::Global().Reset();
+  }
+  /// The seed CI sweeps via the environment; 0 in local runs.
+  static uint64_t EnvSeed() {
+    const char* env = std::getenv("HETESIM_FAULT_SEED");
+    return env == nullptr ? 0 : std::strtoull(env, nullptr, 10);
+  }
+};
+
+TEST_F(FaultInjectionTest, DecisionsAreDeterministicPerSeed) {
+  FaultInjector& injector = FaultInjector::Global();
+  auto draw = [&injector](uint64_t seed) {
+    injector.Seed(seed);
+    injector.Arm("det.site", 0.5);
+    std::vector<bool> decisions;
+    for (int i = 0; i < 256; ++i) decisions.push_back(injector.ShouldFail("det.site"));
+    return decisions;
+  };
+  std::vector<bool> first = draw(123);
+  std::vector<bool> second = draw(123);
+  EXPECT_EQ(first, second);
+  // p = 0.5 over 256 draws: both outcomes occur (a fixed property of the
+  // deterministic stream for this seed, not a flaky statistical check).
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 0);
+  EXPECT_NE(std::count(first.begin(), first.end(), true), 256);
+  FaultInjector::SiteStats stats = injector.StatsFor("det.site");
+  EXPECT_EQ(stats.evaluations, 256u);
+  EXPECT_EQ(stats.failures,
+            static_cast<uint64_t>(std::count(second.begin(), second.end(), true)));
+}
+
+TEST_F(FaultInjectionTest, DisarmedSitesNeverFail) {
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Seed(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.ShouldFail("never.armed"));
+  }
+  EXPECT_EQ(injector.TotalFailures(), 0u);
+}
+
+TEST_F(FaultInjectionTest, SpgemmAllocFaultSurfacesAsResourceExhausted) {
+  HinGraph graph = testing::BuildFig4Graph();
+  MetaPath path = *MetaPath::Parse(graph.schema(), "APCPA");
+  HeteSimEngine engine(graph);
+  DenseMatrix expected = engine.Compute(path);  // reference before arming
+
+  FaultInjector::Global().Arm("spgemm.alloc", 1.0);
+  Result<DenseMatrix> faulted = engine.Compute(path, GenerousContext());
+  EXPECT_TRUE(faulted.status().IsResourceExhausted()) << faulted.status().ToString();
+  EXPECT_GE(FaultInjector::Global().StatsFor("spgemm.alloc").failures, 1u);
+
+  // Recovery: once the fault stops, the same query succeeds and matches.
+  FaultInjector::Global().Reset();
+  Result<DenseMatrix> recovered = engine.Compute(path, GenerousContext());
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered->ApproxEquals(expected, 0.0));
+}
+
+TEST_F(FaultInjectionTest, FailedCacheComputeIsRetriedCleanly) {
+  HinGraph graph = testing::RandomTripartite(40, 50, 40, 0.1, 21);
+  MetaPath path = *MetaPath::Parse(graph.schema(), "ABCBA");
+  SparseMatrix expected = LeftReachMatrix(DecomposePath(graph, path));
+  PathMatrixCache cache;
+  const std::string key = PathMatrixCache::LeftKey(path);
+
+  FaultInjector::Global().Arm("spgemm.alloc", 1.0, /*max_failures=*/1);
+  Result<std::shared_ptr<const SparseMatrix>> first =
+      cache.GetLeft(graph, path, GenerousContext());
+  EXPECT_TRUE(first.status().IsResourceExhausted()) << first.status().ToString();
+  EXPECT_EQ(cache.stats().failed_computes, 1u);
+  EXPECT_EQ(cache.stats().entries, 0u);  // the failed slot was unlinked
+
+  // The single allotted fault is spent: the next caller recomputes and wins.
+  Result<std::shared_ptr<const SparseMatrix>> second =
+      cache.GetLeft(graph, path, GenerousContext());
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE((*second)->ApproxEquals(expected, 0.0));
+  EXPECT_EQ(cache.ComputeCount(key), 2u);  // recompute-or-propagate, no wedge
+}
+
+TEST_F(FaultInjectionTest, PoolDispatchFaultsDoNotChangeResults) {
+  // Losing every helper-task submission degrades the region to the caller
+  // draining all blocks itself — slower, never wrong, nothing leaked.
+  FaultInjector::Global().Arm("pool.dispatch", 1.0);
+  SparseMatrix a = testing::RandomBipartiteAdjacency(120, 90, 0.15, 13);
+  SparseMatrix b = a.Transpose();
+  SparseMatrix expected = a.Multiply(b);
+  EXPECT_TRUE(a.MultiplyParallel(b, 8).ApproxEquals(expected, 0.0));
+  Result<SparseMatrix> ctx_product = a.MultiplyParallel(b, 8, GenerousContext());
+  ASSERT_TRUE(ctx_product.ok());
+  EXPECT_TRUE(ctx_product->ApproxEquals(expected, 0.0));
+  EXPECT_GE(FaultInjector::Global().StatsFor("pool.dispatch").failures, 1u);
+}
+
+TEST_F(FaultInjectionTest, CacheInsertFaultServesUncached) {
+  HinGraph graph = testing::BuildFig4Graph();
+  MetaPath path = *MetaPath::Parse(graph.schema(), "APCPA");
+  SparseMatrix expected = LeftReachMatrix(DecomposePath(graph, path));
+  PathMatrixCache cache;
+  FaultInjector::Global().Arm("cache.insert", 1.0);
+  for (int i = 1; i <= 2; ++i) {
+    Result<std::shared_ptr<const SparseMatrix>> left =
+        cache.GetLeft(graph, path, GenerousContext());
+    ASSERT_TRUE(left.ok()) << left.status().ToString();
+    EXPECT_TRUE((*left)->ApproxEquals(expected, 0.0));
+  }
+  PathMatrixCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.rejected_inserts, 2u);  // admission failed, service didn't
+}
+
+TEST_F(FaultInjectionTest, SerializeAllocFaultIsResourceExhausted) {
+  SparseMatrix original = testing::RandomBipartiteAdjacency(12, 12, 0.3, 17);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSparseMatrix(original, out).ok());
+  FaultInjector::Global().Arm("serialize.alloc", 1.0);
+  {
+    std::istringstream in(out.str());
+    Status status = ReadSparseMatrix(in).status();
+    EXPECT_TRUE(status.IsResourceExhausted()) << status.ToString();
+  }
+  FaultInjector::Global().Reset();
+  std::istringstream in(out.str());
+  Result<SparseMatrix> reloaded = ReadSparseMatrix(in);
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_TRUE(reloaded->ApproxEquals(original, 0.0));
+}
+
+TEST_F(FaultInjectionTest, SeededSweepIsCrashFreeAndRecovers) {
+  // The CI job reruns this binary with HETESIM_FAULT_SEED in {0..7}: each
+  // seed selects a different deterministic failure pattern. Under partial
+  // faults at every site, each query must either succeed with the exact
+  // reference answer or fail with the one Status its fault maps to — and
+  // the budgeted cache must honor its cap throughout.
+  HinGraph graph = testing::RandomTripartite(60, 80, 60, 0.08, 9);
+  HeteSimOptions options;
+  options.num_threads = 2;
+  const std::vector<const char*> specs = {"ABC", "ABA", "BCB", "ABCBA"};
+  std::vector<MetaPath> paths;
+  std::vector<DenseMatrix> references;
+  {
+    HeteSimEngine reference_engine(graph, options);
+    for (const char* spec : specs) {
+      paths.push_back(*MetaPath::Parse(graph.schema(), spec));
+      references.push_back(reference_engine.Compute(paths.back()));
+    }
+  }
+
+  const size_t limit = 1u << 20;
+  auto budget = std::make_shared<MemoryBudget>(limit);
+  auto cache = std::make_shared<PathMatrixCache>();
+  cache->SetMemoryBudget(budget);
+  HeteSimEngine engine(graph, options, cache);
+
+  FaultInjector& injector = FaultInjector::Global();
+  injector.Seed(EnvSeed());
+  injector.Arm("spgemm.alloc", 0.05);
+  injector.Arm("cache.insert", 0.25);
+  injector.Arm("pool.dispatch", 0.25);
+  int successes = 0;
+  for (int round = 0; round < 3; ++round) {
+    for (size_t p = 0; p < paths.size(); ++p) {
+      Result<DenseMatrix> result = engine.Compute(paths[p], GenerousContext());
+      if (result.ok()) {
+        ++successes;
+        EXPECT_TRUE(result->ApproxEquals(references[p], 0.0)) << specs[p];
+      } else {
+        EXPECT_TRUE(result.status().IsResourceExhausted())
+            << result.status().ToString();
+      }
+      EXPECT_LE(budget->peak_bytes(), limit);
+      EXPECT_LE(cache->stats().peak_accounted_bytes, limit);
+    }
+  }
+  // Full recovery once the faults stop: every path answers exactly.
+  injector.Reset();
+  for (size_t p = 0; p < paths.size(); ++p) {
+    Result<DenseMatrix> result = engine.Compute(paths[p], GenerousContext());
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->ApproxEquals(references[p], 0.0)) << specs[p];
+  }
+  // With 5% per-chunk fault probability some queries usually fail, but the
+  // invariant under test is correctness of whatever succeeds — record the
+  // coverage so a degenerate seed (all-fail / none-fail) is visible, not
+  // fatal.
+  RecordProperty("fault_sweep_successes", successes);
+}
+
+}  // namespace
+}  // namespace hetesim

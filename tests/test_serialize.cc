@@ -1,5 +1,6 @@
 #include "matrix/serialize.h"
 
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 
@@ -56,6 +57,35 @@ TEST(SparseSerialize, RejectsTruncatedPayload) {
   std::string bytes = out.str();
   std::istringstream in(bytes.substr(0, bytes.size() / 2));
   EXPECT_FALSE(ReadSparseMatrix(in).ok());
+}
+
+TEST(SparseSerialize, RejectsHeaderClaimingMoreThanPayloadHolds) {
+  // A corrupt nnz that passes the dimension sanity checks must be caught by
+  // the payload-size cross-check BEFORE any allocation, as a precise
+  // InvalidArgument rather than a generic truncated-read IOError.
+  SparseMatrix original = testing::RandomBipartiteAdjacency(8, 8, 0.4, 79);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSparseMatrix(original, out).ok());
+  std::string bytes = out.str();
+  const int64_t absurd_nnz = 60;  // < rows*cols, but payload has fewer entries
+  std::memcpy(&bytes[4 + 2 * sizeof(int64_t)], &absurd_nnz, sizeof(absurd_nnz));
+  std::istringstream in(bytes);
+  Status status = ReadSparseMatrix(in).status();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  EXPECT_NE(status.message().find("remain"), std::string::npos)
+      << status.ToString();
+}
+
+TEST(DenseSerialize, RejectsHeaderClaimingMoreThanPayloadHolds) {
+  DenseMatrix original(3, 3);
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDenseMatrix(original, out).ok());
+  std::string bytes = out.str();
+  const int64_t absurd_rows = 1000;
+  std::memcpy(&bytes[4], &absurd_rows, sizeof(absurd_rows));
+  std::istringstream in(bytes);
+  Status status = ReadDenseMatrix(in).status();
+  EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
 }
 
 TEST(SparseSerialize, RejectsDenseMagic) {

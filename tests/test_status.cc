@@ -28,6 +28,9 @@ TEST(Status, FactoryCodesMatchPredicates) {
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::DeadlineExceeded("x").IsDeadlineExceeded());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::Cancelled("x").IsCancelled());
 }
 
 TEST(Status, ErrorCarriesMessage) {
@@ -79,6 +82,9 @@ TEST(Status, CodeNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInvalidArgument), "Invalid argument");
   EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal error");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded), "Deadline exceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted), "Resource exhausted");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kCancelled), "Cancelled");
 }
 
 Status FailsWhen(bool fail) {

@@ -9,13 +9,21 @@
 //   hetesim_cli pair     --graph FILE --path SPEC --source NAME --target NAME
 //                        [--unnormalized] [--threads N]
 //   hetesim_cli topk     --graph FILE --path SPEC --source NAME [--k N]
+//                        [--deadline-ms N]
 //   hetesim_cli topk-pairs --graph FILE --path SPEC [--k N]
 //                        [--exclude-diagonal]
 //   hetesim_cli matrix   --graph FILE --path SPEC --out FILE.csv
-//                        [--threads N]
+//                        [--threads N] [--deadline-ms N] [--max-cache-mb N]
 //
 // --threads follows the library convention: 1 (default) is sequential,
 // 0 uses every hardware thread via the shared pool.
+//
+// --deadline-ms bounds a query's wall-clock time. `topk` degrades
+// gracefully: on expiry it prints whatever partial ranking was accumulated
+// plus an explicit truncation marker and exits 0; `matrix` and `pair` are
+// all-or-nothing and report Deadline exceeded. --max-cache-mb caps the
+// path-matrix cache's accounted bytes (a hard limit, enforced by eviction
+// and by serving oversized products uncached).
 //
 // Path SPECs use the meta-path syntax of MetaPath::Parse: type codes
 // ("APVC", "A-P-V-C") or full type names ("author-paper-venue-conference").
@@ -24,11 +32,14 @@
 #include <cstdio>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/context.h"
 #include "core/hetesim.h"
+#include "core/materialize.h"
 #include "core/topk.h"
 #include "datagen/acm_generator.h"
 #include "datagen/dblp_generator.h"
@@ -90,6 +101,39 @@ Result<MetaPath> ParsePathArg(const HinGraph& graph, const Args& args) {
   auto spec = args.Get("path");
   if (!spec) return Status::InvalidArgument("--path SPEC is required");
   return MetaPath::Parse(graph.schema(), *spec);
+}
+
+/// Execution bounds shared by the query commands: a deadline from
+/// --deadline-ms and, when --max-cache-mb is present, a budgeted
+/// path-matrix cache. The budget must outlive the context/cache pair.
+struct QueryBounds {
+  QueryContext ctx;
+  std::shared_ptr<MemoryBudget> budget;
+  std::shared_ptr<PathMatrixCache> cache;
+};
+
+QueryBounds MakeQueryBounds(const Args& args) {
+  QueryBounds bounds;
+  if (args.Has("deadline-ms")) {
+    bounds.ctx = bounds.ctx.WithDeadlineAfterMs(args.GetInt("deadline-ms", 0));
+  }
+  if (args.Has("max-cache-mb")) {
+    const size_t limit =
+        static_cast<size_t>(args.GetInt("max-cache-mb", 0)) * 1024 * 1024;
+    bounds.budget = std::make_shared<MemoryBudget>(limit);
+    bounds.cache = std::make_shared<PathMatrixCache>();
+    bounds.cache->SetMemoryBudget(bounds.budget);
+  }
+  return bounds;
+}
+
+void PrintCacheStats(const QueryBounds& bounds) {
+  if (bounds.cache == nullptr) return;
+  const PathMatrixCache::Stats stats = bounds.cache->stats();
+  std::printf(
+      "cache: %zu entries, %zu evictions, %zu uncached; peak %zu of %zu bytes\n",
+      stats.entries, stats.evictions, stats.rejected_inserts,
+      stats.peak_accounted_bytes, bounds.budget->limit_bytes());
 }
 
 Result<TypeId> ResolveType(const Schema& schema, const std::string& token) {
@@ -222,10 +266,13 @@ Status RunPair(const Args& args) {
   HeteSimOptions options;
   options.normalized = !args.Has("unnormalized");
   options.num_threads = args.GetInt("threads", 1);
-  HeteSimEngine engine(graph, options);
-  HETESIM_ASSIGN_OR_RETURN(double score, engine.ComputePair(path, source, target));
+  const QueryBounds bounds = MakeQueryBounds(args);
+  HeteSimEngine engine(graph, options, bounds.cache);
+  HETESIM_ASSIGN_OR_RETURN(
+      std::vector<double> scores,
+      engine.ComputePairs(path, {{source, target}}, bounds.ctx));
   std::printf("HeteSim(%s, %s | %s) = %.6f\n", source_name->c_str(),
-              target_name->c_str(), path.ToString().c_str(), score);
+              target_name->c_str(), path.ToString().c_str(), scores[0]);
   return Status::OK();
 }
 
@@ -237,8 +284,20 @@ Status RunTopK(const Args& args) {
   HETESIM_ASSIGN_OR_RETURN(Index source,
                            graph.FindNode(path.SourceType(), *source_name));
   const int k = args.GetInt("k", 10);
-  TopKSearcher searcher(graph, path);
-  HETESIM_ASSIGN_OR_RETURN(TopKResult result, searcher.Query(source, k));
+  const QueryBounds bounds = MakeQueryBounds(args);
+  Result<TopKSearcher> searcher =
+      TopKSearcher::Prepare(graph, path, {}, bounds.ctx);
+  if (searcher.status().IsDeadlineExceeded()) {
+    // The deadline died during the one-time path materialization: an empty
+    // partial answer, reported as such rather than as a failure.
+    std::printf(
+        "[truncated: deadline exceeded while materializing %s; no results]\n",
+        path.ToString().c_str());
+    return Status::OK();
+  }
+  HETESIM_RETURN_NOT_OK(searcher.status());
+  HETESIM_ASSIGN_OR_RETURN(TopKResult result,
+                           searcher->Query(source, k, bounds.ctx));
   int rank = 1;
   for (const Scored& item : result.items) {
     std::printf("%3d. %-24s %.6f\n", rank++,
@@ -246,7 +305,14 @@ Status RunTopK(const Args& args) {
   }
   std::printf("(%lld of %lld candidates examined)\n",
               static_cast<long long>(result.candidates_examined),
-              static_cast<long long>(searcher.num_targets()));
+              static_cast<long long>(searcher->num_targets()));
+  if (result.truncated) {
+    std::printf(
+        "[truncated: deadline exceeded after %lld of %lld middle objects; "
+        "scores are partial lower bounds]\n",
+        static_cast<long long>(result.middle_processed),
+        static_cast<long long>(result.middle_total));
+  }
   return Status::OK();
 }
 
@@ -274,8 +340,9 @@ Status RunMatrix(const Args& args) {
   if (!out) return Status::InvalidArgument("matrix needs --out FILE.csv");
   HeteSimOptions options;
   options.num_threads = args.GetInt("threads", 1);
-  HeteSimEngine engine(graph, options);
-  DenseMatrix scores = engine.Compute(path);
+  const QueryBounds bounds = MakeQueryBounds(args);
+  HeteSimEngine engine(graph, options, bounds.cache);
+  HETESIM_ASSIGN_OR_RETURN(DenseMatrix scores, engine.Compute(path, bounds.ctx));
   std::ofstream file(*out);
   if (!file.is_open()) {
     return Status::IOError("cannot open '" + *out + "' for writing");
@@ -297,6 +364,7 @@ Status RunMatrix(const Args& args) {
               static_cast<long long>(scores.rows()),
               static_cast<long long>(scores.cols()), path.ToString().c_str(),
               out->c_str());
+  PrintCacheStats(bounds);
   return Status::OK();
 }
 
@@ -313,12 +381,14 @@ void PrintUsage() {
                "  paths    --graph FILE --from TYPE --to TYPE "
                "[--max-length N] [--symmetric]\n"
                "  pair     --graph FILE --path SPEC --source NAME "
-               "--target NAME [--unnormalized] [--threads N]\n"
-               "  topk     --graph FILE --path SPEC --source NAME [--k N]\n"
+               "--target NAME [--unnormalized] [--threads N] "
+               "[--deadline-ms N] [--max-cache-mb N]\n"
+               "  topk     --graph FILE --path SPEC --source NAME [--k N] "
+               "[--deadline-ms N]\n"
                "  topk-pairs --graph FILE --path SPEC [--k N] "
                "[--exclude-diagonal]\n"
                "  matrix   --graph FILE --path SPEC --out FILE.csv "
-               "[--threads N]\n");
+               "[--threads N] [--deadline-ms N] [--max-cache-mb N]\n");
 }
 
 }  // namespace
