@@ -11,22 +11,6 @@ namespace hetesim {
 
 namespace {
 
-/// Multiply-add count of one sparse product `a * b`: for every stored
-/// entry (i, k) of `a`, one multiply-add per stored entry of `b`'s row k.
-double ProductFlops(const SparseMatrix& a, const SparseMatrix& b) {
-  std::vector<double> row_nnz(static_cast<size_t>(b.rows()));
-  for (Index r = 0; r < b.rows(); ++r) {
-    row_nnz[static_cast<size_t>(r)] = static_cast<double>(b.RowNnz(r));
-  }
-  double flops = 0.0;
-  for (Index i = 0; i < a.rows(); ++i) {
-    for (Index k : a.RowIndices(i)) {
-      flops += row_nnz[static_cast<size_t>(k)];
-    }
-  }
-  return flops;
-}
-
 /// Approximate CSR footprint: one Index + one double per entry plus the
 /// row-pointer array.
 size_t MatrixBytes(const SparseMatrix& m) {
@@ -41,17 +25,6 @@ struct Candidate {
 };
 
 }  // namespace
-
-double ChainProductFlops(const std::vector<SparseMatrix>& chain) {
-  if (chain.empty()) return 0.0;
-  double flops = 0.0;
-  SparseMatrix product = chain[0];
-  for (size_t i = 1; i < chain.size(); ++i) {
-    flops += ProductFlops(product, chain[i]);
-    product = product.Multiply(chain[i]);
-  }
-  return flops;
-}
 
 Result<MaterializationPlan> AdviseMaterialization(
     const HinGraph& graph, const std::vector<WorkloadEntry>& workload,

@@ -8,6 +8,7 @@
 #include "core/materialize.h"
 #include "hin/graph.h"
 #include "hin/metapath.h"
+#include "matrix/cost_model.h"
 
 namespace hetesim {
 
@@ -71,10 +72,10 @@ Status ApplyMaterializationPlan(const HinGraph& graph,
                                 const MaterializationPlan& plan,
                                 PathMatrixCache* cache);
 
-/// Exact multiply-add count of the sparse chain product
-/// `chain[0] * chain[1] * ...` evaluated left-to-right (the advisor's cost
-/// model; exposed for tests and for sizing estimates in user code).
-double ChainProductFlops(const std::vector<SparseMatrix>& chain);
+// The advisor's exact flop counters (`ProductFlops`, `ChainProductFlops`)
+// live in the shared cost-model module, `matrix/cost_model.h`, which also
+// prices the chain-association planner — one source of truth for multiply
+// costs. They remain visible here through the include above.
 
 }  // namespace hetesim
 

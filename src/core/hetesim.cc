@@ -8,7 +8,10 @@
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "core/materialize.h"
+#include "matrix/chain_plan.h"
+#include "matrix/cost_model.h"
 #include "matrix/ops.h"
+#include "matrix/spgemm.h"
 
 namespace hetesim {
 
@@ -67,11 +70,25 @@ Result<DenseMatrix> HeteSimEngine::Compute(const MetaPath& path,
   SparseMatrix right;
   HETESIM_RETURN_NOT_OK(GetReachMatrices(path, ctx, &left, &right));
   // Equation 6: HeteSim(A1, A(l+1) | P) = PM_PL * PM_(PR^-1)'. Relevance
-  // matrices of connected networks are dense, so the product is densified.
-  HETESIM_ASSIGN_OR_RETURN(
-      SparseMatrix product,
-      left.MultiplyParallel(right.Transpose(), options_.num_threads, ctx));
-  DenseMatrix scores = product.ToDense();
+  // matrices of connected networks are dense, so when the cost model
+  // predicts densification the product is accumulated directly into the
+  // dense score matrix (skipping CSR assembly of a near-full matrix);
+  // otherwise the adaptive sparse kernel runs and the result is densified.
+  // Both kernels accumulate in the seed Gustavson order, so scores are
+  // bitwise identical either way and at any thread count.
+  const SparseMatrix right_t = right.Transpose();
+  DenseMatrix scores;
+  const MatrixEstimate product_estimate =
+      EstimateProduct(EstimateOf(left), EstimateOf(right_t));
+  if (product_estimate.Density() >= ChainPlanOptions().dense_switch_density) {
+    HETESIM_ASSIGN_OR_RETURN(
+        scores, MultiplySparseSparseDense(left, right_t, options_.num_threads, ctx));
+  } else {
+    HETESIM_ASSIGN_OR_RETURN(
+        SparseMatrix product,
+        MultiplySparseAdaptive(left, right_t, options_.num_threads, ctx));
+    scores = product.ToDense();
+  }
   if (!options_.normalized) return scores;
   // Definition 10: divide entry (a, b) by |PM_PL(a,:)| * |PM_(PR^-1)(b,:)|.
   std::vector<double> left_norms(static_cast<size_t>(left.rows()));

@@ -39,7 +39,14 @@ struct HeteSimOptions {
   /// the shared, lazily-created process-wide thread pool — no threads are
   /// spawned per call. 1 (the default) runs fully sequentially on the
   /// calling thread; 0 means "use all hardware threads via the pool".
-  /// Results are bitwise identical at any setting.
+  ///
+  /// Determinism is *per plan*: chain products execute the association
+  /// plan chosen by the cost model (`matrix/chain_plan.h`), and a fixed
+  /// plan is bitwise identical at any thread count. The plan itself is a
+  /// pure function of the chain's shapes and fills, so the same graph and
+  /// path always reproduce the same scores; but association order changes
+  /// floating-point rounding, so results are only ~1e-12-close to the
+  /// seed's strict left-to-right evaluation, not bitwise equal to it.
   int num_threads = 1;
 };
 

@@ -1,0 +1,62 @@
+#include "matrix/cost_model.h"
+
+#include <cmath>
+
+namespace hetesim {
+
+MatrixEstimate EstimateOf(const SparseMatrix& m) {
+  MatrixEstimate est;
+  est.rows = m.rows();
+  est.cols = m.cols();
+  est.nnz = static_cast<double>(m.NumNonZeros());
+  est.exact = true;
+  return est;
+}
+
+MatrixEstimate EstimateProduct(const MatrixEstimate& a, const MatrixEstimate& b) {
+  MatrixEstimate est;
+  est.rows = a.rows;
+  est.cols = b.cols;
+  est.exact = false;
+  const double k = static_cast<double>(a.cols);
+  if (a.rows <= 0 || b.cols <= 0 || k <= 0.0) return est;
+  const double hit = a.Density() * b.Density();
+  // 1 - (1 - hit)^k, computed via expm1/log1p so tiny densities do not
+  // cancel to zero. hit == 1 short-circuits (log1p(-1) is -inf).
+  const double density =
+      hit >= 1.0 ? 1.0 : -std::expm1(k * std::log1p(-hit));
+  est.nnz = density * static_cast<double>(a.rows) * static_cast<double>(b.cols);
+  return est;
+}
+
+double EstimateProductFlops(const MatrixEstimate& a, const MatrixEstimate& b) {
+  if (a.cols <= 0) return 0.0;
+  return a.nnz * (b.nnz / static_cast<double>(a.cols));
+}
+
+double ProductFlops(const SparseMatrix& a, const SparseMatrix& b) {
+  std::vector<double> row_nnz(static_cast<size_t>(b.rows()));
+  for (Index r = 0; r < b.rows(); ++r) {
+    row_nnz[static_cast<size_t>(r)] = static_cast<double>(b.RowNnz(r));
+  }
+  double flops = 0.0;
+  for (Index i = 0; i < a.rows(); ++i) {
+    for (Index k : a.RowIndices(i)) {
+      flops += row_nnz[static_cast<size_t>(k)];
+    }
+  }
+  return flops;
+}
+
+double ChainProductFlops(const std::vector<SparseMatrix>& chain) {
+  if (chain.empty()) return 0.0;
+  double flops = 0.0;
+  SparseMatrix product = chain[0];
+  for (size_t i = 1; i < chain.size(); ++i) {
+    flops += ProductFlops(product, chain[i]);
+    product = product.Multiply(chain[i]);
+  }
+  return flops;
+}
+
+}  // namespace hetesim

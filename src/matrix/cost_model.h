@@ -1,0 +1,69 @@
+#ifndef HETESIM_MATRIX_COST_MODEL_H_
+#define HETESIM_MATRIX_COST_MODEL_H_
+
+#include <vector>
+
+#include "matrix/sparse.h"
+
+namespace hetesim {
+
+/// \brief Shared deterministic cost model for sparse products.
+///
+/// This is the single source of truth for "how expensive is this multiply":
+/// the materialization advisor prices candidate halves with the *exact*
+/// counters, and the chain-association planner (`matrix/chain_plan.h`)
+/// prices candidate parenthesizations with the *estimated* ones (an
+/// intermediate product that was never materialized has no exact nnz to
+/// count). Everything here is a pure function of matrix shapes and fills —
+/// no wall-clock timing — so plans and advisor choices are deterministic
+/// across runs and machines.
+
+/// Shape and fill of a sparse matrix that may or may not be materialized.
+/// For materialized matrices (`exact == true`) `nnz` is the stored-entry
+/// count; for predicted intermediates it is an expectation under the
+/// independent-fill model of `EstimateProduct`.
+struct MatrixEstimate {
+  Index rows = 0;
+  Index cols = 0;
+  double nnz = 0.0;
+  bool exact = false;
+
+  /// Fraction of cells expected to be stored; 0 for empty shapes.
+  double Density() const {
+    if (rows <= 0 || cols <= 0) return 0.0;
+    return nnz / (static_cast<double>(rows) * static_cast<double>(cols));
+  }
+};
+
+/// Exact estimate of a materialized matrix (its true shape and nnz).
+MatrixEstimate EstimateOf(const SparseMatrix& m);
+
+/// Expected shape/fill of `a * b` under the standard independent-fill
+/// model: a cell (i, j) of the product is non-zero unless all `k` inner
+/// terms vanish, so the expected density is `1 - (1 - da*db)^k` with
+/// `k = a.cols`. Exact inputs give a good estimate for unstructured
+/// matrices and a (useful) upper bound for row-stochastic transition
+/// chains, whose products densify exactly the way this model predicts.
+MatrixEstimate EstimateProduct(const MatrixEstimate& a, const MatrixEstimate& b);
+
+/// Expected Gustavson multiply-add count of `a * b`: every stored entry
+/// (i, k) of `a` touches every stored entry of row k of `b`, so the
+/// expectation is `nnz(a) * nnz(b) / k` (average `b` row fill per `a`
+/// entry). Exact when both inputs are exact and `b`'s rows are uniform.
+double EstimateProductFlops(const MatrixEstimate& a, const MatrixEstimate& b);
+
+/// Exact multiply-add count of one Gustavson product `a * b`: for every
+/// stored entry (i, k) of `a`, one multiply-add per stored entry of `b`'s
+/// row k. This is the advisor's deterministic recomputation cost.
+double ProductFlops(const SparseMatrix& a, const SparseMatrix& b);
+
+/// Exact multiply-add count of the sparse chain product
+/// `chain[0] * chain[1] * ...` evaluated left-to-right. Materializes the
+/// intermediate products to count exactly (cost O(product) itself — meant
+/// for offline advisor runs, not the query hot path; the planner uses
+/// `EstimateProductFlops` there).
+double ChainProductFlops(const std::vector<SparseMatrix>& chain);
+
+}  // namespace hetesim
+
+#endif  // HETESIM_MATRIX_COST_MODEL_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "matrix/chain_plan.h"
 
 namespace hetesim {
 
@@ -65,10 +66,16 @@ DenseMatrix MultiplyDenseSparse(const DenseMatrix& a, const SparseMatrix& b) {
 }
 
 SparseMatrix MultiplyChain(const std::vector<SparseMatrix>& chain) {
-  HETESIM_CHECK(!chain.empty());
+  HETESIM_CHECK(!chain.empty()) << "empty matrix chain";
+  return ExecuteChainPlan(chain, PlanChain(chain));
+}
+
+SparseMatrix MultiplyChainLeftToRight(const std::vector<SparseMatrix>& chain,
+                                      int num_threads) {
+  HETESIM_CHECK(!chain.empty()) << "empty matrix chain";
   SparseMatrix product = chain[0];
   for (size_t i = 1; i < chain.size(); ++i) {
-    product = product.Multiply(chain[i]);
+    product = product.MultiplyParallel(chain[i], num_threads);
   }
   return product;
 }
@@ -79,11 +86,9 @@ Result<SparseMatrix> MultiplyChainWithContext(const std::vector<SparseMatrix>& c
   if (chain.empty()) {
     return Status::InvalidArgument("empty matrix chain");
   }
-  SparseMatrix product = chain[0];
-  for (size_t i = 1; i < chain.size(); ++i) {
-    HETESIM_ASSIGN_OR_RETURN(product,
-                             product.MultiplyParallel(chain[i], num_threads, ctx));
-  }
+  HETESIM_ASSIGN_OR_RETURN(
+      SparseMatrix product,
+      ExecuteChainPlan(chain, PlanChain(chain), num_threads, ctx));
   HETESIM_RETURN_NOT_OK(ctx.CheckAlive());
   return product;
 }

@@ -33,17 +33,34 @@ double CosineSimilarity(const std::vector<double>& a, const std::vector<double>&
 /// Dense-times-sparse product `a * b`, streaming the sparse rows of `b`.
 DenseMatrix MultiplyDenseSparse(const DenseMatrix& a, const SparseMatrix& b);
 
-/// Multiplies a chain of sparse matrices left-to-right:
+/// Multiplies a chain of sparse matrices:
 /// `chain[0] * chain[1] * ... * chain.back()`. Adjacent dimensions must
-/// agree; an empty chain is invalid. Left-to-right association is the right
-/// order for transition chains, whose products stay row-stochastic and thus
-/// reasonably sparse.
+/// agree; an empty chain is invalid (aborts via `HETESIM_CHECK`; the
+/// context variant returns `InvalidArgument` instead). The association
+/// order and per-product representation (CSR vs dense) are chosen by the
+/// cost-model planner (`matrix/chain_plan.h`); the plan is a pure function
+/// of the chain's shapes and fills, so repeated calls on the same chain
+/// are bitwise reproducible. Association order changes floating-point
+/// rounding, so results agree with the left-to-right product to ~1e-12,
+/// not bitwise — use `MultiplyChainLeftToRight` where the seed order
+/// itself is wanted.
 SparseMatrix MultiplyChain(const std::vector<SparseMatrix>& chain);
 
-/// Deadline/cancellation/budget-aware `MultiplyChain`: each link runs
-/// through the context-checked SpGEMM (polled at chunk granularity), so a
-/// long relevance-path product can be abandoned mid-chain. `num_threads`
-/// follows the library convention (1 sequential, 0 = all hardware threads).
+/// The seed evaluation order: strictly left-to-right with the fixed CSR
+/// Gustavson kernel. Kept as the planner's correctness reference and the
+/// benchmark baseline. `num_threads` follows the library convention
+/// (1 sequential, 0 = all hardware threads).
+SparseMatrix MultiplyChainLeftToRight(const std::vector<SparseMatrix>& chain,
+                                      int num_threads = 1);
+
+/// Deadline/cancellation/budget-aware `MultiplyChain`: rejects an empty
+/// chain with `InvalidArgument`, then runs the same planned execution
+/// through the context-checked kernels (polled at chunk granularity, chunk
+/// outputs and dense intermediates charged against the memory budget), so
+/// a long relevance-path product can be abandoned mid-plan. `num_threads`
+/// follows the library convention (1 sequential, 0 = all hardware
+/// threads). For a given chain this returns results bitwise identical to
+/// `MultiplyChain` at any thread count (same plan, same kernels).
 Result<SparseMatrix> MultiplyChainWithContext(const std::vector<SparseMatrix>& chain,
                                               int num_threads,
                                               const QueryContext& ctx);

@@ -39,6 +39,16 @@ class SparseMatrix {
   /// entries that sum to exactly zero are dropped.
   static SparseMatrix FromTriplets(Index rows, Index cols,
                                    std::vector<Triplet> triplets);
+  /// Adopts ready-made CSR arrays: `row_ptr` has `rows + 1` monotonically
+  /// non-decreasing offsets, column indices are in range and sorted
+  /// ascending within each row, no duplicates. The offset invariants are
+  /// always checked; per-entry column order/range is verified in debug
+  /// builds only — callers must hand in well-formed arrays. The fast path
+  /// for kernels that already produce CSR order (adaptive SpGEMM chunk
+  /// stitching, dense->sparse conversion).
+  static SparseMatrix FromCsr(Index rows, Index cols, std::vector<Index> row_ptr,
+                              std::vector<Index> col_idx,
+                              std::vector<double> values);
   /// Builds from a dense matrix, dropping entries with |v| <= `threshold`.
   static SparseMatrix FromDense(const DenseMatrix& dense, double threshold = 0.0);
   /// The `n` x `n` identity.

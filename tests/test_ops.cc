@@ -72,6 +72,28 @@ TEST(MultiplyChain, ThreeFactorAssociativity) {
   EXPECT_TRUE(chained.ApproxEquals(right_assoc, 1e-12));
 }
 
+TEST(MultiplyChain, LeftToRightMatchesSeedKernelBitwise) {
+  SparseMatrix a = testing::RandomBipartiteAdjacency(5, 6, 0.4, 51);
+  SparseMatrix b = testing::RandomBipartiteAdjacency(6, 4, 0.4, 52);
+  SparseMatrix c = testing::RandomBipartiteAdjacency(4, 7, 0.4, 53);
+  SparseMatrix seed = a.Multiply(b).Multiply(c);
+  SparseMatrix ltr = MultiplyChainLeftToRight({a, b, c});
+  EXPECT_EQ(ltr.row_ptr(), seed.row_ptr());
+  EXPECT_EQ(ltr.col_idx(), seed.col_idx());
+  EXPECT_EQ(ltr.values(), seed.values());
+}
+
+TEST(MultiplyChain, EmptyChainAborts) {
+  EXPECT_DEATH({ (void)MultiplyChain({}); }, "CHECK failed");
+  EXPECT_DEATH({ (void)MultiplyChainLeftToRight({}); }, "CHECK failed");
+}
+
+TEST(MultiplyChain, EmptyChainWithContextIsInvalidArgument) {
+  Result<SparseMatrix> product =
+      MultiplyChainWithContext({}, 1, QueryContext::Background());
+  EXPECT_TRUE(product.status().IsInvalidArgument()) << product.status().ToString();
+}
+
 TEST(MultiplyChainDense, MatchesSparseChain) {
   SparseMatrix a = testing::RandomBipartiteAdjacency(4, 6, 0.4, 26);
   SparseMatrix b = testing::RandomBipartiteAdjacency(6, 5, 0.4, 27);
