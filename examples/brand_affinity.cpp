@@ -37,7 +37,13 @@ int main() {
       {made_by, "watch_x", "Xenon"}, {made_by, "laptop_y", "Yotta"},
       {made_by, "monitor_y", "Yotta"}, {made_by, "mouse_z", "Zephyr"},
   };
-  for (const Edge& e : edges) builder.AddEdgeByName(e.relation, e.src, e.dst);
+  for (const Edge& e : edges) {
+    Status added = builder.AddEdgeByName(e.relation, e.src, e.dst);
+    if (!added.ok()) {
+      std::fprintf(stderr, "AddEdgeByName: %s\n", added.ToString().c_str());
+      return 1;
+    }
+  }
 
   DynamicHinGraph network(std::move(builder).Build());
   MetaPath cpb = MetaPath::Parse(network.schema(), "C-P-B").value();

@@ -32,11 +32,19 @@ int main() {
   for (const Edge& e : {Edge{"Tom", "p1"}, {"Tom", "p2"}, {"Mary", "p2"},
                         {"Mary", "p3"}, {"Mary", "p4"}, {"Bob", "p4"},
                         {"Bob", "p5"}}) {
-    builder.AddEdgeByName(writes, e.src, e.dst);
+    Status added = builder.AddEdgeByName(writes, e.src, e.dst);
+    if (!added.ok()) {
+      std::fprintf(stderr, "AddEdgeByName: %s\n", added.ToString().c_str());
+      return 1;
+    }
   }
   for (const Edge& e : {Edge{"p1", "KDD"}, {"p2", "KDD"}, {"p3", "KDD"},
                         {"p4", "SIGMOD"}, {"p5", "SIGMOD"}}) {
-    builder.AddEdgeByName(published, e.src, e.dst);
+    Status added = builder.AddEdgeByName(published, e.src, e.dst);
+    if (!added.ok()) {
+      std::fprintf(stderr, "AddEdgeByName: %s\n", added.ToString().c_str());
+      return 1;
+    }
   }
   HinGraph graph = std::move(builder).Build();
   std::printf("%s\n", graph.Summary().c_str());

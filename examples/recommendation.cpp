@@ -60,7 +60,13 @@ int main() {
       {stars, "Shawshank", "Freeman"},
       {stars, "GreenMile", "Hanks"},
   };
-  for (const Edge& e : edges) builder.AddEdgeByName(e.relation, e.src, e.dst);
+  for (const Edge& e : edges) {
+    Status added = builder.AddEdgeByName(e.relation, e.src, e.dst);
+    if (!added.ok()) {
+      std::fprintf(stderr, "AddEdgeByName: %s\n", added.ToString().c_str());
+      return 1;
+    }
+  }
   HinGraph graph = std::move(builder).Build();
   std::printf("%s\n", graph.Summary().c_str());
 

@@ -34,12 +34,12 @@ struct AuthorityTransfer {
 /// homogeneous node space of `graph` (see `HomogeneousView` for the id
 /// layout). Errors if `transfer.rates` is missized or any rate < 0, or if
 /// every rate is zero.
-Result<SparseMatrix> AuthorityTransition(const HinGraph& graph,
+[[nodiscard]] Result<SparseMatrix> AuthorityTransition(const HinGraph& graph,
                                          const AuthorityTransfer& transfer);
 
 /// ObjectRank score of every object (global ids per `HomogeneousView`)
 /// from a restart at `source_id` of `source_type`.
-Result<std::vector<double>> ObjectRank(const HinGraph& graph,
+[[nodiscard]] Result<std::vector<double>> ObjectRank(const HinGraph& graph,
                                        const AuthorityTransfer& transfer,
                                        TypeId source_type, Index source_id,
                                        const RwrOptions& options = {});

@@ -22,14 +22,14 @@ namespace hetesim {
 /// for non-symmetric paths.
 
 /// Full |A| x |A| PathSim matrix along symmetric path `path`.
-Result<DenseMatrix> PathSimMatrix(const HinGraph& graph, const MetaPath& path);
+[[nodiscard]] Result<DenseMatrix> PathSimMatrix(const HinGraph& graph, const MetaPath& path);
 
 /// PathSim of every object to `source` (one row of the matrix).
-Result<std::vector<double>> PathSimSingleSource(const HinGraph& graph,
+[[nodiscard]] Result<std::vector<double>> PathSimSingleSource(const HinGraph& graph,
                                                 const MetaPath& path, Index source);
 
 /// PathSim of a single pair.
-Result<double> PathSimPair(const HinGraph& graph, const MetaPath& path,
+[[nodiscard]] Result<double> PathSimPair(const HinGraph& graph, const MetaPath& path,
                            Index a, Index b);
 
 }  // namespace hetesim

@@ -23,11 +23,11 @@ namespace hetesim {
 DenseMatrix PcrwMatrix(const HinGraph& graph, const MetaPath& path);
 
 /// PCRW proximity from `source` to every target object.
-Result<std::vector<double>> PcrwSingleSource(const HinGraph& graph,
+[[nodiscard]] Result<std::vector<double>> PcrwSingleSource(const HinGraph& graph,
                                              const MetaPath& path, Index source);
 
 /// PCRW proximity of a single (source, target) pair.
-Result<double> PcrwPair(const HinGraph& graph, const MetaPath& path, Index source,
+[[nodiscard]] Result<double> PcrwPair(const HinGraph& graph, const MetaPath& path, Index source,
                         Index target);
 
 }  // namespace hetesim

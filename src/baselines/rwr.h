@@ -27,13 +27,13 @@ struct RwrOptions {
 /// stationary visiting distribution. A type-blind baseline: on a HIN it
 /// mixes all path semantics together, which is what the paper's
 /// path-constrained measures improve upon.
-Result<std::vector<double>> RandomWalkWithRestart(const SparseMatrix& adjacency,
+[[nodiscard]] Result<std::vector<double>> RandomWalkWithRestart(const SparseMatrix& adjacency,
                                                   Index source,
                                                   const RwrOptions& options = {});
 
 /// RWR over a collapsed heterogeneous network from node `source_id` of
 /// `source_type`. The result is indexed by global ids (`view.GlobalId`).
-Result<std::vector<double>> RandomWalkWithRestart(const HomogeneousView& view,
+[[nodiscard]] Result<std::vector<double>> RandomWalkWithRestart(const HomogeneousView& view,
                                                   TypeId source_type, Index source_id,
                                                   const RwrOptions& options = {});
 

@@ -41,7 +41,7 @@ struct ScanResult {
 /// reachability; leftover nodes are hubs (bridging >= 2 clusters) or
 /// outliers. `adjacency` must be square and is treated as an undirected
 /// unweighted graph (any non-zero is an edge; it is symmetrized first).
-Result<ScanResult> ScanCluster(const SparseMatrix& adjacency,
+[[nodiscard]] Result<ScanResult> ScanCluster(const SparseMatrix& adjacency,
                                const ScanOptions& options = {});
 
 }  // namespace hetesim

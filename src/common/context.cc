@@ -37,7 +37,8 @@ void MemoryBudget::Release(size_t bytes) {
 const QueryContext& QueryContext::Background() {
   // Leaked like ThreadPool::Global(): reachable forever, so no static
   // destruction ordering hazards and no LeakSanitizer report.
-  static const QueryContext* const kBackground = new QueryContext();
+  static const QueryContext* const kBackground =
+      new QueryContext();  // hetesim-lint: allow(no-naked-new)
   return *kBackground;
 }
 
@@ -59,7 +60,7 @@ Result<MemoryReservation> QueryContext::Reserve(size_t bytes) const {
 
 void SharedStatus::Update(Status status) {
   if (status.ok()) return;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (first_.ok()) {
     first_ = std::move(status);
     failed_.store(true, std::memory_order_release);
@@ -68,7 +69,7 @@ void SharedStatus::Update(Status status) {
 
 Status SharedStatus::status() const {
   if (ok()) return Status::OK();
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return first_;
 }
 

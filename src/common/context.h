@@ -6,10 +6,11 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 
+#include "common/annotations.h"
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -169,11 +170,11 @@ class QueryContext {
   /// OK while the query should keep running; `Cancelled` or
   /// `DeadlineExceeded` once it should stop. Cancellation wins ties so a
   /// caller-initiated stop is reported as such even after the deadline.
-  Status CheckAlive() const;
+  [[nodiscard]] Status CheckAlive() const;
 
   /// Reserves `bytes` on the attached budget; an empty reservation when no
   /// budget is attached (unbudgeted contexts never fail allocation checks).
-  Result<MemoryReservation> Reserve(size_t bytes) const;
+  [[nodiscard]] Result<MemoryReservation> Reserve(size_t bytes) const;
 
  private:
   CancelToken token_;
@@ -195,16 +196,16 @@ class SharedStatus {
 
   /// Records `status` if it is the first non-OK one. OK statuses are
   /// ignored.
-  void Update(Status status);
+  void Update(Status status) EXCLUDES(mutex_);
   /// True while no failure has been recorded (one relaxed atomic load).
   bool ok() const { return !failed_.load(std::memory_order_acquire); }
   /// The first recorded failure, or OK.
-  Status status() const;
+  [[nodiscard]] Status status() const EXCLUDES(mutex_);
 
  private:
   std::atomic<bool> failed_{false};
-  mutable std::mutex mutex_;
-  Status first_;  // guarded by mutex_
+  mutable Mutex mutex_;
+  Status first_ GUARDED_BY(mutex_);
 };
 
 }  // namespace hetesim

@@ -28,7 +28,8 @@ uint64_t HashSite(std::string_view site) {
 }  // namespace
 
 FaultInjector& FaultInjector::Global() {
-  static FaultInjector* const kInjector = new FaultInjector();
+  static FaultInjector* const kInjector =
+      new FaultInjector();  // hetesim-lint: allow(no-naked-new)
   return *kInjector;
 }
 
@@ -39,25 +40,25 @@ FaultInjector::FaultInjector() {
 }
 
 void FaultInjector::Seed(uint64_t seed) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   seed_ = seed;
   sites_.clear();
 }
 
 void FaultInjector::Arm(const std::string& site_prefix, double probability,
                         int64_t max_failures) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   rules_.push_back({site_prefix, probability, max_failures});
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   rules_.clear();
   sites_.clear();
 }
 
 bool FaultInjector::ShouldFail(std::string_view site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (rules_.empty()) return false;
   const Rule* match = nullptr;
   for (const Rule& rule : rules_) {
@@ -80,14 +81,14 @@ bool FaultInjector::ShouldFail(std::string_view site) {
 }
 
 FaultInjector::SiteStats FaultInjector::StatsFor(std::string_view site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = sites_.find(std::string(site));
   if (it == sites_.end()) return {};
   return {it->second.evaluations, it->second.failures};
 }
 
 uint64_t FaultInjector::TotalFailures() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t total = 0;
   for (const auto& [site, state] : sites_) total += state.failures;
   return total;

@@ -2,11 +2,13 @@
 #define HETESIM_COMMON_FAULT_INJECTION_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace hetesim {
 
@@ -51,29 +53,29 @@ class FaultInjector {
   }
 
   /// Re-seeds the decision stream and resets all per-site counters.
-  void Seed(uint64_t seed);
+  void Seed(uint64_t seed) EXCLUDES(mutex_);
 
   /// Arms every site whose name starts with `site_prefix`:  each
   /// evaluation fails with `probability` (in [0, 1]), up to `max_failures`
   /// total failures for that site (-1 = unlimited).
   void Arm(const std::string& site_prefix, double probability,
-           int64_t max_failures = -1);
+           int64_t max_failures = -1) EXCLUDES(mutex_);
 
   /// Disarms everything and resets counters; the seed is kept.
-  void Reset();
+  void Reset() EXCLUDES(mutex_);
 
   /// Decision point, normally reached via `HETESIM_FAULT_POINT`.
   /// Thread-safe.
-  bool ShouldFail(std::string_view site);
+  bool ShouldFail(std::string_view site) EXCLUDES(mutex_);
 
   /// Per-site counters since the last `Seed`/`Reset`.
   struct SiteStats {
     uint64_t evaluations = 0;
     uint64_t failures = 0;
   };
-  SiteStats StatsFor(std::string_view site) const;
+  SiteStats StatsFor(std::string_view site) const EXCLUDES(mutex_);
   /// Total injected failures across all sites since the last `Seed`/`Reset`.
-  uint64_t TotalFailures() const;
+  uint64_t TotalFailures() const EXCLUDES(mutex_);
 
  private:
   FaultInjector();
@@ -88,10 +90,10 @@ class FaultInjector {
     uint64_t failures = 0;
   };
 
-  mutable std::mutex mutex_;
-  uint64_t seed_ = 0;
-  std::vector<Rule> rules_;
-  std::unordered_map<std::string, SiteState> sites_;
+  mutable Mutex mutex_;
+  uint64_t seed_ GUARDED_BY(mutex_) = 0;
+  std::vector<Rule> rules_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, SiteState> sites_ GUARDED_BY(mutex_);
 };
 
 }  // namespace hetesim

@@ -3,6 +3,10 @@
 #include <atomic>
 #include <iostream>
 #include <string_view>
+#include <utility>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace hetesim {
 
@@ -24,6 +28,19 @@ std::string_view LevelName(LogLevel level) {
   return "?";
 }
 
+/// The guarded sink. Kept behind a leaked pointer like the other process
+/// globals (ThreadPool::Global, FaultInjector::Global): reachable forever,
+/// so no static-destruction ordering hazards and no LeakSanitizer report.
+struct SinkState {
+  Mutex mutex;
+  LogSink sink GUARDED_BY(mutex);  // empty => default stderr sink
+};
+
+SinkState& GlobalSink() {
+  static SinkState* const state = new SinkState();  // hetesim-lint: allow(no-naked-new)
+  return *state;
+}
+
 }  // namespace
 
 void Logger::SetLevel(LogLevel level) {
@@ -38,7 +55,19 @@ void Logger::Log(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
+  SinkState& state = GlobalSink();
+  MutexLock lock(state.mutex);
+  if (state.sink) {
+    state.sink(level, message);
+    return;
+  }
   std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+}
+
+void Logger::SetSink(LogSink sink) {
+  SinkState& state = GlobalSink();
+  MutexLock lock(state.mutex);
+  state.sink = std::move(sink);
 }
 
 }  // namespace hetesim

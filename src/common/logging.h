@@ -1,6 +1,7 @@
 #ifndef HETESIM_COMMON_LOGGING_H_
 #define HETESIM_COMMON_LOGGING_H_
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -9,12 +10,20 @@ namespace hetesim {
 /// Severity levels for the library logger, in increasing order.
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
+/// Receives every emitted log line. Called with the logger's sink mutex
+/// held, so implementations are serialized and need no locking of their
+/// own — but must not log re-entrantly (the mutex is non-reentrant).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
 /// \brief Minimal process-wide logger.
 ///
-/// Messages below the configured threshold are discarded; everything else is
-/// written to stderr as `[LEVEL] message`. The library logs sparingly (data
-/// generation progress, numeric warnings); benchmarks and examples write
-/// their results to stdout directly.
+/// Messages below the configured threshold are discarded; everything else
+/// is handed to the installed sink (default: stderr as `[LEVEL] message`).
+/// The level check is one relaxed atomic load; the sink itself is guarded
+/// by an annotated `Mutex`, so concurrent emitters never interleave bytes
+/// and `SetSink` is safe while other threads log. The library logs
+/// sparingly (data generation progress, numeric warnings); benchmarks and
+/// examples write their results to stdout directly.
 class Logger {
  public:
   /// Sets the global minimum severity that will be emitted.
@@ -23,6 +32,9 @@ class Logger {
   static LogLevel GetLevel();
   /// Emits `message` at `level` if it passes the threshold.
   static void Log(LogLevel level, const std::string& message);
+  /// Replaces the process-wide sink (tests capture output this way).
+  /// Passing nullptr restores the default stderr sink.
+  static void SetSink(LogSink sink);
 };
 
 namespace internal_logging {

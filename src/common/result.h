@@ -21,8 +21,11 @@ namespace hetesim {
 ///   if (!mp.ok()) return mp.status();
 ///   Use(*mp);
 /// \endcode
+/// Like `Status`, `Result` is `[[nodiscard]]`: dropping a returned
+/// `Result<T>` is a compile error under `-Werror=unused-result`; use
+/// `HETESIM_IGNORE_STATUS` (status.h) for the rare intentional drop.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Wraps a value (implicit, so functions can `return value;`).
   Result(T value) : repr_(std::in_place_index<0>, std::move(value)) {}  // NOLINT
@@ -41,7 +44,7 @@ class Result {
   bool ok() const { return repr_.index() == 0; }
 
   /// The status: OK when a value is present, the stored error otherwise.
-  Status status() const { return ok() ? Status::OK() : std::get<1>(repr_); }
+  [[nodiscard]] Status status() const { return ok() ? Status::OK() : std::get<1>(repr_); }
 
   /// Accessors. Calling these on an error result aborts.
   const T& value() const& {

@@ -4,7 +4,8 @@ namespace hetesim {
 
 namespace {
 const std::string& EmptyString() {
-  static const std::string* const kEmpty = new std::string();
+  // Leaked singleton: immune to static destruction order.
+  static const std::string* const kEmpty = new std::string();  // hetesim-lint: allow(no-naked-new)
   return *kEmpty;
 }
 }  // namespace

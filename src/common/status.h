@@ -46,7 +46,12 @@ std::string_view StatusCodeToString(StatusCode code);
 /// \code
 ///   HETESIM_RETURN_NOT_OK(graph.AddEdge("writes", a, p));
 /// \endcode
-class Status {
+///
+/// The class is `[[nodiscard]]`: any call that returns a `Status` by value
+/// and drops it is a compile error under `-Werror=unused-result` (enforced
+/// repo-wide, see DESIGN.md §11). The rare intentional drop must say so via
+/// `HETESIM_IGNORE_STATUS(expr)` with a justification comment.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -60,18 +65,18 @@ class Status {
   Status& operator=(Status&& other) noexcept = default;
 
   /// Factory helpers, one per non-OK code.
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string message);
-  static Status NotFound(std::string message);
-  static Status AlreadyExists(std::string message);
-  static Status OutOfRange(std::string message);
-  static Status FailedPrecondition(std::string message);
-  static Status IOError(std::string message);
-  static Status NotImplemented(std::string message);
-  static Status Internal(std::string message);
-  static Status DeadlineExceeded(std::string message);
-  static Status ResourceExhausted(std::string message);
-  static Status Cancelled(std::string message);
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string message);
+  [[nodiscard]] static Status NotFound(std::string message);
+  [[nodiscard]] static Status AlreadyExists(std::string message);
+  [[nodiscard]] static Status OutOfRange(std::string message);
+  [[nodiscard]] static Status FailedPrecondition(std::string message);
+  [[nodiscard]] static Status IOError(std::string message);
+  [[nodiscard]] static Status NotImplemented(std::string message);
+  [[nodiscard]] static Status Internal(std::string message);
+  [[nodiscard]] static Status DeadlineExceeded(std::string message);
+  [[nodiscard]] static Status ResourceExhausted(std::string message);
+  [[nodiscard]] static Status Cancelled(std::string message);
 
   /// True iff the status carries no error.
   bool ok() const { return state_ == nullptr; }
@@ -114,5 +119,11 @@ class Status {
     ::hetesim::Status _st = (expr);                   \
     if (!_st.ok()) return _st;                        \
   } while (0)
+
+/// Explicitly discards a `Status` or `Result<T>`. The only sanctioned way
+/// past `[[nodiscard]]` + `-Werror=unused-result`; every use carries a
+/// one-line justification comment (best-effort cleanup, logged-elsewhere,
+/// ...). Grep-able, so dropped errors stay auditable.
+#define HETESIM_IGNORE_STATUS(expr) static_cast<void>(expr)
 
 #endif  // HETESIM_COMMON_STATUS_H_

@@ -2,13 +2,14 @@
 #define HETESIM_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
 
 namespace hetesim {
 
@@ -89,7 +90,7 @@ class ThreadPool {
 
   /// Enqueues `task` for execution on some worker. Fire-and-forget; use
   /// `ParallelFor` for blocking fan-out/join.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mutex_);
 
   /// Runs `body(block_begin, block_end)` over `[begin, end)` split per
   /// `grain`, using up to `num_threads` participants: the calling thread
@@ -116,14 +117,14 @@ class ThreadPool {
   void ResetStats();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mutex_);
 
   std::vector<std::thread> workers_;
 
-  std::mutex mutex_;  // guards queue_ and stop_
-  std::condition_variable queue_cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar queue_cv_;  ///< signalled on push and on shutdown
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mutex_);
+  bool stop_ GUARDED_BY(mutex_) = false;
 
   std::atomic<uint64_t> tasks_run_{0};
   std::atomic<uint64_t> steals_{0};

@@ -60,14 +60,14 @@ struct MaterializationPlan {
 /// benefit-per-byte until the budget is exhausted. Greedy is within a
 /// factor 2 of the optimal knapsack here and exact when the budget fits
 /// everything.
-Result<MaterializationPlan> AdviseMaterialization(const HinGraph& graph,
+[[nodiscard]] Result<MaterializationPlan> AdviseMaterialization(const HinGraph& graph,
                                                   const std::vector<WorkloadEntry>& workload,
                                                   const AdvisorOptions& options = {});
 
 /// Materializes the plan's choices into `cache` by running the matching
 /// half computations (subsequent engine queries on those paths are then
 /// pure cache hits).
-Status ApplyMaterializationPlan(const HinGraph& graph,
+[[nodiscard]] Status ApplyMaterializationPlan(const HinGraph& graph,
                                 const std::vector<WorkloadEntry>& workload,
                                 const MaterializationPlan& plan,
                                 PathMatrixCache* cache);

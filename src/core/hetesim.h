@@ -81,15 +81,15 @@ class HeteSimEngine {
   /// work. Fails with `DeadlineExceeded` / `Cancelled` /
   /// `ResourceExhausted`; with `QueryContext::Background()` this is exactly
   /// the plain `Compute`.
-  Result<DenseMatrix> Compute(const MetaPath& path, const QueryContext& ctx) const;
+  [[nodiscard]] Result<DenseMatrix> Compute(const MetaPath& path, const QueryContext& ctx) const;
 
   /// Relevance of `source` to every target object: one row of `Compute`.
   /// Errors when `source` is out of range for the path's source type.
-  Result<std::vector<double>> ComputeSingleSource(const MetaPath& path,
+  [[nodiscard]] Result<std::vector<double>> ComputeSingleSource(const MetaPath& path,
                                                   Index source) const;
 
   /// Relevance of the single pair (`source`, `target`).
-  Result<double> ComputePair(const MetaPath& path, Index source, Index target) const;
+  [[nodiscard]] Result<double> ComputePair(const MetaPath& path, Index source, Index target) const;
 
   /// Relevance of many pairs along one path, sharing one path
   /// decomposition and reusing the propagated distribution of every
@@ -97,12 +97,12 @@ class HeteSimEngine {
   /// lists (e.g. recommendation rerankers). Returns scores aligned with
   /// `pairs`. Errors if any id is out of range (nothing partial is
   /// returned).
-  Result<std::vector<double>> ComputePairs(
+  [[nodiscard]] Result<std::vector<double>> ComputePairs(
       const MetaPath& path, const std::vector<std::pair<Index, Index>>& pairs) const;
 
   /// Context-aware `ComputePairs`: materialization and the scoring loop
   /// poll `ctx`; nothing partial is returned on expiry.
-  Result<std::vector<double>> ComputePairs(
+  [[nodiscard]] Result<std::vector<double>> ComputePairs(
       const MetaPath& path, const std::vector<std::pair<Index, Index>>& pairs,
       const QueryContext& ctx) const;
 
@@ -110,7 +110,7 @@ class HeteSimEngine {
   /// for two objects of the relation's source type. By Property 5 this
   /// converges to SimRank(a1, a2) with damping C = 1 on the bipartite graph
   /// of `relation`. Exposed mainly for tests and the SimRank benches.
-  Result<double> SimRankSeries(RelationId relation, Index a1, Index a2,
+  [[nodiscard]] Result<double> SimRankSeries(RelationId relation, Index a1, Index a2,
                                int depth) const;
 
   /// The graph this engine evaluates against.
@@ -123,7 +123,7 @@ class HeteSimEngine {
   void GetReachMatrices(const MetaPath& path, SparseMatrix* left,
                         SparseMatrix* right) const;
   /// Context-aware variant; cache misses compute under `ctx`.
-  Status GetReachMatrices(const MetaPath& path, const QueryContext& ctx,
+  [[nodiscard]] Status GetReachMatrices(const MetaPath& path, const QueryContext& ctx,
                           SparseMatrix* left, SparseMatrix* right) const;
 
   const HinGraph& graph_;

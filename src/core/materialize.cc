@@ -117,12 +117,12 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetReach(
 }
 
 void PathMatrixCache::SetMemoryBudget(std::shared_ptr<MemoryBudget> budget) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   budget_ = std::move(budget);
 }
 
 PathMatrixCache::Stats PathMatrixCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Stats s;
   s.hits = hits_;
   s.misses = misses_;
@@ -136,7 +136,7 @@ PathMatrixCache::Stats PathMatrixCache::stats() const {
 }
 
 void PathMatrixCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   // Release budget charges deterministically here: a slot kept alive by a
   // concurrent waiter's shared_ptr must not keep its bytes reserved after
   // the cache has dropped it.
@@ -162,7 +162,7 @@ Status PathMatrixCache::SaveToDirectory(const std::string& directory) const {
     return Status::IOError("cannot create cache directory '" + directory +
                            "': " + ec.message());
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::ofstream manifest(fs::path(directory) / "manifest.txt");
   if (!manifest.is_open()) {
     return Status::IOError("cannot write cache manifest in '" + directory + "'");
@@ -215,7 +215,7 @@ Status PathMatrixCache::LoadFromDirectory(const std::string& directory) {
     loaded.emplace_back(key, ReadySlot(std::make_shared<const SparseMatrix>(
                                  *std::move(matrix))));
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [key, slot] : entries_) {
     slot->reservation.reset();
   }
@@ -262,7 +262,7 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetOrCompute(
     std::shared_ptr<Slot> slot;
     bool claimed = false;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       auto it = entries_.find(key);
       if (it != entries_.end()) {
         ++hits_;
@@ -300,7 +300,7 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetOrCompute(
       // still installed — pointer identity guards against erasing a
       // successor — then retry under our own context.
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         auto it = entries_.find(key);
         if (it != entries_.end() && it->second == slot) entries_.erase(it);
       }
@@ -319,7 +319,7 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetOrCompute(
       // the lock), then unlink the slot so the next caller recomputes.
       promise.set_value(computed.status());
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ++failed_computes_;
         auto it = entries_.find(key);
         if (it != entries_.end() && it->second == slot) entries_.erase(it);
@@ -331,7 +331,7 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetOrCompute(
     // Same ordering rule: resolve the future before taking the lock.
     promise.set_value(Result<std::shared_ptr<const SparseMatrix>>(matrix));
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       auto it = entries_.find(key);
       if (it != entries_.end() && it->second == slot) {
         slot->bytes = matrix->ApproxBytes();
@@ -396,7 +396,7 @@ void PathMatrixCache::TouchLocked(Slot& slot) {
 }
 
 size_t PathMatrixCache::ComputeCount(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = compute_counts_.find(key);
   if (it == compute_counts_.end()) return 0;
   return it->second;

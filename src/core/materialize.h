@@ -5,11 +5,12 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/annotations.h"
 #include "common/context.h"
+#include "common/mutex.h"
 #include "core/path_matrix.h"
 #include "hin/graph.h"
 #include "hin/metapath.h"
@@ -99,15 +100,15 @@ class PathMatrixCache {
   /// granularity and waiters wait no longer than `ctx`'s deadline.
   /// `num_threads` parallelizes a cache-miss computation (library
   /// convention: 1 sequential, 0 = all hardware threads).
-  Result<std::shared_ptr<const SparseMatrix>> GetLeft(const HinGraph& graph,
+  [[nodiscard]] Result<std::shared_ptr<const SparseMatrix>> GetLeft(const HinGraph& graph,
                                                       const MetaPath& path,
                                                       const QueryContext& ctx,
                                                       int num_threads = 1);
-  Result<std::shared_ptr<const SparseMatrix>> GetRight(const HinGraph& graph,
+  [[nodiscard]] Result<std::shared_ptr<const SparseMatrix>> GetRight(const HinGraph& graph,
                                                        const MetaPath& path,
                                                        const QueryContext& ctx,
                                                        int num_threads = 1);
-  Result<std::shared_ptr<const SparseMatrix>> GetReach(const HinGraph& graph,
+  [[nodiscard]] Result<std::shared_ptr<const SparseMatrix>> GetReach(const HinGraph& graph,
                                                        const MetaPath& path,
                                                        const QueryContext& ctx,
                                                        int num_threads = 1);
@@ -117,7 +118,7 @@ class PathMatrixCache {
   /// retroactively charged; attach before populating. The budget may be
   /// shared with other consumers — the cache releases exactly what it
   /// reserved.
-  void SetMemoryBudget(std::shared_ptr<MemoryBudget> budget);
+  void SetMemoryBudget(std::shared_ptr<MemoryBudget> budget) EXCLUDES(mutex_);
 
   /// Cache effectiveness counters. A request that finds the key present —
   /// ready or still being computed by another thread — counts as a hit; a
@@ -133,30 +134,30 @@ class PathMatrixCache {
     size_t accounted_bytes = 0;   ///< bytes currently admitted
     size_t peak_accounted_bytes = 0;  ///< high-water mark of the above
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mutex_);
 
   /// How many times the value for `key` has been computed since the last
   /// `Clear()`/`LoadFromDirectory()`. Exactly 1 after a miss-storm on a
   /// resident key (the at-most-once-per-residency guarantee); higher only
   /// when the entry was evicted or a failed computation was redone. Keys
   /// come from `LeftKey`/`RightKey`/`ReachKey`.
-  size_t ComputeCount(const std::string& key) const;
+  size_t ComputeCount(const std::string& key) const EXCLUDES(mutex_);
 
   /// Drops all entries and resets counters (releasing any budget bytes).
-  void Clear();
+  void Clear() EXCLUDES(mutex_);
 
   /// Persists every cached matrix under `directory` (created if missing):
   /// one `entry_NNNN.hsm` file per matrix plus a `manifest.txt` mapping
   /// files back to path keys. This is the paper's offline materialization:
   /// compute the reachable-probability products for the frequently-used
   /// relevance paths once, then serve queries from the reloaded cache.
-  Status SaveToDirectory(const std::string& directory) const;
+  [[nodiscard]] Status SaveToDirectory(const std::string& directory) const EXCLUDES(mutex_);
 
   /// Loads a previously saved cache, replacing the current contents.
   /// Counters are reset; loaded entries count as neither hits nor misses
   /// until queried. With a budget attached, entries are admitted in
   /// manifest order until the budget is full; the rest are skipped.
-  Status LoadFromDirectory(const std::string& directory);
+  [[nodiscard]] Status LoadFromDirectory(const std::string& directory) EXCLUDES(mutex_);
 
  private:
   /// One cache entry. The future becomes ready exactly when the claiming
@@ -174,35 +175,40 @@ class PathMatrixCache {
   /// Wraps an already-materialized matrix in a ready slot (disk loads).
   static std::shared_ptr<Slot> ReadySlot(std::shared_ptr<const SparseMatrix> matrix);
 
-  Result<std::shared_ptr<const SparseMatrix>> GetOrCompute(
+  [[nodiscard]] Result<std::shared_ptr<const SparseMatrix>> GetOrCompute(
       const std::string& key, const QueryContext& ctx,
-      const std::function<Result<SparseMatrix>()>& compute);
+      const std::function<Result<SparseMatrix>()>& compute) EXCLUDES(mutex_);
 
   /// Admission bookkeeping for a freshly computed `slot` (locked): charges
   /// the budget, evicting in priority order as needed. Returns false when
   /// the matrix cannot fit even after eviction — the caller then removes
   /// the entry and the matrix is served uncached.
-  bool AdmitLocked(Slot& slot);
+  bool AdmitLocked(Slot& slot) REQUIRES(mutex_);
   /// Evicts the lowest-priority ready entry; false when none is evictable.
-  bool EvictOneLocked();
+  bool EvictOneLocked() REQUIRES(mutex_);
   /// Refreshes `slot`'s GreedyDual-Size priority on access (locked).
-  void TouchLocked(Slot& slot);
+  void TouchLocked(Slot& slot) REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // budget_ must be declared before entries_: slot destructors release
   // their MemoryReservation against the raw budget pointer, so the budget
   // has to outlive the slot map when the cache holds the last reference.
-  std::shared_ptr<MemoryBudget> budget_;
-  std::unordered_map<std::string, std::shared_ptr<Slot>> entries_;
-  std::unordered_map<std::string, size_t> compute_counts_;
-  double clock_ = 0;  ///< GreedyDual-Size aging clock (max evicted priority)
-  size_t hits_ = 0;
-  size_t misses_ = 0;
-  size_t evictions_ = 0;
-  size_t failed_computes_ = 0;
-  size_t rejected_inserts_ = 0;
-  size_t accounted_bytes_ = 0;
-  size_t peak_accounted_bytes_ = 0;
+  // Slot fields themselves cannot carry GUARDED_BY (the guarding mutex is
+  // per-cache, not per-slot): `future` is deliberately read lock-free by
+  // waiters; every other Slot field is only touched under mutex_ (see the
+  // DESIGN.md §11 lock table).
+  std::shared_ptr<MemoryBudget> budget_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::shared_ptr<Slot>> entries_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, size_t> compute_counts_ GUARDED_BY(mutex_);
+  /// GreedyDual-Size aging clock (max evicted priority).
+  double clock_ GUARDED_BY(mutex_) = 0;
+  size_t hits_ GUARDED_BY(mutex_) = 0;
+  size_t misses_ GUARDED_BY(mutex_) = 0;
+  size_t evictions_ GUARDED_BY(mutex_) = 0;
+  size_t failed_computes_ GUARDED_BY(mutex_) = 0;
+  size_t rejected_inserts_ GUARDED_BY(mutex_) = 0;
+  size_t accounted_bytes_ GUARDED_BY(mutex_) = 0;
+  size_t peak_accounted_bytes_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace hetesim

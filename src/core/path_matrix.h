@@ -35,7 +35,7 @@ SparseMatrix ReachProbability(const HinGraph& graph, const MetaPath& path);
 /// Deadline/cancellation/budget-aware `ReachProbability`: the chain product
 /// runs through the context-checked SpGEMM. `num_threads` follows the
 /// library convention (1 sequential, 0 = all hardware threads).
-Result<SparseMatrix> ReachProbabilityWithContext(const HinGraph& graph,
+[[nodiscard]] Result<SparseMatrix> ReachProbabilityWithContext(const HinGraph& graph,
                                                  const MetaPath& path,
                                                  int num_threads,
                                                  const QueryContext& ctx);
@@ -90,10 +90,10 @@ SparseMatrix LeftReachMatrix(const PathDecomposition& decomposition);
 SparseMatrix RightReachMatrix(const PathDecomposition& decomposition);
 
 /// Context-aware half products, polled at SpGEMM chunk granularity.
-Result<SparseMatrix> LeftReachMatrixWithContext(const PathDecomposition& decomposition,
+[[nodiscard]] Result<SparseMatrix> LeftReachMatrixWithContext(const PathDecomposition& decomposition,
                                                 int num_threads,
                                                 const QueryContext& ctx);
-Result<SparseMatrix> RightReachMatrixWithContext(const PathDecomposition& decomposition,
+[[nodiscard]] Result<SparseMatrix> RightReachMatrixWithContext(const PathDecomposition& decomposition,
                                                  int num_threads,
                                                  const QueryContext& ctx);
 

@@ -66,7 +66,7 @@ struct ScoredPair {
 /// `k < 0` is an error; self-pairs are included (on symmetric paths they
 /// dominate, so callers ranking cross-object affinity may want
 /// `exclude_diagonal`).
-Result<std::vector<ScoredPair>> TopKPairs(const HinGraph& graph,
+[[nodiscard]] Result<std::vector<ScoredPair>> TopKPairs(const HinGraph& graph,
                                           const MetaPath& path, int k,
                                           bool exclude_diagonal = false,
                                           HeteSimOptions options = {});
@@ -86,23 +86,23 @@ class TopKSearcher {
   /// Context-aware preparation: the right-chain product runs under `ctx`
   /// (deadline / cancellation / budget), so even the one-time
   /// materialization of a huge path respects `--deadline-ms`.
-  static Result<TopKSearcher> Prepare(const HinGraph& graph, const MetaPath& path,
+  [[nodiscard]] static Result<TopKSearcher> Prepare(const HinGraph& graph, const MetaPath& path,
                                       HeteSimOptions options,
                                       const QueryContext& ctx);
 
   /// Pruned query: scores only targets sharing at least one middle object
   /// with the source's reachable distribution. Exact — objects outside the
   /// candidate set provably score 0.
-  Result<TopKResult> Query(Index source, int k) const;
+  [[nodiscard]] Result<TopKResult> Query(Index source, int k) const;
 
   /// Deadline-aware `Query`: the context is polled every ~1k middle
   /// objects; on expiry the scores accumulated so far are ranked and
   /// returned with `truncated = true` instead of an error, so callers get
   /// a best-effort partial answer within one poll stride of the deadline.
-  Result<TopKResult> Query(Index source, int k, const QueryContext& ctx) const;
+  [[nodiscard]] Result<TopKResult> Query(Index source, int k, const QueryContext& ctx) const;
 
   /// Exhaustive reference query scoring every target.
-  Result<TopKResult> QueryExhaustive(Index source, int k) const;
+  [[nodiscard]] Result<TopKResult> QueryExhaustive(Index source, int k) const;
 
   /// Number of target-type objects.
   Index num_targets() const { return right_.rows(); }
@@ -113,7 +113,7 @@ class TopKSearcher {
       : graph_(graph), options_(options), num_sources_(num_sources) {}
 
   /// Propagates the indicator of `source` through the left chain.
-  Result<std::vector<double>> SourceDistribution(Index source) const;
+  [[nodiscard]] Result<std::vector<double>> SourceDistribution(Index source) const;
 
   const HinGraph& graph_;
   HeteSimOptions options_;

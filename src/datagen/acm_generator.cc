@@ -103,7 +103,7 @@ Status ValidateConfig(const AcmConfig& config) {
 
 const std::vector<std::string>& AcmConferenceNames() {
   static const std::vector<std::string>* const kNames = [] {
-    auto* names = new std::vector<std::string>();
+    auto* names = new std::vector<std::string>();  // hetesim-lint: allow(no-naked-new)
     for (const ConferenceSpec& spec : kConferences) names->emplace_back(spec.name);
     return names;
   }();

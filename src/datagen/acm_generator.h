@@ -95,7 +95,7 @@ struct AcmDataset {
 /// Errors when the configuration is inconsistent (non-positive counts,
 /// probabilities outside [0, 1], more subjects/terms requested per paper
 /// than exist, ...).
-Result<AcmDataset> GenerateAcm(const AcmConfig& config);
+[[nodiscard]] Result<AcmDataset> GenerateAcm(const AcmConfig& config);
 
 /// The 14 conference names used by the generator (the paper's list).
 const std::vector<std::string>& AcmConferenceNames();

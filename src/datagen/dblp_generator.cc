@@ -92,7 +92,7 @@ Status ValidateConfig(const DblpConfig& config) {
 
 const std::vector<std::string>& DblpConferenceNames() {
   static const std::vector<std::string>* const kNames = [] {
-    auto* names = new std::vector<std::string>();
+    auto* names = new std::vector<std::string>();  // hetesim-lint: allow(no-naked-new)
     for (const ConferenceSpec& spec : kConferences) names->emplace_back(spec.name);
     return names;
   }();
@@ -101,7 +101,7 @@ const std::vector<std::string>& DblpConferenceNames() {
 
 const std::vector<int>& DblpConferenceAreas() {
   static const std::vector<int>* const kAreas = [] {
-    auto* areas = new std::vector<int>();
+    auto* areas = new std::vector<int>();  // hetesim-lint: allow(no-naked-new)
     for (const ConferenceSpec& spec : kConferences) areas->push_back(spec.area);
     return areas;
   }();

@@ -58,7 +58,7 @@ struct DblpDataset {
 };
 
 /// Generates a synthetic DBLP-style network. Deterministic in `config.seed`.
-Result<DblpDataset> GenerateDblp(const DblpConfig& config);
+[[nodiscard]] Result<DblpDataset> GenerateDblp(const DblpConfig& config);
 
 /// The 20 conference names used by the generator (5 per area).
 const std::vector<std::string>& DblpConferenceNames();

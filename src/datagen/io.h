@@ -25,10 +25,10 @@ namespace hetesim {
 /// round-trip, so `SaveHinGraph` rejects graphs containing them.
 
 /// Writes `graph` to `stream`. Fails on anonymous (unnamed) nodes.
-Status SaveHinGraph(const HinGraph& graph, std::ostream& stream);
+[[nodiscard]] Status SaveHinGraph(const HinGraph& graph, std::ostream& stream);
 
 /// Writes `graph` to `path`.
-Status SaveHinGraphToFile(const HinGraph& graph, const std::string& path);
+[[nodiscard]] Status SaveHinGraphToFile(const HinGraph& graph, const std::string& path);
 
 /// Strictness knobs for `LoadHinGraph`. The defaults match the historical
 /// permissive semantics (duplicates sum their weights per Definition 8's
@@ -45,11 +45,11 @@ struct LoadHinOptions {
 /// Parses a graph from `stream`. Errors carry the offending line number;
 /// a stream that dies mid-read (truncated/unreadable file) is an IOError
 /// rather than a silently shorter graph.
-Result<HinGraph> LoadHinGraph(std::istream& stream,
+[[nodiscard]] Result<HinGraph> LoadHinGraph(std::istream& stream,
                               const LoadHinOptions& options = {});
 
 /// Parses a graph from the file at `path`.
-Result<HinGraph> LoadHinGraphFromFile(const std::string& path,
+[[nodiscard]] Result<HinGraph> LoadHinGraphFromFile(const std::string& path,
                                       const LoadHinOptions& options = {});
 
 }  // namespace hetesim

@@ -56,7 +56,7 @@ struct RetailDataset {
 };
 
 /// Generates a synthetic retail network. Deterministic in `config.seed`.
-Result<RetailDataset> GenerateRetail(const RetailConfig& config);
+[[nodiscard]] Result<RetailDataset> GenerateRetail(const RetailConfig& config);
 
 }  // namespace hetesim
 

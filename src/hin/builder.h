@@ -33,9 +33,9 @@ class HinGraphBuilder {
   HinGraphBuilder() = default;
 
   /// See Schema::AddObjectType.
-  Result<TypeId> AddObjectType(const std::string& name, char code = 0);
+  [[nodiscard]] Result<TypeId> AddObjectType(const std::string& name, char code = 0);
   /// See Schema::AddRelation.
-  Result<RelationId> AddRelation(const std::string& name, TypeId src, TypeId dst);
+  [[nodiscard]] Result<RelationId> AddRelation(const std::string& name, TypeId src, TypeId dst);
 
   /// Adds one node of `type`; `name` may be empty (anonymous). Returns its
   /// per-type id. Duplicate names within one type return the existing id.
@@ -45,10 +45,10 @@ class HinGraphBuilder {
   Index AddNodes(TypeId type, Index count);
 
   /// Adds a weighted edge instance of `relation` between existing node ids.
-  Status AddEdge(RelationId relation, Index src, Index dst, double weight = 1.0);
+  [[nodiscard]] Status AddEdge(RelationId relation, Index src, Index dst, double weight = 1.0);
 
   /// Adds an edge, creating the named endpoints if needed.
-  Status AddEdgeByName(RelationId relation, const std::string& src,
+  [[nodiscard]] Status AddEdgeByName(RelationId relation, const std::string& src,
                        const std::string& dst, double weight = 1.0);
 
   /// Number of nodes of `type` added so far.

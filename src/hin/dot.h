@@ -19,7 +19,7 @@ std::string SchemaToDot(const Schema& schema);
 /// (edges traversed in both orientations), capped at `max_nodes` nodes.
 /// Node labels are "<type code>:<name or id>". Errors if the seed node is
 /// invalid or the limits are non-positive.
-Result<std::string> NeighborhoodToDot(const HinGraph& graph, TypeId type, Index id,
+[[nodiscard]] Result<std::string> NeighborhoodToDot(const HinGraph& graph, TypeId type, Index id,
                                       int radius = 2, int max_nodes = 50);
 
 }  // namespace hetesim

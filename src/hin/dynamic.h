@@ -42,11 +42,11 @@ class DynamicHinGraph {
 
   /// Adds a node of `type`; returns its id (stable across compactions).
   /// A non-empty `name` that already exists returns the existing id.
-  Result<Index> AddNode(TypeId type, const std::string& name = "");
+  [[nodiscard]] Result<Index> AddNode(TypeId type, const std::string& name = "");
 
   /// Buffers a weighted edge; endpoints may be snapshot nodes or nodes
   /// added since. Duplicate edges sum their weights at compaction.
-  Status AddEdge(RelationId relation, Index src, Index dst, double weight = 1.0);
+  [[nodiscard]] Status AddEdge(RelationId relation, Index src, Index dst, double weight = 1.0);
 
   /// Number of nodes of `type`, including pending additions.
   Index NumNodes(TypeId type) const;

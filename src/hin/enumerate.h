@@ -35,7 +35,7 @@ struct EnumerateOptions {
 /// `LearnPathWeights` (learn/path_weights.h) to weight them from labels.
 ///
 /// Errors on invalid types or a non-positive `max_length`.
-Result<std::vector<MetaPath>> EnumerateMetaPaths(const Schema& schema,
+[[nodiscard]] Result<std::vector<MetaPath>> EnumerateMetaPaths(const Schema& schema,
                                                  TypeId source, TypeId target,
                                                  const EnumerateOptions& options = {});
 

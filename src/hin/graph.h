@@ -48,7 +48,7 @@ class HinGraph {
   /// Name of node `id` of `type` (empty if the node was added anonymously).
   const std::string& NodeName(TypeId type, Index id) const;
   /// Looks up a node by name within a type.
-  Result<Index> FindNode(TypeId type, const std::string& name) const;
+  [[nodiscard]] Result<Index> FindNode(TypeId type, const std::string& name) const;
 
   /// Weighted adjacency matrix `W` of `relation` (`|src| x |dst|`).
   const SparseMatrix& Adjacency(RelationId relation) const;

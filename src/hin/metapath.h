@@ -28,15 +28,15 @@ namespace hetesim {
 class MetaPath {
  public:
   /// Parses a type-sequence specification (see class comment).
-  static Result<MetaPath> Parse(const Schema& schema, std::string_view spec);
+  [[nodiscard]] static Result<MetaPath> Parse(const Schema& schema, std::string_view spec);
 
   /// Builds from explicit relation names; `~name` walks `name` backwards.
-  static Result<MetaPath> FromRelations(const Schema& schema,
+  [[nodiscard]] static Result<MetaPath> FromRelations(const Schema& schema,
                                         const std::vector<std::string>& relations);
 
   /// Builds from raw steps, validating that consecutive steps are
   /// concatenable (StepTarget(i) == StepSource(i+1)) and non-empty.
-  static Result<MetaPath> FromSteps(const Schema& schema,
+  [[nodiscard]] static Result<MetaPath> FromSteps(const Schema& schema,
                                     std::vector<RelationStep> steps);
 
   /// Number of relations `l` (the path length of Definition 2, >= 1).
@@ -61,7 +61,7 @@ class MetaPath {
 
   /// Concatenation `(P1 P2)`; requires `TargetType() == other.SourceType()`
   /// and a shared schema.
-  Result<MetaPath> Concat(const MetaPath& other) const;
+  [[nodiscard]] Result<MetaPath> Concat(const MetaPath& other) const;
 
   /// Prefix `[0, count)` of the steps as a path; `1 <= count <= length()`.
   MetaPath Prefix(int count) const;

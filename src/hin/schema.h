@@ -47,10 +47,10 @@ class Schema {
 
   /// Registers an object type. `code` must be unique; if 0, the first
   /// character of `name`, uppercased, is used.
-  Result<TypeId> AddObjectType(const std::string& name, char code = 0);
+  [[nodiscard]] Result<TypeId> AddObjectType(const std::string& name, char code = 0);
 
   /// Registers a directed relation `name: src -> dst`.
-  Result<RelationId> AddRelation(const std::string& name, TypeId src, TypeId dst);
+  [[nodiscard]] Result<RelationId> AddRelation(const std::string& name, TypeId src, TypeId dst);
 
   /// Number of registered object types.
   int32_t NumObjectTypes() const { return static_cast<int32_t>(type_names_.size()); }
@@ -62,9 +62,9 @@ class Schema {
   /// Single-character code of a type.
   char TypeCode(TypeId type) const;
   /// Looks up a type by full name.
-  Result<TypeId> TypeByName(const std::string& name) const;
+  [[nodiscard]] Result<TypeId> TypeByName(const std::string& name) const;
   /// Looks up a type by single-character code.
-  Result<TypeId> TypeByCode(char code) const;
+  [[nodiscard]] Result<TypeId> TypeByCode(char code) const;
 
   /// Name of a relation.
   const std::string& RelationName(RelationId relation) const;
@@ -73,7 +73,7 @@ class Schema {
   /// Target type of a relation (the `R.T` of the paper).
   TypeId RelationTarget(RelationId relation) const;
   /// Looks up a relation by name.
-  Result<RelationId> RelationByName(const std::string& name) const;
+  [[nodiscard]] Result<RelationId> RelationByName(const std::string& name) const;
 
   /// All steps leading from `src` to `dst`: forward relations `src -> dst`
   /// and backward traversals of relations `dst -> src`.

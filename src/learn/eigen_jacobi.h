@@ -33,7 +33,7 @@ struct JacobiOptions {
 /// few-thousand-node relevance matrices this library produces. Fails with
 /// InvalidArgument if `matrix` is not square or not symmetric within
 /// `1e-8` relative tolerance.
-Result<EigenDecomposition> JacobiEigenSymmetric(const DenseMatrix& matrix,
+[[nodiscard]] Result<EigenDecomposition> JacobiEigenSymmetric(const DenseMatrix& matrix,
                                                 const JacobiOptions& options = {});
 
 }  // namespace hetesim

@@ -37,7 +37,7 @@ struct KMeansResult {
 ///
 /// `k` must satisfy `1 <= k <= n`. Empty clusters are re-seeded with the
 /// point farthest from its center, so exactly `k` clusters survive.
-Result<KMeansResult> KMeans(const DenseMatrix& points, int k,
+[[nodiscard]] Result<KMeansResult> KMeans(const DenseMatrix& points, int k,
                             const KMeansOptions& options = {});
 
 }  // namespace hetesim

@@ -32,7 +32,7 @@ struct LanczosOptions {
 /// columns, all with unit norm. Requires a square symmetric matrix and
 /// `1 <= k <= rows`. Accuracy of interior pairs degrades as `k` approaches
 /// `n`; for `k` close to `n` use the dense solver.
-Result<EigenDecomposition> LanczosLargestEigenpairs(const SparseMatrix& matrix,
+[[nodiscard]] Result<EigenDecomposition> LanczosLargestEigenpairs(const SparseMatrix& matrix,
                                                     int k,
                                                     const LanczosOptions& options = {});
 

@@ -15,7 +15,7 @@ namespace hetesim {
 /// NMI = I(X; Y) / sqrt(H(X) H(Y)); degenerate cases where either labeling
 /// has zero entropy return 1 if the partitions are identical as partitions,
 /// else 0.
-Result<double> NormalizedMutualInformation(const std::vector<int>& labels_a,
+[[nodiscard]] Result<double> NormalizedMutualInformation(const std::vector<int>& labels_a,
                                            const std::vector<int>& labels_b);
 
 /// \brief Area under the ROC curve of `scores` against binary `relevant`
@@ -23,7 +23,7 @@ Result<double> NormalizedMutualInformation(const std::vector<int>& labels_a,
 ///
 /// Computed via the Mann-Whitney statistic with midrank tie handling.
 /// Errors when sizes differ or either class is empty.
-Result<double> AreaUnderRoc(const std::vector<double>& scores,
+[[nodiscard]] Result<double> AreaUnderRoc(const std::vector<double>& scores,
                             const std::vector<bool>& relevant);
 
 /// Ranks of `scores` in descending order: `rank[i]` is the 1-based position
@@ -37,31 +37,31 @@ std::vector<double> DescendingRanks(const std::vector<double>& scores);
 ///
 /// Objects are ranked descending under both vectors; the result averages
 /// |rank_measure(i) - rank_truth(i)| over the `top_n` highest-truth objects.
-Result<double> AverageRankDifference(const std::vector<double>& ground_truth,
+[[nodiscard]] Result<double> AverageRankDifference(const std::vector<double>& ground_truth,
                                      const std::vector<double>& measure,
                                      int top_n);
 
 /// Spearman rank correlation of two score vectors (midrank ties), in
 /// [-1, 1]. Errors when sizes differ or are < 2, or a vector is constant.
-Result<double> SpearmanCorrelation(const std::vector<double>& a,
+[[nodiscard]] Result<double> SpearmanCorrelation(const std::vector<double>& a,
                                    const std::vector<double>& b);
 
 /// Fraction of the `k` highest-scoring objects that are relevant
 /// (descending scores, ties by ascending index — the `TopK` order).
 /// Errors when sizes differ, inputs are empty or `k < 1`.
-Result<double> PrecisionAtK(const std::vector<double>& scores,
+[[nodiscard]] Result<double> PrecisionAtK(const std::vector<double>& scores,
                             const std::vector<bool>& relevant, int k);
 
 /// Normalized Discounted Cumulative Gain at `k` of `scores` against
 /// non-negative graded `gains`, in [0, 1] (1 = ideal ordering). Uses the
 /// standard log2 discount; returns 0 when every gain is zero.
-Result<double> NdcgAtK(const std::vector<double>& scores,
+[[nodiscard]] Result<double> NdcgAtK(const std::vector<double>& scores,
                        const std::vector<double>& gains, int k);
 
 /// Kendall tau-a rank correlation of two score vectors, in [-1, 1]
 /// (pairs tied in either vector count as discordant-neutral, i.e. 0).
 /// Errors when sizes differ or are < 2.
-Result<double> KendallTau(const std::vector<double>& a,
+[[nodiscard]] Result<double> KendallTau(const std::vector<double>& a,
                           const std::vector<double>& b);
 
 }  // namespace hetesim

@@ -58,7 +58,7 @@ struct PathWeightModel {
 /// Requirements: at least one path and one labeled pair; every path must
 /// run between the same source and target types; pair ids must be in
 /// range. Deterministic (no randomness in the optimization).
-Result<PathWeightModel> LearnPathWeights(const HinGraph& graph,
+[[nodiscard]] Result<PathWeightModel> LearnPathWeights(const HinGraph& graph,
                                          const std::vector<MetaPath>& paths,
                                          const std::vector<LabeledPair>& labels,
                                          const PathWeightOptions& options = {});
@@ -77,18 +77,18 @@ struct PathFit {
 /// shortlist candidates before `LearnPathWeights` or when one relevance
 /// path must be chosen for interpretability (the paper's "users can try
 /// multiple relevance paths, then make a choice").
-Result<std::vector<PathFit>> RankPathsByFit(const HinGraph& graph,
+[[nodiscard]] Result<std::vector<PathFit>> RankPathsByFit(const HinGraph& graph,
                                             const std::vector<MetaPath>& paths,
                                             const std::vector<LabeledPair>& labels,
                                             const HeteSimOptions& options = {});
 
 /// Combined relevance of one pair under a learned model.
-Result<double> CombinedRelevance(const HinGraph& graph, const PathWeightModel& model,
+[[nodiscard]] Result<double> CombinedRelevance(const HinGraph& graph, const PathWeightModel& model,
                                  Index source, Index target,
                                  const HeteSimOptions& options = {});
 
 /// Combined relevance of `source` to every target object under a model.
-Result<std::vector<double>> CombinedSingleSource(const HinGraph& graph,
+[[nodiscard]] Result<std::vector<double>> CombinedSingleSource(const HinGraph& graph,
                                                  const PathWeightModel& model,
                                                  Index source,
                                                  const HeteSimOptions& options = {});

@@ -45,7 +45,7 @@ struct SpectralOptions {
 ///
 /// `affinity` must be square with non-negative entries; `k` in
 /// `[1, n]`. Isolated rows (zero degree) are assigned to cluster 0.
-Result<std::vector<int>> SpectralClusterNormalizedCut(
+[[nodiscard]] Result<std::vector<int>> SpectralClusterNormalizedCut(
     const DenseMatrix& affinity, int k, const SpectralOptions& options = {});
 
 }  // namespace hetesim

@@ -1,6 +1,7 @@
 #include "matrix/chain_plan.h"
 
 #include <limits>
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -177,14 +178,35 @@ Result<SparseMatrix> ExecutePlan(const std::vector<SparseMatrix>& chain,
                                  const ChainPlan& plan, int num_threads,
                                  const QueryContext* ctx,
                                  const SpGemmOptions& options) {
-  HETESIM_CHECK_EQ(static_cast<int>(chain.size()), plan.num_inputs);
-  HETESIM_CHECK_EQ(plan.steps.size(), chain.size() - 1);
+  // Plan/chain mismatch and malformed plans are caller errors on a
+  // Status-returning path, so they come back as InvalidArgument rather
+  // than aborting (hand-built plans reach here through the public
+  // ExecuteChainPlan overloads).
+  if (static_cast<int>(chain.size()) != plan.num_inputs ||
+      plan.steps.size() + 1 != chain.size()) {
+    return Status::InvalidArgument(
+        "chain plan mismatch: " + std::to_string(chain.size()) +
+        " matrices vs plan for " + std::to_string(plan.num_inputs) + " with " +
+        std::to_string(plan.steps.size()) + " steps");
+  }
   if (plan.steps.empty()) return chain[0];
+  for (size_t t = 0; t < plan.steps.size(); ++t) {
+    // A step may reference inputs and intermediates of *earlier* steps only.
+    const int ready = plan.num_inputs + static_cast<int>(t);
+    if (plan.steps[t].left < 0 || plan.steps[t].left >= ready ||
+        plan.steps[t].right < 0 || plan.steps[t].right >= ready) {
+      return Status::InvalidArgument(
+          "chain plan step " + std::to_string(t) + " references slot " +
+          std::to_string(plan.steps[t].left) + "*" +
+          std::to_string(plan.steps[t].right) + " outside the " +
+          std::to_string(ready) + " available");
+    }
+  }
 
   std::vector<Intermediate> inter(plan.steps.size());
   auto operand = [&](int slot) -> Operand {
-    HETESIM_CHECK(slot >= 0 &&
-                  slot < plan.num_inputs + static_cast<int>(inter.size()));
+    HETESIM_DCHECK(slot >= 0 &&
+                   slot < plan.num_inputs + static_cast<int>(inter.size()));
     if (slot < plan.num_inputs) return {&chain[static_cast<size_t>(slot)], nullptr};
     Intermediate& m = inter[static_cast<size_t>(slot - plan.num_inputs)];
     if (m.is_dense) return {nullptr, &m.dense};

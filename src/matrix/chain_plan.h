@@ -103,7 +103,7 @@ SparseMatrix ExecuteChainPlan(const std::vector<SparseMatrix>& chain,
 /// `spgemm.alloc` fault point is honored — the planned counterpart of
 /// `SparseMatrix::MultiplyParallel(other, threads, ctx)`. Fails with
 /// `Cancelled`, `DeadlineExceeded`, or `ResourceExhausted`.
-Result<SparseMatrix> ExecuteChainPlan(const std::vector<SparseMatrix>& chain,
+[[nodiscard]] Result<SparseMatrix> ExecuteChainPlan(const std::vector<SparseMatrix>& chain,
                                       const ChainPlan& plan, int num_threads,
                                       const QueryContext& ctx,
                                       const SpGemmOptions& options = {});

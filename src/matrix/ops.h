@@ -61,7 +61,7 @@ SparseMatrix MultiplyChainLeftToRight(const std::vector<SparseMatrix>& chain,
 /// follows the library convention (1 sequential, 0 = all hardware
 /// threads). For a given chain this returns results bitwise identical to
 /// `MultiplyChain` at any thread count (same plan, same kernels).
-Result<SparseMatrix> MultiplyChainWithContext(const std::vector<SparseMatrix>& chain,
+[[nodiscard]] Result<SparseMatrix> MultiplyChainWithContext(const std::vector<SparseMatrix>& chain,
                                               int num_threads,
                                               const QueryContext& ctx);
 

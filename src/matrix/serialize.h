@@ -21,18 +21,18 @@ namespace hetesim {
 /// Readers validate magic, sizes and CSR monotonicity before constructing.
 
 /// Writes `matrix` to `stream` in HSM1 format.
-Status WriteSparseMatrix(const SparseMatrix& matrix, std::ostream& stream);
+[[nodiscard]] Status WriteSparseMatrix(const SparseMatrix& matrix, std::ostream& stream);
 /// Reads an HSM1 sparse matrix.
-Result<SparseMatrix> ReadSparseMatrix(std::istream& stream);
+[[nodiscard]] Result<SparseMatrix> ReadSparseMatrix(std::istream& stream);
 
 /// Writes `matrix` to `stream` in HDM1 format.
-Status WriteDenseMatrix(const DenseMatrix& matrix, std::ostream& stream);
+[[nodiscard]] Status WriteDenseMatrix(const DenseMatrix& matrix, std::ostream& stream);
 /// Reads an HDM1 dense matrix.
-Result<DenseMatrix> ReadDenseMatrix(std::istream& stream);
+[[nodiscard]] Result<DenseMatrix> ReadDenseMatrix(std::istream& stream);
 
 /// File-path conveniences.
-Status WriteSparseMatrixToFile(const SparseMatrix& matrix, const std::string& path);
-Result<SparseMatrix> ReadSparseMatrixFromFile(const std::string& path);
+[[nodiscard]] Status WriteSparseMatrixToFile(const SparseMatrix& matrix, const std::string& path);
+[[nodiscard]] Result<SparseMatrix> ReadSparseMatrixFromFile(const std::string& path);
 
 }  // namespace hetesim
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/fault_injection.h"
 #include "common/parallel.h"
@@ -275,7 +276,13 @@ SparseMatrix SparseMatrix::MultiplyParallel(const SparseMatrix& other,
 Result<SparseMatrix> SparseMatrix::MultiplyParallel(const SparseMatrix& other,
                                                     int num_threads,
                                                     const QueryContext& ctx) const {
-  HETESIM_CHECK_EQ(cols_, other.rows_);
+  // Caller error on a Status-returning path: report, don't abort (the plain
+  // Multiply/MultiplyParallel overloads keep the CHECK).
+  if (cols_ != other.rows_) {
+    return Status::InvalidArgument(
+        "inner dimension mismatch: cols()=" + std::to_string(cols_) +
+        " vs rows()=" + std::to_string(other.rows_));
+  }
   HETESIM_RETURN_NOT_OK(ctx.CheckAlive());
   const int threads = ResolveNumThreads(num_threads);
 
@@ -362,7 +369,9 @@ Result<SparseMatrix> SparseMatrix::MultiplyParallel(const SparseMatrix& other,
     out.values_.insert(out.values_.end(), result.values.begin(),
                        result.values.end());
   }
-  HETESIM_CHECK_EQ(row, static_cast<size_t>(rows_));
+  // Internal stitch invariant (not a caller error): debug-only check on
+  // this Status-returning path.
+  HETESIM_DCHECK(row == static_cast<size_t>(rows_));
   return out;
 }
 

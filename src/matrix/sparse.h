@@ -90,7 +90,7 @@ class SparseMatrix {
   /// memory budget (transient working-set accounting, released on return).
   /// Fails with `Cancelled`, `DeadlineExceeded`, or `ResourceExhausted`;
   /// with `QueryContext::Background()` it is exactly `MultiplyParallel`.
-  Result<SparseMatrix> MultiplyParallel(const SparseMatrix& other, int num_threads,
+  [[nodiscard]] Result<SparseMatrix> MultiplyParallel(const SparseMatrix& other, int num_threads,
                                         const QueryContext& ctx) const;
   /// Sparse-dense product `this * other`.
   DenseMatrix MultiplyDense(const DenseMatrix& other) const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -25,6 +26,18 @@ constexpr Index kSortedMergeMaxFill = 32;
 /// probing (measured crossover on the DBLP funnel products in
 /// bench_chain_order: at fill ~cols/9 the scratch already beats the hash).
 constexpr Index kHashWidthDivisor = 16;
+
+/// Recoverable precondition for the context-aware kernels: a dimension
+/// mismatch reaching a Status-returning entry point is the caller's error
+/// and must come back as InvalidArgument, not a process abort (the plain
+/// variants keep HETESIM_CHECK — DESIGN.md §11, lint rule
+/// no-check-in-status-fn).
+Status CheckInnerDims(Index a_cols, Index b_rows) {
+  if (a_cols == b_rows) return Status::OK();
+  return Status::InvalidArgument("inner dimension mismatch: a.cols()=" +
+                                 std::to_string(a_cols) +
+                                 " vs b.rows()=" + std::to_string(b_rows));
+}
 
 /// One output entry of a chunk-local row product, pre-stitch.
 struct ChunkResult {
@@ -447,7 +460,7 @@ Result<SparseMatrix> MultiplySparseAdaptive(const SparseMatrix& a,
                                             const SparseMatrix& b, int num_threads,
                                             const QueryContext& ctx,
                                             const SpGemmOptions& options) {
-  HETESIM_CHECK_EQ(a.cols(), b.rows());
+  HETESIM_RETURN_NOT_OK(CheckInnerDims(a.cols(), b.rows()));
   HETESIM_RETURN_NOT_OK(ctx.CheckAlive());
   const int threads = ResolveNumThreads(num_threads);
   const bool sequential = threads <= 1 || a.rows() < 2;
@@ -518,7 +531,7 @@ DenseMatrix MultiplySparseSparseDense(const SparseMatrix& a, const SparseMatrix&
 Result<DenseMatrix> MultiplySparseSparseDense(const SparseMatrix& a,
                                               const SparseMatrix& b, int num_threads,
                                               const QueryContext& ctx) {
-  HETESIM_CHECK_EQ(a.cols(), b.rows());
+  HETESIM_RETURN_NOT_OK(CheckInnerDims(a.cols(), b.rows()));
   return DenseOutDriver(a.rows(), b.cols(), num_threads, &ctx,
                         [&](DenseMatrix& out, Index row_begin, Index row_end) {
                           FillSparseSparse(a, b, out, row_begin, row_end);
@@ -537,7 +550,7 @@ DenseMatrix MultiplyDenseSparseParallel(const DenseMatrix& a, const SparseMatrix
 Result<DenseMatrix> MultiplyDenseSparseParallel(const DenseMatrix& a,
                                                 const SparseMatrix& b, int num_threads,
                                                 const QueryContext& ctx) {
-  HETESIM_CHECK_EQ(a.cols(), b.rows());
+  HETESIM_RETURN_NOT_OK(CheckInnerDims(a.cols(), b.rows()));
   return DenseOutDriver(a.rows(), b.cols(), num_threads, &ctx,
                         [&](DenseMatrix& out, Index row_begin, Index row_end) {
                           FillDenseSparse(a, b, out, row_begin, row_end);
@@ -556,7 +569,7 @@ DenseMatrix MultiplySparseDenseParallel(const SparseMatrix& a, const DenseMatrix
 Result<DenseMatrix> MultiplySparseDenseParallel(const SparseMatrix& a,
                                                 const DenseMatrix& b, int num_threads,
                                                 const QueryContext& ctx) {
-  HETESIM_CHECK_EQ(a.cols(), b.rows());
+  HETESIM_RETURN_NOT_OK(CheckInnerDims(a.cols(), b.rows()));
   return DenseOutDriver(a.rows(), b.cols(), num_threads, &ctx,
                         [&](DenseMatrix& out, Index row_begin, Index row_end) {
                           FillSparseDense(a, b, out, row_begin, row_end);
@@ -575,7 +588,7 @@ DenseMatrix MultiplyDenseDenseParallel(const DenseMatrix& a, const DenseMatrix& 
 Result<DenseMatrix> MultiplyDenseDenseParallel(const DenseMatrix& a,
                                                const DenseMatrix& b, int num_threads,
                                                const QueryContext& ctx) {
-  HETESIM_CHECK_EQ(a.cols(), b.rows());
+  HETESIM_RETURN_NOT_OK(CheckInnerDims(a.cols(), b.rows()));
   return DenseOutDriver(a.rows(), b.cols(), num_threads, &ctx,
                         [&](DenseMatrix& out, Index row_begin, Index row_end) {
                           FillDenseDense(a, b, out, row_begin, row_end);

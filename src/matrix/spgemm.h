@@ -65,7 +65,7 @@ SparseMatrix MultiplySparseAdaptive(const SparseMatrix& a, const SparseMatrix& b
 
 /// Context-aware adaptive product: polled per chunk, budget-charged,
 /// `spgemm.alloc` fault point honored.
-Result<SparseMatrix> MultiplySparseAdaptive(const SparseMatrix& a,
+[[nodiscard]] Result<SparseMatrix> MultiplySparseAdaptive(const SparseMatrix& a,
                                             const SparseMatrix& b, int num_threads,
                                             const QueryContext& ctx,
                                             const SpGemmOptions& options = {});
@@ -77,7 +77,7 @@ Result<SparseMatrix> MultiplySparseAdaptive(const SparseMatrix& a,
 DenseMatrix MultiplySparseSparseDense(const SparseMatrix& a,
                                       const SparseMatrix& b,
                                       int num_threads = 1);
-Result<DenseMatrix> MultiplySparseSparseDense(const SparseMatrix& a,
+[[nodiscard]] Result<DenseMatrix> MultiplySparseSparseDense(const SparseMatrix& a,
                                               const SparseMatrix& b,
                                               int num_threads,
                                               const QueryContext& ctx);
@@ -91,21 +91,21 @@ Result<DenseMatrix> MultiplySparseSparseDense(const SparseMatrix& a,
 DenseMatrix MultiplyDenseSparseParallel(const DenseMatrix& a,
                                         const SparseMatrix& b,
                                         int num_threads = 1);
-Result<DenseMatrix> MultiplyDenseSparseParallel(const DenseMatrix& a,
+[[nodiscard]] Result<DenseMatrix> MultiplyDenseSparseParallel(const DenseMatrix& a,
                                                 const SparseMatrix& b,
                                                 int num_threads,
                                                 const QueryContext& ctx);
 DenseMatrix MultiplySparseDenseParallel(const SparseMatrix& a,
                                         const DenseMatrix& b,
                                         int num_threads = 1);
-Result<DenseMatrix> MultiplySparseDenseParallel(const SparseMatrix& a,
+[[nodiscard]] Result<DenseMatrix> MultiplySparseDenseParallel(const SparseMatrix& a,
                                                 const DenseMatrix& b,
                                                 int num_threads,
                                                 const QueryContext& ctx);
 DenseMatrix MultiplyDenseDenseParallel(const DenseMatrix& a,
                                        const DenseMatrix& b,
                                        int num_threads = 1);
-Result<DenseMatrix> MultiplyDenseDenseParallel(const DenseMatrix& a,
+[[nodiscard]] Result<DenseMatrix> MultiplyDenseDenseParallel(const DenseMatrix& a,
                                                const DenseMatrix& b,
                                                int num_threads,
                                                const QueryContext& ctx);

@@ -1,0 +1,28 @@
+#include "common/status.h"
+namespace hetesim {
+
+Status Bad(int x) {
+  HETESIM_CHECK(x > 0);
+  return Status::OK();
+}
+
+Result<int> AlsoBad(int x) {
+  HETESIM_CHECK_EQ(x, 1);
+  return x;
+}
+
+Status Good(int x) {
+  HETESIM_DCHECK(x > 0);
+  if (x <= 0) return Status::InvalidArgument("x");
+  return Status::OK();
+}
+
+void PlainIsFine(int x) {
+  HETESIM_CHECK(x > 0);
+}
+
+Status DeclaredOnly(int x);
+
+const Status& ReferenceReturn();
+
+}  // namespace hetesim

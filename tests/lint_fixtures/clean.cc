@@ -1,0 +1,13 @@
+#include "clean.h"
+
+#include <memory>
+#include <thread>
+
+// std::thread and new in comments are ignored.
+const char* kNote = "new std::mutex std::thread";  // strings too
+
+std::unique_ptr<int> MakeInt() { return std::make_unique<int>(3); }
+
+unsigned Cores() { return std::thread::hardware_concurrency(); }
+
+const char* kRaw = R"(new std::async malloc(1))";

@@ -1,0 +1,35 @@
+// Kernel fixture (the basename selects the fault-point-alloc rule): every
+// ctx.Reserve must sit within the window after a HETESIM_FAULT_POINT.
+#include "common/context.h"
+
+namespace hetesim {
+
+int Paired(const QueryContext& ctx) {
+  if (HETESIM_FAULT_POINT("spgemm.alloc")) return 1;
+  auto reservation = ctx.Reserve(64);
+  return reservation.ok() ? 0 : 1;
+}
+
+// Filler so the fault point above is outside the pairing window of the
+// reservation below.
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+//
+
+int Unpaired(const QueryContext& ctx) {
+  auto reservation = ctx.Reserve(64);
+  return reservation.ok() ? 0 : 1;
+}
+
+// Not a member call: plain identifiers named Reserve are out of scope.
+void Reserve(int bytes);
+
+}  // namespace hetesim

@@ -1,0 +1,8 @@
+// Exemption fixture: a file named mutex.h wraps the standard primitives.
+#include <condition_variable>
+#include <mutex>
+
+struct Wrapper {
+  std::mutex mu;
+  std::condition_variable cv;
+};

@@ -1,0 +1,14 @@
+#include <cstdlib>
+
+int* Leak() { return new int(7); }
+
+void* Raw() { return std::malloc(16); }
+
+// new in a comment is ignored; "new" inside a string literal too:
+const char* kMsg = "make new things";
+
+int* Singleton() {
+  static int* const kOnce = new int(0);  // hetesim-lint: allow(no-naked-new)
+  return kOnce;
+}
+int renewal = 0;

@@ -1,0 +1,7 @@
+#include <mutex>
+
+std::mutex g_lock;
+
+void Locked() {
+  std::lock_guard<std::mutex> hold(g_lock);
+}

@@ -1,0 +1,16 @@
+#include <thread>
+
+void Spawn() {
+  std::thread worker([] {});
+  worker.join();
+}
+
+unsigned Query() {
+  return std::thread::hardware_concurrency();
+}
+
+void Suppressed() {
+  std::thread ok([] {});  // hetesim-lint: allow(no-raw-thread)
+  ok.join();
+}
+auto Later() { return std::async([] { return 1; }); }

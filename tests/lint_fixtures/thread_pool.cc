@@ -1,0 +1,7 @@
+// Exemption fixture: a file named thread_pool.cc may own raw threads.
+#include <thread>
+
+void PoolInternals() {
+  std::thread worker([] {});
+  worker.join();
+}

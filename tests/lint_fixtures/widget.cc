@@ -1,0 +1,4 @@
+#include <vector>
+#include "widget.h"
+#include "src/common/status.h"
+#include "../hacks.h"

@@ -1,0 +1,43 @@
+// hetesim_lint — the project conventions checker (see linter.h for the rule
+// catalogue and DESIGN.md §11 for the policy). CI runs `hetesim_lint src/`
+// and requires a clean exit.
+//
+// Usage: hetesim_lint <file-or-directory>...
+// Exit:  0 clean, 1 findings, 2 usage or unreadable input.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "linter.h"
+
+int main(int argc, char** argv) {
+  using hetesim::lint::Diagnostic;
+
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file-or-directory>...\n", argv[0]);
+    return 2;
+  }
+
+  std::vector<Diagnostic> diagnostics;
+  size_t files_scanned = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::vector<std::string> files =
+        hetesim::lint::CollectSourceFiles(argv[i]);
+    if (files.empty()) files.push_back(argv[i]);  // plain file (or bad path)
+    for (const std::string& file : files) {
+      if (!hetesim::lint::LintFile(file, &diagnostics)) {
+        std::fprintf(stderr, "error: cannot read %s\n", file.c_str());
+        return 2;
+      }
+      ++files_scanned;
+    }
+  }
+
+  for (const Diagnostic& diag : diagnostics) {
+    std::printf("%s\n", hetesim::lint::FormatDiagnostic(diag).c_str());
+  }
+  std::fprintf(stderr, "hetesim_lint: %zu finding(s) in %zu file(s)\n",
+               diagnostics.size(), files_scanned);
+  return diagnostics.empty() ? 0 : 1;
+}

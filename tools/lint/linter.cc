@@ -1,0 +1,538 @@
+#include "linter.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hetesim::lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string Stem(const std::string& name) {
+  const size_t dot = name.find_last_of('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+/// 0-based byte offset of the start of every line, for offset -> line
+/// translation after the scan.
+std::vector<size_t> LineStarts(const std::string& content) {
+  std::vector<size_t> starts = {0};
+  for (size_t i = 0; i < content.size(); ++i) {
+    if (content[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+int LineOf(const std::vector<size_t>& starts, size_t offset) {
+  const auto it = std::upper_bound(starts.begin(), starts.end(), offset);
+  return static_cast<int>(it - starts.begin());
+}
+
+/// Finds `word` at an identifier boundary in `text` starting at `from`.
+size_t FindWord(const std::string& text, const std::string& word, size_t from) {
+  for (size_t pos = text.find(word, from); pos != std::string::npos;
+       pos = text.find(word, pos + 1)) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string::npos;
+}
+
+/// Per-line `// hetesim-lint: allow(rule-a, rule-b)` suppressions, parsed
+/// from the *raw* content (the marker lives in a comment, which the scan
+/// text has blanked out).
+std::map<int, std::set<std::string>> ParseSuppressions(
+    const std::string& content) {
+  static const std::string kMarker = "hetesim-lint: allow(";
+  std::map<int, std::set<std::string>> allows;
+  const std::vector<size_t> starts = LineStarts(content);
+  for (size_t pos = content.find(kMarker); pos != std::string::npos;
+       pos = content.find(kMarker, pos + 1)) {
+    const size_t open = pos + kMarker.size();
+    const size_t close = content.find(')', open);
+    if (close == std::string::npos) continue;
+    std::stringstream list(content.substr(open, close - open));
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      const size_t first = rule.find_first_not_of(" \t");
+      const size_t last = rule.find_last_not_of(" \t");
+      if (first == std::string::npos) continue;
+      allows[LineOf(starts, pos)].insert(rule.substr(first, last - first + 1));
+    }
+  }
+  return allows;
+}
+
+/// Shared state for one file's scan.
+struct FileScan {
+  std::string path;
+  std::string basename;
+  const std::string& raw;       ///< original content (include directives)
+  std::string scan;             ///< comments/strings blanked
+  std::vector<size_t> starts;   ///< line-start offsets
+  std::map<int, std::set<std::string>> allows;
+  std::vector<Diagnostic>* out;
+
+  void Emit(size_t offset, const std::string& rule, std::string message) {
+    const int line = LineOf(starts, offset);
+    const auto it = allows.find(line);
+    if (it != allows.end() && it->second.count(rule) != 0) return;
+    out->push_back(Diagnostic{path, line, rule, std::move(message)});
+  }
+};
+
+// --- rule: no-raw-thread -------------------------------------------------
+
+void CheckRawThread(FileScan& fs) {
+  // The pool runtime is the one place allowed to own std::thread objects.
+  if (fs.basename == "thread_pool.cc" || fs.basename == "thread_pool.h") return;
+  for (size_t pos = FindWord(fs.scan, "std::thread", 0);
+       pos != std::string::npos;
+       pos = FindWord(fs.scan, "std::thread", pos + 1)) {
+    // Querying the core count is not spawning a thread.
+    if (fs.scan.compare(pos, 33, "std::thread::hardware_concurrency") == 0) {
+      continue;
+    }
+    fs.Emit(pos, "no-raw-thread",
+            "raw std::thread outside the thread-pool runtime; use "
+            "ThreadPool/ParallelFor (common/parallel.h)");
+  }
+  for (size_t pos = FindWord(fs.scan, "std::async", 0);
+       pos != std::string::npos;
+       pos = FindWord(fs.scan, "std::async", pos + 1)) {
+    fs.Emit(pos, "no-raw-thread",
+            "std::async outside the thread-pool runtime; use "
+            "ThreadPool::Submit");
+  }
+}
+
+// --- rule: no-naked-new --------------------------------------------------
+
+void CheckNakedNew(FileScan& fs) {
+  static const char* const kAllocators[] = {"new", "malloc", "calloc",
+                                            "realloc"};
+  for (const char* word : kAllocators) {
+    for (size_t pos = FindWord(fs.scan, word, 0); pos != std::string::npos;
+         pos = FindWord(fs.scan, word, pos + 1)) {
+      fs.Emit(pos, "no-naked-new",
+              std::string("naked '") + word +
+                  "'; use containers/std::make_unique (leaked singletons "
+                  "need an allow comment)");
+    }
+  }
+}
+
+// --- rule: no-raw-mutex --------------------------------------------------
+
+void CheckRawMutex(FileScan& fs) {
+  // common/mutex.h *is* the wrapper over the standard primitives.
+  if (fs.basename == "mutex.h") return;
+  static const char* const kPrimitives[] = {
+      "std::mutex",          "std::recursive_mutex", "std::timed_mutex",
+      "std::shared_mutex",   "std::condition_variable",
+      "std::lock_guard",     "std::unique_lock",     "std::scoped_lock"};
+  for (const char* word : kPrimitives) {
+    for (size_t pos = FindWord(fs.scan, word, 0); pos != std::string::npos;
+         pos = FindWord(fs.scan, word, pos + 1)) {
+      fs.Emit(pos, "no-raw-mutex",
+              std::string("raw '") + word +
+                  "' is invisible to thread-safety analysis; use "
+                  "Mutex/MutexLock/CondVar (common/mutex.h)");
+    }
+  }
+}
+
+// --- rule: fault-point-alloc ---------------------------------------------
+
+/// A budget reservation more than this many lines below the nearest
+/// HETESIM_FAULT_POINT is considered unpaired.
+constexpr int kFaultPointWindowLines = 15;
+
+void CheckFaultPointAlloc(FileScan& fs) {
+  // Only the context-aware multiplication kernels carry the pairing
+  // contract; elsewhere Reserve is plain accounting.
+  if (fs.basename != "spgemm.cc" && fs.basename != "path_matrix.cc") return;
+  std::set<int> fault_lines;
+  for (size_t pos = FindWord(fs.scan, "HETESIM_FAULT_POINT", 0);
+       pos != std::string::npos;
+       pos = FindWord(fs.scan, "HETESIM_FAULT_POINT", pos + 1)) {
+    fault_lines.insert(LineOf(fs.starts, pos));
+  }
+  for (size_t pos = FindWord(fs.scan, "Reserve", 0); pos != std::string::npos;
+       pos = FindWord(fs.scan, "Reserve", pos + 1)) {
+    // Member call only: `.Reserve(` / `->Reserve(` — skips declarations and
+    // unrelated identifiers.
+    const bool member =
+        (pos >= 1 && fs.scan[pos - 1] == '.') ||
+        (pos >= 2 && fs.scan.compare(pos - 2, 2, "->") == 0);
+    size_t after = pos + 7;
+    while (after < fs.scan.size() &&
+           std::isspace(static_cast<unsigned char>(fs.scan[after])) != 0) {
+      ++after;
+    }
+    if (!member || after >= fs.scan.size() || fs.scan[after] != '(') continue;
+    const int line = LineOf(fs.starts, pos);
+    const auto it = fault_lines.lower_bound(line - kFaultPointWindowLines);
+    if (it != fault_lines.end() && *it <= line) continue;
+    fs.Emit(pos, "fault-point-alloc",
+            "budget reservation without a HETESIM_FAULT_POINT in the " +
+                std::to_string(kFaultPointWindowLines) +
+                " lines above; kernel allocations must be fault-testable");
+  }
+}
+
+// --- rule: no-check-in-status-fn -----------------------------------------
+
+/// Matches `<...>` starting at `open` (which must be '<'); returns the
+/// offset one past the closing '>' or npos.
+size_t SkipAngles(const std::string& text, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '<') ++depth;
+    if (text[i] == '>' && --depth == 0) return i + 1;
+    if (text[i] == ';' || text[i] == '{') return std::string::npos;
+  }
+  return std::string::npos;
+}
+
+size_t SkipParens(const std::string& text, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+size_t SkipWs(const std::string& text, size_t i) {
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+void CheckStatusFn(FileScan& fs) {
+  static const char* const kChecks[] = {
+      "HETESIM_CHECK",    "HETESIM_CHECK_EQ", "HETESIM_CHECK_NE",
+      "HETESIM_CHECK_LT", "HETESIM_CHECK_LE", "HETESIM_CHECK_GT",
+      "HETESIM_CHECK_GE"};
+  const std::string& text = fs.scan;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t status_at = FindWord(text, "Status", pos);
+    const size_t result_at = FindWord(text, "Result", pos);
+    size_t at = std::min(status_at, result_at);
+    if (at == std::string::npos) return;
+    const bool is_result = at == result_at;
+    pos = at + 6;  // both keywords are six characters
+
+    // A by-value return type: `Status` bare, `Result<...>` with arguments.
+    // `Status::Foo` qualified uses and `Status&` / `Status*` returns are
+    // out of scope (the rule targets functions whose *value* the caller
+    // must handle).
+    size_t i = at + 6;
+    if (is_result) {
+      i = SkipWs(text, i);
+      if (i >= text.size() || text[i] != '<') continue;
+      i = SkipAngles(text, i);
+      if (i == std::string::npos) continue;
+    }
+    i = SkipWs(text, i);
+    if (i < text.size() && (text[i] == ':' || text[i] == '&' || text[i] == '*'))
+      continue;
+
+    // Function name: identifier, possibly class-qualified.
+    const size_t name_begin = i;
+    while (i < text.size() && (IsIdentChar(text[i]) || text[i] == ':')) ++i;
+    if (i == name_begin) continue;
+    const std::string name = text.substr(name_begin, i - name_begin);
+
+    i = SkipWs(text, i);
+    if (i >= text.size() || text[i] != '(') continue;
+    i = SkipParens(text, i);
+    if (i == std::string::npos) continue;
+
+    // Declaration or definition? Scan past trailing qualifiers (`const`,
+    // `noexcept`, lock annotations — balanced parens) to the first `;` or
+    // `{` at depth zero.
+    size_t body_open = std::string::npos;
+    int depth = 0;
+    for (size_t guard = 0; i < text.size() && guard < 400; ++i, ++guard) {
+      const char c = text[i];
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (depth != 0) continue;
+      if (c == ';') break;
+      if (c == '{') {
+        body_open = i;
+        break;
+      }
+    }
+    if (body_open == std::string::npos) continue;
+
+    // Body extent.
+    size_t body_close = body_open;
+    depth = 0;
+    for (size_t j = body_open; j < text.size(); ++j) {
+      if (text[j] == '{') ++depth;
+      if (text[j] == '}' && --depth == 0) {
+        body_close = j;
+        break;
+      }
+    }
+
+    for (const char* check : kChecks) {
+      for (size_t c = FindWord(text, check, body_open);
+           c != std::string::npos && c < body_close;
+           c = FindWord(text, check, c + 1)) {
+        fs.Emit(c, "no-check-in-status-fn",
+                std::string(check) + " in '" + name +
+                    "', which returns Status/Result; return an error instead "
+                    "(HETESIM_DCHECK is fine for internal invariants)");
+      }
+    }
+    pos = body_open;  // rescan the body for nested Status-returning lambdas
+  }
+}
+
+// --- rules: include-self-first / include-src-prefix ----------------------
+
+struct IncludeDirective {
+  int line;
+  std::string target;  ///< path for "..." includes, empty for <...>
+  size_t offset;
+};
+
+std::vector<IncludeDirective> ParseIncludes(const FileScan& fs) {
+  std::vector<IncludeDirective> includes;
+  std::istringstream scan_lines(fs.scan);
+  std::string scan_line;
+  int line = 0;
+  size_t offset = 0;
+  while (std::getline(scan_lines, scan_line)) {
+    ++line;
+    const size_t line_offset = offset;
+    offset += scan_line.size() + 1;
+    // Use the *scan* text to decide it is a live directive (not inside a
+    // comment), then the raw text for the path (the scan blanked it).
+    const size_t hash = scan_line.find_first_not_of(" \t");
+    if (hash == std::string::npos || scan_line[hash] != '#') continue;
+    const size_t kw = scan_line.find("include", hash + 1);
+    if (kw == std::string::npos ||
+        scan_line.find_first_not_of(" \t", hash + 1) != kw) {
+      continue;
+    }
+    const size_t raw_end = fs.raw.find('\n', line_offset);
+    const std::string raw_line = fs.raw.substr(
+        line_offset, raw_end == std::string::npos ? std::string::npos
+                                                  : raw_end - line_offset);
+    IncludeDirective directive{line, "", line_offset};
+    const size_t quote = raw_line.find('"');
+    if (quote != std::string::npos) {
+      const size_t close = raw_line.find('"', quote + 1);
+      if (close != std::string::npos) {
+        directive.target = raw_line.substr(quote + 1, close - quote - 1);
+      }
+    }
+    includes.push_back(std::move(directive));
+  }
+  return includes;
+}
+
+void CheckIncludes(FileScan& fs) {
+  const std::vector<IncludeDirective> includes = ParseIncludes(fs);
+
+  for (const IncludeDirective& inc : includes) {
+    if (inc.target.rfind("src/", 0) == 0 ||
+        inc.target.find("../") != std::string::npos) {
+      fs.Emit(inc.offset, "include-src-prefix",
+              "#include \"" + inc.target +
+                  "\" leaks the tree layout; include relative to src/ "
+                  "(e.g. \"common/status.h\")");
+    }
+  }
+
+  // Self-header-first applies to implementation files that *have* a
+  // same-stem header among their includes.
+  const bool is_impl = fs.basename.size() > 3 &&
+                       (fs.basename.rfind(".cc") == fs.basename.size() - 3 ||
+                        fs.basename.rfind(".cpp") == fs.basename.size() - 4);
+  if (!is_impl || includes.empty()) return;
+  const std::string self = Stem(fs.basename) + ".h";
+  for (size_t k = 1; k < includes.size(); ++k) {
+    if (Basename(includes[k].target) == self) {
+      fs.Emit(includes[k].offset, "include-self-first",
+              "own header \"" + includes[k].target +
+                  "\" must be the first #include so it is proven "
+                  "self-contained");
+    }
+  }
+}
+
+}  // namespace
+
+std::string StripForScan(const std::string& content) {
+  std::string out = content;
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          // Raw string literal? Look back for R (uR8 prefixes unused here).
+          if (i > 0 && content[i - 1] == 'R' &&
+              (i < 2 || !IsIdentChar(content[i - 2]))) {
+            const size_t open = content.find('(', i + 1);
+            if (open != std::string::npos) {
+              raw_delim = ")" + content.substr(i + 1, open - i - 1) + "\"";
+              state = State::kRaw;
+              break;
+            }
+          }
+          state = State::kString;
+        } else if (c == '\'' && (i == 0 || !IsIdentChar(content[i - 1]))) {
+          // Identifier boundary check keeps digit separators (1'000) code.
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::string FormatDiagnostic(const Diagnostic& diag) {
+  return diag.file + ":" + std::to_string(diag.line) + ": [" + diag.rule +
+         "] " + diag.message;
+}
+
+std::vector<Diagnostic> LintSource(const std::string& path,
+                                   const std::string& content) {
+  std::vector<Diagnostic> diagnostics;
+  FileScan fs{path,
+              Basename(path),
+              content,
+              StripForScan(content),
+              LineStarts(content),
+              ParseSuppressions(content),
+              &diagnostics};
+  CheckRawThread(fs);
+  CheckNakedNew(fs);
+  CheckRawMutex(fs);
+  CheckFaultPointAlloc(fs);
+  CheckStatusFn(fs);
+  CheckIncludes(fs);
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return diagnostics;
+}
+
+bool LintFile(const std::string& path, std::vector<Diagnostic>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::vector<Diagnostic> diagnostics = LintSource(path, buffer.str());
+  out->insert(out->end(), std::make_move_iterator(diagnostics.begin()),
+              std::make_move_iterator(diagnostics.end()));
+  return true;
+}
+
+std::vector<std::string> CollectSourceFiles(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  fs::recursive_directory_iterator it(root, ec);
+  const fs::recursive_directory_iterator end;
+  for (; !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (it->is_directory() &&
+        (name.rfind("build", 0) == 0 || name.rfind('.', 0) == 0)) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+      files.push_back(it->path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+}  // namespace hetesim::lint
