@@ -77,7 +77,5 @@ BENCHMARK(BM_SingleSourceTruncation)->Arg(0)->Arg(5)->Arg(4)->Arg(3)->Arg(2);
 
 int main(int argc, char** argv) {
   PrintAccuracySweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hetesim::bench::BenchMain(argc, argv, "approx_truncation");
 }

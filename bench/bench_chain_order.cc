@@ -168,4 +168,4 @@ BENCHMARK(BM_OddPathLeftPlanned)->Arg(1)->Arg(4)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HETESIM_BENCH_MAIN("chain_order")

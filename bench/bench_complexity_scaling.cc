@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "baselines/simrank.h"
 #include "core/hetesim.h"
 #include "hin/metapath.h"
@@ -95,4 +97,4 @@ BENCHMARK(BM_ChainDense)->Arg(1)->Arg(5)->Arg(20);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HETESIM_BENCH_MAIN("complexity_scaling")

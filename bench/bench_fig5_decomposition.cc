@@ -9,6 +9,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "core/hetesim.h"
 #include "hin/builder.h"
 #include "hin/metapath.h"
@@ -94,7 +96,5 @@ BENCHMARK(BM_Fig5FullMatrix);
 
 int main(int argc, char** argv) {
   PrintFig5Tables();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hetesim::bench::BenchMain(argc, argv, "fig5_decomposition");
 }

@@ -71,7 +71,5 @@ BENCHMARK(BM_Fig6FullPipeline);
 
 int main(int argc, char** argv) {
   PrintFig6();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hetesim::bench::BenchMain(argc, argv, "fig6_rank_difference");
 }

@@ -80,7 +80,5 @@ BENCHMARK(BM_ReachDistribution);
 
 int main(int argc, char** argv) {
   PrintFig7();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hetesim::bench::BenchMain(argc, argv, "fig7_reach_distribution");
 }

@@ -141,7 +141,5 @@ BENCHMARK(BM_HundredQueriesMaterialized);
 
 int main(int argc, char** argv) {
   PrintAdvisorPlan();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hetesim::bench::BenchMain(argc, argv, "materialization");
 }

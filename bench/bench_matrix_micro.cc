@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "datagen/random_hin.h"
 #include "matrix/ops.h"
 
@@ -82,4 +84,4 @@ BENCHMARK(BM_VectorThroughChain);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HETESIM_BENCH_MAIN("matrix_micro")

@@ -19,6 +19,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
+
 #include "common/context.h"
 #include "common/parallel.h"
 #include "common/thread_pool.h"
@@ -170,4 +172,4 @@ BENCHMARK(BM_CancellationLatency)->Arg(1)->Arg(4)->Arg(8)->UseManualTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+HETESIM_BENCH_MAIN("parallel")

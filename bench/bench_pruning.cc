@@ -95,7 +95,5 @@ BENCHMARK(BM_TopKExhaustiveLongPath);
 
 int main(int argc, char** argv) {
   PrintPruningStats();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hetesim::bench::BenchMain(argc, argv, "pruning");
 }

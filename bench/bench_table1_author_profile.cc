@@ -68,7 +68,5 @@ BENCHMARK(BM_ProfileAllFourPaths);
 
 int main(int argc, char** argv) {
   PrintTable1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hetesim::bench::BenchMain(argc, argv, "table1_author_profile");
 }

@@ -52,7 +52,5 @@ BENCHMARK(BM_ConferenceProfile);
 
 int main(int argc, char** argv) {
   PrintTable2();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hetesim::bench::BenchMain(argc, argv, "table2_conf_profile");
 }

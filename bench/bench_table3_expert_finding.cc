@@ -90,7 +90,5 @@ BENCHMARK(BM_PairQueryPcrw);
 
 int main(int argc, char** argv) {
   PrintTable3();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hetesim::bench::BenchMain(argc, argv, "table3_expert_finding");
 }

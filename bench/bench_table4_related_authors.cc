@@ -122,7 +122,5 @@ BENCHMARK(BM_RelatedAuthorsPcrw);
 
 int main(int argc, char** argv) {
   PrintTable4();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hetesim::bench::BenchMain(argc, argv, "table4_related_authors");
 }

@@ -86,7 +86,5 @@ BENCHMARK(BM_QueryTaskOneConference);
 
 int main(int argc, char** argv) {
   PrintTable5();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hetesim::bench::BenchMain(argc, argv, "table5_query_auc");
 }

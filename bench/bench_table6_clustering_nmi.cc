@@ -142,7 +142,5 @@ BENCHMARK(BM_NcutOnSampledAuthors);
 
 int main(int argc, char** argv) {
   PrintTable6();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hetesim::bench::BenchMain(argc, argv, "table6_clustering_nmi");
 }

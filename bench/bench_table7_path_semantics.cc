@@ -74,7 +74,5 @@ BENCHMARK(BM_PathSemantics);
 
 int main(int argc, char** argv) {
   PrintTable7();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return hetesim::bench::BenchMain(argc, argv, "table7_path_semantics");
 }

@@ -2,9 +2,14 @@
 #define HETESIM_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "benchmark/benchmark.h"
+#include "common/metrics.h"
 #include "core/topk.h"
 #include "datagen/acm_generator.h"
 #include "datagen/dblp_generator.h"
@@ -47,6 +52,65 @@ inline void Banner(const std::string& title) {
   std::printf("%s\n", title.c_str());
   std::printf("============================================================\n");
 }
+
+/// Splices the process metrics registry into an already-written
+/// google-benchmark JSON file as a top-level "hetesim_metrics" object, so
+/// every BENCH artifact carries the per-stage breakdown (cache hits, SpGEMM
+/// kernel rows, plan flops...) of the run that produced it.
+inline void MergeMetricsIntoBenchJson(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string contents = buffer.str();
+  const size_t close = contents.rfind('}');
+  if (close == std::string::npos) return;
+  contents.resize(close);
+  contents += ",\n  \"hetesim_metrics\": ";
+  contents += MetricsRegistry::Global().RenderJson();
+  contents += "\n}\n";
+  std::ofstream out(path, std::ios::trunc);
+  out << contents;
+}
+
+/// Standardized bench entry point: runs the registered benchmarks with a
+/// JSON sink defaulting to `BENCH_<stem>.json` in the working directory
+/// (override with $HETESIM_BENCH_OUT, or pass an explicit --benchmark_out
+/// to take full manual control), then merges the metrics registry into the
+/// emitted file. Every bench main should end with `return BenchMain(...)`
+/// (or use HETESIM_BENCH_MAIN when it needs nothing else).
+inline int BenchMain(int argc, char** argv, const char* stem) {
+  std::vector<std::string> storage(argv, argv + argc);
+  bool has_out = false;
+  for (const std::string& arg : storage) {
+    if (arg.rfind("--benchmark_out=", 0) == 0 || arg == "--benchmark_out") {
+      has_out = true;
+    }
+  }
+  std::string out_path;
+  if (!has_out) {
+    const char* env = std::getenv("HETESIM_BENCH_OUT");
+    out_path = env != nullptr ? std::string(env)
+                              : std::string("BENCH_") + stem + ".json";
+    storage.push_back("--benchmark_out=" + out_path);
+    storage.push_back("--benchmark_out_format=json");
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& arg : storage) args.push_back(arg.data());
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (!out_path.empty()) MergeMetricsIntoBenchJson(out_path);
+  return 0;
+}
+
+/// Drop-in replacement for BENCHMARK_MAIN() that routes through BenchMain.
+#define HETESIM_BENCH_MAIN(stem)                          \
+  int main(int argc, char** argv) {                       \
+    return ::hetesim::bench::BenchMain(argc, argv, stem); \
+  }
 
 }  // namespace hetesim::bench
 

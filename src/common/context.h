@@ -16,6 +16,8 @@
 
 namespace hetesim {
 
+class Trace;  // common/trace.h; contexts carry a non-owning pointer only
+
 /// \brief Cooperative cancellation flag, shared by value.
 ///
 /// Copies of a token observe the same underlying flag, so a caller can hand
@@ -150,6 +152,13 @@ class QueryContext {
     copy.budget_ = budget;
     return copy;
   }
+  /// Returns a copy that records stage spans into `trace` (non-owning; the
+  /// trace must outlive the context). See common/trace.h for the span model.
+  QueryContext WithTrace(Trace* trace) const {
+    QueryContext copy = *this;
+    copy.trace_ = trace;
+    return copy;
+  }
 
   /// Requests cooperative cancellation of every computation holding a copy
   /// of this context (or its token).
@@ -158,6 +167,8 @@ class QueryContext {
   const CancelToken& token() const { return token_; }
   std::optional<Clock::time_point> deadline() const { return deadline_; }
   MemoryBudget* budget() const { return budget_; }
+  /// The attached trace, or nullptr (the default: tracing off).
+  Trace* trace() const { return trace_; }
 
   bool cancelled() const { return token_.cancelled(); }
   bool deadline_expired() const {
@@ -180,6 +191,7 @@ class QueryContext {
   CancelToken token_;
   std::optional<Clock::time_point> deadline_;
   MemoryBudget* budget_ = nullptr;
+  Trace* trace_ = nullptr;
 };
 
 /// \brief First-error-wins status aggregator for parallel regions.

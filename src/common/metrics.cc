@@ -1,0 +1,227 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/string_util.h"
+
+namespace hetesim {
+
+#ifndef HETESIM_METRICS_DISABLED
+namespace internal {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace internal
+#endif
+
+namespace {
+
+// Boundaries must be strictly increasing for the lower_bound in Observe;
+// rather than trusting every call site, normalize once at construction.
+std::vector<double> SortedUnique(std::vector<double> boundaries) {
+  std::sort(boundaries.begin(), boundaries.end());
+  boundaries.erase(std::unique(boundaries.begin(), boundaries.end()),
+                   boundaries.end());
+  return boundaries;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> boundaries)
+    : boundaries_(SortedUnique(std::move(boundaries))),
+      buckets_(std::make_unique<std::atomic<uint64_t>[]>(boundaries_.size() +
+                                                         1)) {
+  for (size_t i = 0; i <= boundaries_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::Observe(double value) {
+  // First boundary >= value; past-the-end means the +Inf bucket. NaN needs
+  // the explicit test: it compares false everywhere, so lower_bound would
+  // put it in the first bucket rather than +Inf.
+  const size_t bucket =
+      std::isnan(value)
+          ? boundaries_.size()
+          : static_cast<size_t>(
+                std::lower_bound(boundaries_.begin(), boundaries_.end(),
+                                 value) -
+                boundaries_.begin());
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<uint64_t> Histogram::bucket_counts() const {
+  std::vector<uint64_t> counts(boundaries_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= boundaries_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DefaultLatencyBoundariesSeconds() {
+  static const std::vector<double> kBoundaries = {
+      1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3,
+      1e-2, 5e-2, 1e-1, 5e-1, 1.0,  5.0,  10.0, 100.0};
+  return kBoundaries;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked on purpose: instrumentation sites cache references into the
+  // registry, and those must stay valid through static destruction. The
+  // pointer keeps it reachable, so LeakSanitizer stays quiet.
+  static MetricsRegistry* const registry =
+      new MetricsRegistry();  // hetesim-lint: allow(no-naked-new)
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  MutexLock lock(mutex_);
+  std::unique_ptr<Counter>& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  MutexLock lock(mutex_);
+  std::unique_ptr<Gauge>& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> boundaries) {
+  MutexLock lock(mutex_);
+  std::unique_ptr<Histogram>& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(boundaries));
+  return *slot;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::Collect() const {
+  Snapshot snap;
+  MutexLock lock(mutex_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    Snapshot::HistogramValue value;
+    value.name = name;
+    value.boundaries = histogram->boundaries();
+    value.bucket_counts = histogram->bucket_counts();
+    value.count = histogram->count();
+    value.sum = histogram->sum();
+    snap.histograms.push_back(std::move(value));
+  }
+  return snap;
+}
+
+namespace {
+
+// Shortest double representation that round-trips; Prometheus renders +Inf
+// as "+Inf", JSON has no Inf so boundaries there are always finite (the
+// +Inf bucket is implied by bucket_counts.size() == boundaries.size() + 1).
+std::string FormatDouble(double value) {
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  std::string text = StrFormat("%.17g", value);
+  // Prefer the shorter form when it round-trips (keeps files readable).
+  for (int precision = 1; precision < 17; ++precision) {
+    std::string candidate = StrFormat("%.*g", precision, value);
+    if (std::stod(candidate) == value) return candidate;
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  const Snapshot snap = Collect();
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    out += StrFormat("# TYPE %s counter\n", name.c_str());
+    out += StrFormat("%s %llu\n", name.c_str(),
+                     static_cast<unsigned long long>(value));
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += StrFormat("# TYPE %s gauge\n", name.c_str());
+    out += StrFormat("%s %lld\n", name.c_str(), static_cast<long long>(value));
+  }
+  for (const auto& histogram : snap.histograms) {
+    out += StrFormat("# TYPE %s histogram\n", histogram.name.c_str());
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < histogram.bucket_counts.size(); ++i) {
+      cumulative += histogram.bucket_counts[i];
+      const std::string le = i < histogram.boundaries.size()
+                                 ? FormatDouble(histogram.boundaries[i])
+                                 : "+Inf";
+      out += StrFormat("%s_bucket{le=\"%s\"} %llu\n", histogram.name.c_str(),
+                       le.c_str(), static_cast<unsigned long long>(cumulative));
+    }
+    out += StrFormat("%s_sum %s\n", histogram.name.c_str(),
+                     FormatDouble(histogram.sum).c_str());
+    out += StrFormat("%s_count %llu\n", histogram.name.c_str(),
+                     static_cast<unsigned long long>(histogram.count));
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  const Snapshot snap = Collect();
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    out += StrFormat("%s\n    \"%s\": %llu", i == 0 ? "" : ",",
+                     snap.counters[i].first.c_str(),
+                     static_cast<unsigned long long>(snap.counters[i].second));
+  }
+  out += snap.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    out += StrFormat("%s\n    \"%s\": %lld", i == 0 ? "" : ",",
+                     snap.gauges[i].first.c_str(),
+                     static_cast<long long>(snap.gauges[i].second));
+  }
+  out += snap.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& histogram = snap.histograms[i];
+    out += StrFormat("%s\n    \"%s\": {\n      \"boundaries\": [",
+                     i == 0 ? "" : ",", histogram.name.c_str());
+    for (size_t j = 0; j < histogram.boundaries.size(); ++j) {
+      out += StrFormat("%s%s", j == 0 ? "" : ", ",
+                       FormatDouble(histogram.boundaries[j]).c_str());
+    }
+    out += "],\n      \"bucket_counts\": [";
+    for (size_t j = 0; j < histogram.bucket_counts.size(); ++j) {
+      out += StrFormat(
+          "%s%llu", j == 0 ? "" : ", ",
+          static_cast<unsigned long long>(histogram.bucket_counts[j]));
+    }
+    out += StrFormat("],\n      \"count\": %llu,\n      \"sum\": %s\n    }",
+                     static_cast<unsigned long long>(histogram.count),
+                     FormatDouble(histogram.sum).c_str());
+  }
+  out += snap.histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  MutexLock lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->Reset();
+  for (const auto& [name, gauge] : gauges_) gauge->Reset();
+  for (const auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace hetesim

@@ -6,9 +6,36 @@
 #include <utility>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 
 namespace hetesim {
+
+namespace {
+
+/// Process-wide pool instruments, mirroring `ThreadPool::Stats` for the
+/// metrics sinks. Shared across pool instances (tests build private pools;
+/// production uses Global()), so values aggregate.
+struct PoolMetrics {
+  Counter& tasks;
+  Counter& steals;
+  Counter& regions;
+  Counter& dispatches;
+  Gauge& queue_depth;
+};
+
+PoolMetrics& GlobalPoolMetrics() {
+  static PoolMetrics metrics{
+      MetricsRegistry::Global().GetCounter("hetesim_pool_tasks_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_pool_steals_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_pool_regions_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_pool_dispatches_total"),
+      MetricsRegistry::Global().GetGauge("hetesim_pool_queue_depth"),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 namespace internal {
 
@@ -52,6 +79,13 @@ ThreadPool::~ThreadPool() {
   }
   queue_cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
+  // A 0-worker pool may discard tasks that were pushed but never popped;
+  // return their contribution so the global gauge stays balanced.
+  MutexLock lock(mutex_);
+  if (MetricsEnabled() && !queue_.empty()) {
+    GlobalPoolMetrics().queue_depth.Add(
+        -static_cast<int64_t>(queue_.size()));
+  }
 }
 
 ThreadPool& ThreadPool::Global() {
@@ -64,6 +98,13 @@ ThreadPool& ThreadPool::Global() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  dispatches_.fetch_add(1, std::memory_order_relaxed);
+  queue_depth_.fetch_add(1, std::memory_order_relaxed);
+  if (MetricsEnabled()) {
+    PoolMetrics& metrics = GlobalPoolMetrics();
+    metrics.dispatches.Increment();
+    metrics.queue_depth.Add(1);
+  }
   {
     MutexLock lock(mutex_);
     queue_.push_back(std::move(task));
@@ -90,6 +131,8 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    queue_depth_.fetch_add(-1, std::memory_order_relaxed);
+    if (MetricsEnabled()) GlobalPoolMetrics().queue_depth.Add(-1);
     task();
   }
 }
@@ -100,12 +143,14 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int num_threads,
   const int64_t range = end - begin;
   if (range <= 0) return;
   regions_.fetch_add(1, std::memory_order_relaxed);
+  if (MetricsEnabled()) GlobalPoolMetrics().regions.Increment();
   const int threads = num_threads == 0 ? std::max(1, this->num_threads())
                                        : std::max(num_threads, 1);
   const internal::BlockPlan plan = internal::PlanBlocks(range, threads, grain);
   if (threads <= 1 || plan.num_blocks <= 1) {
     body(begin, end);
     tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    if (MetricsEnabled()) GlobalPoolMetrics().tasks.Increment();
     return;
   }
 
@@ -133,6 +178,11 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int num_threads,
       (*body_ptr)(block_begin, block_end);
       tasks_run_.fetch_add(1, std::memory_order_relaxed);
       if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
+      if (MetricsEnabled()) {
+        PoolMetrics& metrics = GlobalPoolMetrics();
+        metrics.tasks.Increment();
+        if (stolen) metrics.steals.Increment();
+      }
       MutexLock lock(region->m);
       if (++region->done == blocks) region->cv.NotifyAll();
     }
@@ -169,6 +219,8 @@ ThreadPool::Stats ThreadPool::stats() const {
   stats.tasks_run = tasks_run_.load(std::memory_order_relaxed);
   stats.steals = steals_.load(std::memory_order_relaxed);
   stats.regions = regions_.load(std::memory_order_relaxed);
+  stats.dispatches = dispatches_.load(std::memory_order_relaxed);
+  stats.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   stats.caller_wait_seconds =
       static_cast<double>(caller_wait_ns_.load(std::memory_order_relaxed)) * 1e-9;
   stats.worker_idle_seconds =
@@ -180,6 +232,9 @@ void ThreadPool::ResetStats() {
   tasks_run_.store(0, std::memory_order_relaxed);
   steals_.store(0, std::memory_order_relaxed);
   regions_.store(0, std::memory_order_relaxed);
+  dispatches_.store(0, std::memory_order_relaxed);
+  // queue_depth_ is a level, not a counter: resetting it would desync it
+  // from the queue it mirrors.
   caller_wait_ns_.store(0, std::memory_order_relaxed);
   worker_idle_ns_.store(0, std::memory_order_relaxed);
 }

@@ -104,11 +104,19 @@ class ThreadPool {
                    const GrainOptions& grain = {});
 
   /// Concurrency counters, surfaced in the same spirit as
-  /// `PathMatrixCache::Stats`. All monotonically increasing.
+  /// `PathMatrixCache::Stats` and mirrored into the process-wide
+  /// `MetricsRegistry` as `hetesim_pool_*` (DESIGN.md §12). All counters
+  /// monotonically increasing; `queue_depth` is the instantaneous level.
+  /// At a fixed thread count, `tasks_run`, `regions` and `dispatches` are
+  /// deterministic (block partitions and helper counts are pure functions
+  /// of range/threads/grain); `steals` and the wait/idle times depend on
+  /// scheduling and are not.
   struct Stats {
     uint64_t tasks_run = 0;       ///< blocks executed (workers + callers)
     uint64_t steals = 0;          ///< blocks executed by pool workers
     uint64_t regions = 0;         ///< ParallelFor regions dispatched
+    uint64_t dispatches = 0;      ///< tasks enqueued via Submit
+    int64_t queue_depth = 0;      ///< tasks currently enqueued, not yet popped
     double caller_wait_seconds = 0;  ///< callers blocked on straggler blocks
     double worker_idle_seconds = 0;  ///< workers blocked on an empty queue
   };
@@ -129,6 +137,8 @@ class ThreadPool {
   std::atomic<uint64_t> tasks_run_{0};
   std::atomic<uint64_t> steals_{0};
   std::atomic<uint64_t> regions_{0};
+  std::atomic<uint64_t> dispatches_{0};
+  std::atomic<int64_t> queue_depth_{0};
   std::atomic<uint64_t> caller_wait_ns_{0};
   std::atomic<uint64_t> worker_idle_ns_{0};
 };

@@ -1,0 +1,142 @@
+#include "common/trace.h"
+
+#include <chrono>
+
+#include "common/string_util.h"
+
+namespace hetesim {
+
+namespace {
+
+// The innermost open TraceSpan on this thread, used for automatic
+// parenting. A plain pair of thread-locals (not a stack): each TraceSpan
+// saves the previous value in itself and restores it on destruction, so
+// nesting works without a heap-allocated stack per thread.
+thread_local Trace* tls_current_trace = nullptr;
+thread_local Trace::SpanId tls_current_span = Trace::kNoParent;
+
+int64_t NanosSince(Trace::Clock::time_point epoch,
+                   Trace::Clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t - epoch)
+      .count();
+}
+
+void AppendJsonEscaped(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+Trace::SpanId Trace::BeginSpan(std::string_view name, SpanId parent) {
+  const Clock::time_point now = Clock::now();
+  MutexLock lock(mutex_);
+  Span span;
+  span.id = static_cast<SpanId>(spans_.size()) + 1;
+  span.parent = parent;
+  span.name = std::string(name);
+  span.start = now;
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Trace::EndSpan(SpanId id) {
+  const Clock::time_point now = Clock::now();
+  MutexLock lock(mutex_);
+  if (id < 1 || id > static_cast<SpanId>(spans_.size())) return;
+  Span& span = spans_[static_cast<size_t>(id) - 1];
+  if (span.finished) return;
+  span.end = now;
+  span.finished = true;
+}
+
+void Trace::Annotate(SpanId id, std::string_view key, std::string_view value) {
+  MutexLock lock(mutex_);
+  if (id < 1 || id > static_cast<SpanId>(spans_.size())) return;
+  spans_[static_cast<size_t>(id) - 1].annotations.emplace_back(
+      std::string(key), std::string(value));
+}
+
+std::vector<Trace::Span> Trace::Spans() const {
+  MutexLock lock(mutex_);
+  return spans_;
+}
+
+std::string Trace::RenderJson() const {
+  const std::vector<Span> spans = Spans();
+  std::string out = "{\n  \"spans\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
+    out += StrFormat("%s\n    {\"id\": %lld, \"parent\": %lld, \"name\": \"",
+                     i == 0 ? "" : ",", static_cast<long long>(span.id),
+                     static_cast<long long>(span.parent));
+    AppendJsonEscaped(out, span.name);
+    out += StrFormat("\", \"start_ns\": %lld, \"end_ns\": ",
+                     static_cast<long long>(NanosSince(epoch_, span.start)));
+    if (span.finished) {
+      out += StrFormat("%lld",
+                       static_cast<long long>(NanosSince(epoch_, span.end)));
+    } else {
+      out += "null";
+    }
+    out += ", \"annotations\": {";
+    for (size_t j = 0; j < span.annotations.size(); ++j) {
+      out += j == 0 ? "\"" : ", \"";
+      AppendJsonEscaped(out, span.annotations[j].first);
+      out += "\": \"";
+      AppendJsonEscaped(out, span.annotations[j].second);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += spans.empty() ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+TraceSpan::TraceSpan(Trace* trace, std::string_view name) : trace_(trace) {
+  if (trace_ == nullptr) return;
+  // Parent under the innermost open span only if it belongs to the same
+  // trace (two queries interleaving on one thread stay separate trees).
+  const Trace::SpanId parent =
+      tls_current_trace == trace_ ? tls_current_span : Trace::kNoParent;
+  id_ = trace_->BeginSpan(name, parent);
+  saved_trace_ = tls_current_trace;
+  saved_id_ = tls_current_span;
+  tls_current_trace = trace_;
+  tls_current_span = id_;
+}
+
+TraceSpan::~TraceSpan() {
+  if (trace_ == nullptr) return;
+  trace_->EndSpan(id_);
+  tls_current_trace = saved_trace_;
+  tls_current_span = saved_id_;
+}
+
+void TraceSpan::Annotate(std::string_view key, std::string_view value) {
+  if (trace_ == nullptr) return;
+  trace_->Annotate(id_, key, value);
+}
+
+}  // namespace hetesim

@@ -1,0 +1,110 @@
+#ifndef HETESIM_COMMON_TRACE_H_
+#define HETESIM_COMMON_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+
+namespace hetesim {
+
+/// \brief Per-query span tree with monotonic timestamps (DESIGN.md §12).
+///
+/// A `Trace` is owned by the caller (CLI, bench, test) and attached to a
+/// `QueryContext` via `WithTrace`; the compute stack opens `TraceSpan`s at
+/// *stage* granularity (plan, one span per chain step, normalization,
+/// top-k scan) on the query thread — never per parallel chunk, so tracing
+/// costs a handful of records per query, not per element. With no trace
+/// attached (`ctx.trace() == nullptr`, the default), `TraceSpan` is an
+/// inactive no-op: two pointer stores, no allocation, no lock.
+///
+/// Timestamps come from `steady_clock` and are rendered as nanosecond
+/// offsets from the trace's construction instant, so a dumped trace is
+/// self-contained and immune to wall-clock steps.
+class Trace {
+ public:
+  using SpanId = int64_t;
+  using Clock = std::chrono::steady_clock;
+  /// Parent value for root spans; never a real span id.
+  static constexpr SpanId kNoParent = 0;
+
+  Trace() : epoch_(Clock::now()) {}
+  Trace(const Trace&) = delete;
+  Trace& operator=(const Trace&) = delete;
+
+  /// One recorded span. `end` is meaningful only when `finished`; a span
+  /// left unfinished in a dump was still open when the trace was rendered
+  /// (e.g. the query was abandoned rather than unwound).
+  struct Span {
+    SpanId id = 0;
+    SpanId parent = kNoParent;
+    std::string name;
+    Clock::time_point start{};
+    Clock::time_point end{};
+    bool finished = false;
+    /// Ordered key/value markers: status, cancellation, truncation,
+    /// kernel choices. Duplicate keys allowed (append-only).
+    std::vector<std::pair<std::string, std::string>> annotations;
+  };
+
+  /// Opens a span under `parent` (or as a root with `kNoParent`) and
+  /// returns its id. Prefer the `TraceSpan` RAII wrapper, which threads the
+  /// parent automatically.
+  SpanId BeginSpan(std::string_view name, SpanId parent) EXCLUDES(mutex_);
+  /// Closes `id`, stamping its end time. Unknown/already-finished ids are
+  /// ignored (a trace never turns a bug into a crash mid-query).
+  void EndSpan(SpanId id) EXCLUDES(mutex_);
+  /// Appends a key/value marker to span `id`.
+  void Annotate(SpanId id, std::string_view key, std::string_view value)
+      EXCLUDES(mutex_);
+
+  /// Snapshot of every span recorded so far, in creation order.
+  std::vector<Span> Spans() const EXCLUDES(mutex_);
+  /// The instant offsets are measured from.
+  Clock::time_point epoch() const { return epoch_; }
+
+  /// JSON dump: {"spans": [{id, parent, name, start_ns, end_ns|null,
+  /// annotations: {...}}]}; `start_ns`/`end_ns` are offsets from `epoch()`.
+  std::string RenderJson() const EXCLUDES(mutex_);
+
+ private:
+  const Clock::time_point epoch_;
+  mutable Mutex mutex_;
+  std::vector<Span> spans_ GUARDED_BY(mutex_);  ///< spans_[id - 1]
+};
+
+/// \brief RAII span: opens on construction, closes on destruction.
+///
+/// Parenting uses a thread-local "current span" that the constructor saves
+/// and the destructor restores, so nested `TraceSpan`s on one thread form a
+/// tree without any call site threading ids around — including across the
+/// early returns of `HETESIM_RETURN_NOT_OK`. Constructed with a null trace
+/// it is inactive and records nothing.
+class TraceSpan {
+ public:
+  TraceSpan(Trace* trace, std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Appends a marker to this span (no-op when inactive).
+  void Annotate(std::string_view key, std::string_view value);
+  bool active() const { return trace_ != nullptr; }
+
+ private:
+  Trace* trace_ = nullptr;
+  Trace::SpanId id_ = Trace::kNoParent;
+  /// The thread's previous current-span, restored on destruction.
+  Trace* saved_trace_ = nullptr;
+  Trace::SpanId saved_id_ = Trace::kNoParent;
+};
+
+}  // namespace hetesim
+
+#endif  // HETESIM_COMMON_TRACE_H_

@@ -5,8 +5,11 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "common/trace.h"
 #include "core/materialize.h"
 #include "matrix/chain_plan.h"
 #include "matrix/cost_model.h"
@@ -14,6 +17,60 @@
 #include "matrix/spgemm.h"
 
 namespace hetesim {
+
+namespace {
+
+/// End-to-end query instruments (DESIGN.md §12). One `queries` increment
+/// and one latency observation per ctx-aware entry point; terminal statuses
+/// split into cancelled / deadline-exceeded / other-failed so dashboards
+/// separate caller-initiated stops from real errors.
+struct EngineMetrics {
+  Counter& queries;
+  Counter& cancelled;
+  Counter& deadline_exceeded;
+  Counter& failed;
+  Histogram& latency;
+};
+
+EngineMetrics& GlobalEngineMetrics() {
+  static EngineMetrics metrics{
+      MetricsRegistry::Global().GetCounter("hetesim_engine_queries_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_engine_cancelled_total"),
+      MetricsRegistry::Global().GetCounter(
+          "hetesim_engine_deadline_exceeded_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_engine_failed_total"),
+      MetricsRegistry::Global().GetHistogram(
+          "hetesim_engine_query_latency_seconds",
+          DefaultLatencyBoundariesSeconds()),
+  };
+  return metrics;
+}
+
+/// Shared epilogue for the instrumented entry points: one query counted,
+/// latency observed, terminal status classified, and the span annotated
+/// with the outcome (cancellation/truncation markers ride on the span).
+void RecordQueryOutcome(TraceSpan& span, const Status& status,
+                        double elapsed_seconds) {
+  if (MetricsEnabled()) {
+    EngineMetrics& metrics = GlobalEngineMetrics();
+    metrics.queries.Increment();
+    metrics.latency.Observe(elapsed_seconds);
+    if (status.IsCancelled()) {
+      metrics.cancelled.Increment();
+    } else if (status.IsDeadlineExceeded()) {
+      metrics.deadline_exceeded.Increment();
+    } else if (!status.ok()) {
+      metrics.failed.Increment();
+    }
+  }
+  if (span.active() && !status.ok()) {
+    span.Annotate("status", std::string(StatusCodeToString(status.code())));
+    if (status.IsCancelled()) span.Annotate("cancelled", "true");
+    if (status.IsDeadlineExceeded()) span.Annotate("deadline_exceeded", "true");
+  }
+}
+
+}  // namespace
 
 HeteSimEngine::HeteSimEngine(const HinGraph& graph, HeteSimOptions options,
                              std::shared_ptr<PathMatrixCache> cache)
@@ -62,13 +119,28 @@ DenseMatrix HeteSimEngine::Compute(const MetaPath& path) const {
 
 Result<DenseMatrix> HeteSimEngine::Compute(const MetaPath& path,
                                            const QueryContext& ctx) const {
+  TraceSpan span(ctx.trace(), "engine.compute");
+  if (span.active()) span.Annotate("path", path.ToString());
+  Stopwatch stopwatch;
+  Result<DenseMatrix> result = ComputeTraced(path, ctx, span);
+  RecordQueryOutcome(span, result.ok() ? Status::OK() : result.status(),
+                     stopwatch.ElapsedSeconds());
+  return result;
+}
+
+Result<DenseMatrix> HeteSimEngine::ComputeTraced(const MetaPath& path,
+                                                 const QueryContext& ctx,
+                                                 TraceSpan& span) const {
   if (&path.schema() != &graph_.schema()) {
     return Status::InvalidArgument(
         "meta-path was parsed against a different schema object");
   }
   SparseMatrix left;
   SparseMatrix right;
-  HETESIM_RETURN_NOT_OK(GetReachMatrices(path, ctx, &left, &right));
+  {
+    TraceSpan reach_span(ctx.trace(), "engine.reach_matrices");
+    HETESIM_RETURN_NOT_OK(GetReachMatrices(path, ctx, &left, &right));
+  }
   // Equation 6: HeteSim(A1, A(l+1) | P) = PM_PL * PM_(PR^-1)'. Relevance
   // matrices of connected networks are dense, so when the cost model
   // predicts densification the product is accumulated directly into the
@@ -80,16 +152,26 @@ Result<DenseMatrix> HeteSimEngine::Compute(const MetaPath& path,
   DenseMatrix scores;
   const MatrixEstimate product_estimate =
       EstimateProduct(EstimateOf(left), EstimateOf(right_t));
-  if (product_estimate.Density() >= ChainPlanOptions().dense_switch_density) {
-    HETESIM_ASSIGN_OR_RETURN(
-        scores, MultiplySparseSparseDense(left, right_t, options_.num_threads, ctx));
-  } else {
-    HETESIM_ASSIGN_OR_RETURN(
-        SparseMatrix product,
-        MultiplySparseAdaptive(left, right_t, options_.num_threads, ctx));
-    scores = product.ToDense();
+  const bool dense_product =
+      product_estimate.Density() >= ChainPlanOptions().dense_switch_density;
+  if (span.active()) {
+    span.Annotate("product_kernel", dense_product ? "dense" : "spgemm");
+  }
+  {
+    TraceSpan product_span(ctx.trace(), "engine.product");
+    if (dense_product) {
+      HETESIM_ASSIGN_OR_RETURN(
+          scores,
+          MultiplySparseSparseDense(left, right_t, options_.num_threads, ctx));
+    } else {
+      HETESIM_ASSIGN_OR_RETURN(
+          SparseMatrix product,
+          MultiplySparseAdaptive(left, right_t, options_.num_threads, ctx));
+      scores = product.ToDense();
+    }
   }
   if (!options_.normalized) return scores;
+  TraceSpan normalize_span(ctx.trace(), "engine.normalize");
   // Definition 10: divide entry (a, b) by |PM_PL(a,:)| * |PM_(PR^-1)(b,:)|.
   std::vector<double> left_norms(static_cast<size_t>(left.rows()));
   for (Index a = 0; a < left.rows(); ++a) left_norms[static_cast<size_t>(a)] = left.RowNorm(a);
@@ -221,6 +303,21 @@ Result<std::vector<double>> HeteSimEngine::ComputePairs(
 Result<std::vector<double>> HeteSimEngine::ComputePairs(
     const MetaPath& path, const std::vector<std::pair<Index, Index>>& pairs,
     const QueryContext& ctx) const {
+  TraceSpan span(ctx.trace(), "engine.compute_pairs");
+  if (span.active()) {
+    span.Annotate("path", path.ToString());
+    span.Annotate("pairs", std::to_string(pairs.size()));
+  }
+  Stopwatch stopwatch;
+  Result<std::vector<double>> result = ComputePairsTraced(path, pairs, ctx, span);
+  RecordQueryOutcome(span, result.ok() ? Status::OK() : result.status(),
+                     stopwatch.ElapsedSeconds());
+  return result;
+}
+
+Result<std::vector<double>> HeteSimEngine::ComputePairsTraced(
+    const MetaPath& path, const std::vector<std::pair<Index, Index>>& pairs,
+    const QueryContext& ctx, TraceSpan& span) const {
   if (&path.schema() != &graph_.schema()) {
     return Status::InvalidArgument(
         "meta-path was parsed against a different schema object");
@@ -236,6 +333,7 @@ Result<std::vector<double>> HeteSimEngine::ComputePairs(
     }
   }
   if (cache_ != nullptr) {
+    if (span.active()) span.Annotate("mode", "cached");
     HETESIM_ASSIGN_OR_RETURN(
         std::shared_ptr<const SparseMatrix> left,
         cache_->GetLeft(graph_, path, ctx, options_.num_threads));
@@ -266,6 +364,7 @@ Result<std::vector<double>> HeteSimEngine::ComputePairs(
     return scores;
   }
   // One decomposition; distributions propagated once per distinct id.
+  if (span.active()) span.Annotate("mode", "decomposed");
   PathDecomposition decomposition = DecomposePath(graph_, path);
   std::unordered_map<Index, std::vector<double>> source_distributions;
   std::unordered_map<Index, std::vector<double>> target_distributions;

@@ -15,6 +15,7 @@
 namespace hetesim {
 
 class PathMatrixCache;  // materialize.h
+class TraceSpan;        // common/trace.h
 
 /// Options controlling HeteSim evaluation.
 struct HeteSimOptions {
@@ -119,6 +120,17 @@ class HeteSimEngine {
   const HeteSimOptions& options() const { return options_; }
 
  private:
+  /// `Compute(path, ctx)` body, separated so the public entry point can
+  /// bracket it with the query span, the latency observation, and the
+  /// terminal-status counters (DESIGN.md §12) while the body keeps using
+  /// the early-return Status macros.
+  [[nodiscard]] Result<DenseMatrix> ComputeTraced(const MetaPath& path,
+                                                  const QueryContext& ctx,
+                                                  TraceSpan& span) const;
+  /// Same split for `ComputePairs(path, pairs, ctx)`.
+  [[nodiscard]] Result<std::vector<double>> ComputePairsTraced(
+      const MetaPath& path, const std::vector<std::pair<Index, Index>>& pairs,
+      const QueryContext& ctx, TraceSpan& span) const;
   /// Left/right reachable matrices for `path`, via the cache when present.
   void GetReachMatrices(const MetaPath& path, SparseMatrix* left,
                         SparseMatrix* right) const;

@@ -6,12 +6,40 @@
 #include <fstream>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "matrix/serialize.h"
 
 namespace hetesim {
 
 namespace {
+
+/// Process-wide cache instruments (DESIGN.md §12), resolved once. All
+/// PathMatrixCache instances share them: counters aggregate across caches
+/// and the bytes gauge tracks the net accounted total, so per-instance
+/// figures stay available through `stats()`.
+struct CacheMetrics {
+  Counter& hits;
+  Counter& misses;
+  Counter& evictions;
+  Counter& failed_computes;
+  Counter& rejected_inserts;
+  Gauge& accounted_bytes;
+};
+
+CacheMetrics& GlobalCacheMetrics() {
+  static CacheMetrics metrics{
+      MetricsRegistry::Global().GetCounter("hetesim_cache_hits_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_cache_misses_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_cache_evictions_total"),
+      MetricsRegistry::Global().GetCounter(
+          "hetesim_cache_failed_computes_total"),
+      MetricsRegistry::Global().GetCounter(
+          "hetesim_cache_rejected_inserts_total"),
+      MetricsRegistry::Global().GetGauge("hetesim_cache_accounted_bytes"),
+  };
+  return metrics;
+}
 
 /// Joins the rendered steps in `[begin, end)` of `path` with commas.
 std::string StepRangeString(const MetaPath& path, int begin, int end) {
@@ -150,6 +178,10 @@ void PathMatrixCache::Clear() {
   evictions_ = 0;
   failed_computes_ = 0;
   rejected_inserts_ = 0;
+  if (MetricsEnabled()) {
+    GlobalCacheMetrics().accounted_bytes.Add(
+        -static_cast<int64_t>(accounted_bytes_));
+  }
   accounted_bytes_ = 0;
   peak_accounted_bytes_ = 0;
 }
@@ -226,6 +258,10 @@ Status PathMatrixCache::LoadFromDirectory(const std::string& directory) {
   evictions_ = 0;
   failed_computes_ = 0;
   rejected_inserts_ = 0;
+  if (MetricsEnabled()) {
+    GlobalCacheMetrics().accounted_bytes.Add(
+        -static_cast<int64_t>(accounted_bytes_));
+  }
   accounted_bytes_ = 0;
   peak_accounted_bytes_ = 0;
   clock_ = 0;
@@ -266,6 +302,7 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetOrCompute(
       auto it = entries_.find(key);
       if (it != entries_.end()) {
         ++hits_;
+        if (MetricsEnabled()) GlobalCacheMetrics().hits.Increment();
         slot = it->second;
         if (slot->ready) TouchLocked(*slot);
       } else {
@@ -273,6 +310,7 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetOrCompute(
         // finds the slot above and waits, so each key is computed at most
         // once per residency.
         ++misses_;
+        if (MetricsEnabled()) GlobalCacheMetrics().misses.Increment();
         ++compute_counts_[key];
         slot = std::make_shared<Slot>();
         slot->future = promise.get_future().share();
@@ -318,6 +356,7 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetOrCompute(
       // waits while holding mutex_ — must never block on a thread that needs
       // the lock), then unlink the slot so the next caller recomputes.
       promise.set_value(computed.status());
+      if (MetricsEnabled()) GlobalCacheMetrics().failed_computes.Increment();
       {
         MutexLock lock(mutex_);
         ++failed_computes_;
@@ -341,6 +380,9 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetOrCompute(
         } else {
           // Does not fit even after eviction: serve uncached.
           ++rejected_inserts_;
+          if (MetricsEnabled()) {
+            GlobalCacheMetrics().rejected_inserts.Increment();
+          }
           entries_.erase(it);
         }
       }
@@ -362,6 +404,10 @@ bool PathMatrixCache::AdmitLocked(Slot& slot) {
   }
   accounted_bytes_ += slot.bytes;
   peak_accounted_bytes_ = std::max(peak_accounted_bytes_, accounted_bytes_);
+  if (MetricsEnabled()) {
+    GlobalCacheMetrics().accounted_bytes.Add(
+        static_cast<int64_t>(slot.bytes));
+  }
   return true;
 }
 
@@ -382,6 +428,11 @@ bool PathMatrixCache::EvictOneLocked() {
   accounted_bytes_ -= slot.bytes;
   slot.reservation.reset();
   ++evictions_;
+  if (MetricsEnabled()) {
+    CacheMetrics& metrics = GlobalCacheMetrics();
+    metrics.evictions.Increment();
+    metrics.accounted_bytes.Add(-static_cast<int64_t>(slot.bytes));
+  }
   entries_.erase(victim);
   return true;
 }

@@ -1,11 +1,40 @@
 #include "core/topk.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "common/trace.h"
 #include "matrix/ops.h"
 
 namespace hetesim {
+
+namespace {
+
+/// Top-k query instruments (DESIGN.md §12). `truncated` counts best-effort
+/// answers cut short by a deadline/cancellation — the searcher's documented
+/// partial-result contract, surfaced so dashboards can tell truncation
+/// pressure from plain load.
+struct TopKMetrics {
+  Counter& queries;
+  Counter& truncated;
+  Histogram& latency;
+};
+
+TopKMetrics& GlobalTopKMetrics() {
+  static TopKMetrics metrics{
+      MetricsRegistry::Global().GetCounter("hetesim_topk_queries_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_topk_truncated_total"),
+      MetricsRegistry::Global().GetHistogram(
+          "hetesim_topk_query_latency_seconds",
+          DefaultLatencyBoundariesSeconds()),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 std::vector<Scored> TopK(const std::vector<double>& scores, int k) {
   HETESIM_CHECK_GE(k, 0);
@@ -77,6 +106,7 @@ Result<TopKSearcher> TopKSearcher::Prepare(const HinGraph& graph,
                                            const MetaPath& path,
                                            HeteSimOptions options,
                                            const QueryContext& ctx) {
+  TraceSpan span(ctx.trace(), "topk.prepare");
   TopKSearcher searcher(graph, options, graph.NumNodes(path.SourceType()));
   PathDecomposition decomposition = DecomposePath(graph, path);
   searcher.left_transitions_ = std::move(decomposition.left_transitions);
@@ -108,6 +138,32 @@ Result<TopKResult> TopKSearcher::Query(Index source, int k) const {
 
 Result<TopKResult> TopKSearcher::Query(Index source, int k,
                                        const QueryContext& ctx) const {
+  TraceSpan span(ctx.trace(), "topk.query");
+  if (span.active()) {
+    span.Annotate("source", std::to_string(source));
+    span.Annotate("k", std::to_string(k));
+  }
+  Stopwatch stopwatch;
+  Result<TopKResult> result = QueryTraced(source, k, ctx);
+  if (MetricsEnabled()) {
+    TopKMetrics& metrics = GlobalTopKMetrics();
+    metrics.queries.Increment();
+    metrics.latency.Observe(stopwatch.ElapsedSeconds());
+    if (result.ok() && result->truncated) metrics.truncated.Increment();
+  }
+  if (span.active()) {
+    if (!result.ok()) {
+      span.Annotate("status",
+                    std::string(StatusCodeToString(result.status().code())));
+    } else if (result->truncated) {
+      span.Annotate("truncated", "true");
+    }
+  }
+  return result;
+}
+
+Result<TopKResult> TopKSearcher::QueryTraced(Index source, int k,
+                                             const QueryContext& ctx) const {
   // Deliberately no up-front CheckAlive: a query whose deadline has already
   // passed still produces a well-formed *partial* result (one poll stride of
   // accumulation, truncation marker set) rather than an error — the

@@ -115,6 +115,12 @@ class TopKSearcher {
   /// Propagates the indicator of `source` through the left chain.
   [[nodiscard]] Result<std::vector<double>> SourceDistribution(Index source) const;
 
+  /// `Query(source, k, ctx)` body, separated so the public entry point can
+  /// bracket it with the query span, the latency observation, and the
+  /// truncation counter (DESIGN.md §12).
+  [[nodiscard]] Result<TopKResult> QueryTraced(Index source, int k,
+                                               const QueryContext& ctx) const;
+
   const HinGraph& graph_;
   HeteSimOptions options_;
   Index num_sources_;

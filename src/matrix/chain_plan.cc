@@ -1,14 +1,44 @@
 #include "matrix/chain_plan.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <string>
 #include <utility>
 
 #include "common/check.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 
 namespace hetesim {
 
 namespace {
+
+/// Planner/executor instruments (DESIGN.md §12). Predicted totals come
+/// from the deterministic cost model, actual totals from the materialized
+/// products, so predicted-vs-actual drift is readable straight off the
+/// exposition. Dense steps report cells (their storage/work unit) instead
+/// of nnz.
+struct PlanMetrics {
+  Counter& plans;
+  Counter& steps;
+  Counter& dense_steps;
+  Counter& predicted_nnz;
+  Counter& actual_nnz;
+  Counter& dense_cells;
+};
+
+PlanMetrics& GlobalPlanMetrics() {
+  static PlanMetrics metrics{
+      MetricsRegistry::Global().GetCounter("hetesim_plan_plans_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_plan_steps_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_plan_dense_steps_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_plan_predicted_nnz_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_plan_actual_nnz_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_plan_dense_cells_total"),
+  };
+  return metrics;
+}
 
 /// DP cell for the inclusive input interval [i, j].
 struct Interval {
@@ -158,6 +188,7 @@ ChainPlan PlanChain(const std::vector<MatrixEstimate>& inputs,
   plan.num_inputs = n;
   plan.predicted_cost = best[0][static_cast<size_t>(n) - 1].total_cost;
   EmitSteps(best, 0, n - 1, n, &plan.steps);
+  if (MetricsEnabled()) GlobalPlanMetrics().plans.Increment();
   return plan;
 }
 
@@ -218,6 +249,7 @@ Result<SparseMatrix> ExecutePlan(const std::vector<SparseMatrix>& chain,
     }
   };
 
+  Trace* const trace = ctx != nullptr ? ctx->trace() : nullptr;
   for (size_t t = 0; t < plan.steps.size(); ++t) {
     const ChainPlanStep& step = plan.steps[t];
     if (ctx != nullptr) HETESIM_RETURN_NOT_OK(ctx->CheckAlive());
@@ -228,6 +260,13 @@ Result<SparseMatrix> ExecutePlan(const std::vector<SparseMatrix>& chain,
     // already dense; the representation follows the operands in that case.
     const bool dense_output =
         step.dense_output || l.dense != nullptr || r.dense != nullptr;
+    TraceSpan span(trace, "chain.step");
+    if (span.active()) {
+      span.Annotate("step", std::to_string(t));
+      span.Annotate("kernel", dense_output ? "dense" : "spgemm");
+      span.Annotate("predicted_nnz",
+                    std::to_string(static_cast<int64_t>(step.estimate.nnz)));
+    }
     if (!dense_output) {
       if (ctx != nullptr) {
         HETESIM_ASSIGN_OR_RETURN(
@@ -272,6 +311,26 @@ Result<SparseMatrix> ExecutePlan(const std::vector<SparseMatrix>& chain,
           out.dense = MultiplyDenseDenseParallel(*l.dense, *r.dense, num_threads);
         }
       }
+    }
+    if (MetricsEnabled()) {
+      PlanMetrics& metrics = GlobalPlanMetrics();
+      metrics.steps.Increment();
+      metrics.predicted_nnz.Increment(
+          static_cast<uint64_t>(std::llround(std::max(step.estimate.nnz, 0.0))));
+      if (out.is_dense) {
+        metrics.dense_steps.Increment();
+        metrics.dense_cells.Increment(
+            static_cast<uint64_t>(out.dense.rows()) *
+            static_cast<uint64_t>(out.dense.cols()));
+      } else {
+        metrics.actual_nnz.Increment(
+            static_cast<uint64_t>(out.sparse.NumNonZeros()));
+      }
+    }
+    if (span.active()) {
+      span.Annotate("actual_nnz",
+                    out.is_dense ? "dense"
+                                 : std::to_string(out.sparse.NumNonZeros()));
     }
     // Each slot feeds exactly one product; free consumed intermediates so
     // peak memory tracks the live frontier, not the whole plan.

@@ -7,11 +7,36 @@
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/metrics.h"
 #include "common/parallel.h"
 
 namespace hetesim {
 
 namespace {
+
+/// Kernel-mix instruments (DESIGN.md §12): rows processed per accumulator
+/// choice, plus rows written by the dense-output kernels. Recording is
+/// chunk-granular — `Run` tallies locally and flushes once — so the hot row
+/// loop carries no atomics.
+struct SpGemmMetrics {
+  Counter& rows_sorted_merge;
+  Counter& rows_hash;
+  Counter& rows_dense_scratch;
+  Counter& dense_out_rows;
+};
+
+SpGemmMetrics& GlobalSpGemmMetrics() {
+  static SpGemmMetrics metrics{
+      MetricsRegistry::Global().GetCounter(
+          "hetesim_spgemm_rows_sorted_merge_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_spgemm_rows_hash_total"),
+      MetricsRegistry::Global().GetCounter(
+          "hetesim_spgemm_rows_dense_scratch_total"),
+      MetricsRegistry::Global().GetCounter(
+          "hetesim_spgemm_dense_out_rows_total"),
+  };
+  return metrics;
+}
 
 /// Rows per context check when a budget/deadline-aware product runs
 /// sequentially (same stripe width as `SparseMatrix::MultiplyParallel`).
@@ -64,6 +89,9 @@ class AdaptiveRowKernels {
   void Run(const SparseMatrix& a, const SparseMatrix& b, Index row_begin,
            Index row_end, std::vector<Index>* row_sizes,
            std::vector<Index>* col_idx, std::vector<double>* values) {
+    uint64_t rows_sorted_merge = 0;
+    uint64_t rows_hash = 0;
+    uint64_t rows_dense_scratch = 0;
     for (Index i = row_begin; i < row_end; ++i) {
       auto a_indices = a.RowIndices(i);
       Index fill_upper_bound = 0;
@@ -74,15 +102,30 @@ class AdaptiveRowKernels {
       switch (kernel) {
         case RowKernel::kSortedMerge:
           row_nnz = RowSortedMerge(a, b, i, col_idx, values);
+          ++rows_sorted_merge;
           break;
         case RowKernel::kHash:
           row_nnz = RowHash(a, b, i, fill_upper_bound, col_idx, values);
+          ++rows_hash;
           break;
         case RowKernel::kDenseScratch:
           row_nnz = RowDenseScratch(a, b, i, col_idx, values);
+          ++rows_dense_scratch;
           break;
       }
       row_sizes->push_back(row_nnz);
+    }
+    // One flush per chunk keeps atomics off the per-row path (overhead
+    // contract, DESIGN.md §12).
+    if (MetricsEnabled()) {
+      SpGemmMetrics& metrics = GlobalSpGemmMetrics();
+      if (rows_sorted_merge != 0) {
+        metrics.rows_sorted_merge.Increment(rows_sorted_merge);
+      }
+      if (rows_hash != 0) metrics.rows_hash.Increment(rows_hash);
+      if (rows_dense_scratch != 0) {
+        metrics.rows_dense_scratch.Increment(rows_dense_scratch);
+      }
     }
   }
 
@@ -336,6 +379,10 @@ Result<DenseMatrix> DenseOutDriver(Index rows, Index cols, int num_threads,
     const Index row_end = std::min(rows, row_begin + chunk_size);
     if (row_begin >= row_end) return;
     fill(out, row_begin, row_end);
+    if (MetricsEnabled()) {
+      GlobalSpGemmMetrics().dense_out_rows.Increment(
+          static_cast<uint64_t>(row_end - row_begin));
+    }
   };
   if (sequential || chunks < 2) {
     for (Index c = 0; c < chunks; ++c) run_chunk(c);

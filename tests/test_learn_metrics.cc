@@ -1,0 +1,223 @@
+#include "learn/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace hetesim {
+namespace {
+
+// --- NMI ---
+
+TEST(Nmi, IdenticalPartitionsScoreOne) {
+  std::vector<int> labels = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(*NormalizedMutualInformation(labels, labels), 1.0);
+}
+
+TEST(Nmi, RelabeledPartitionsScoreOne) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  std::vector<int> b = {5, 5, 3, 3, 9, 9};
+  EXPECT_NEAR(*NormalizedMutualInformation(a, b), 1.0, 1e-12);
+}
+
+TEST(Nmi, IndependentPartitionsScoreLow) {
+  // b splits each a-cluster exactly in half: I(X;Y) = H(b-within) pattern;
+  // with balanced 2x2 independence NMI is 0.
+  std::vector<int> a = {0, 0, 1, 1};
+  std::vector<int> b = {0, 1, 0, 1};
+  EXPECT_NEAR(*NormalizedMutualInformation(a, b), 0.0, 1e-12);
+}
+
+TEST(Nmi, PartialAgreementBetweenZeroAndOne) {
+  std::vector<int> a = {0, 0, 0, 1, 1, 1};
+  std::vector<int> b = {0, 0, 1, 1, 1, 1};
+  double nmi = *NormalizedMutualInformation(a, b);
+  EXPECT_GT(nmi, 0.0);
+  EXPECT_LT(nmi, 1.0);
+}
+
+TEST(Nmi, SymmetricInArguments) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  std::vector<int> b = {0, 1, 1, 2, 2, 2};
+  EXPECT_NEAR(*NormalizedMutualInformation(a, b),
+              *NormalizedMutualInformation(b, a), 1e-12);
+}
+
+TEST(Nmi, SingleClusterConventions) {
+  std::vector<int> flat = {0, 0, 0};
+  std::vector<int> split = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(*NormalizedMutualInformation(flat, flat), 1.0);
+  EXPECT_DOUBLE_EQ(*NormalizedMutualInformation(flat, split), 0.0);
+}
+
+TEST(Nmi, Validation) {
+  EXPECT_TRUE(NormalizedMutualInformation({0, 1}, {0}).status().IsInvalidArgument());
+  EXPECT_TRUE(NormalizedMutualInformation({}, {}).status().IsInvalidArgument());
+}
+
+// --- AUC ---
+
+TEST(Auc, PerfectRankingScoresOne) {
+  EXPECT_DOUBLE_EQ(*AreaUnderRoc({0.9, 0.8, 0.2, 0.1},
+                                 {true, true, false, false}), 1.0);
+}
+
+TEST(Auc, ReversedRankingScoresZero) {
+  EXPECT_DOUBLE_EQ(*AreaUnderRoc({0.1, 0.2, 0.8, 0.9},
+                                 {true, true, false, false}), 0.0);
+}
+
+TEST(Auc, AllTiedScoresHalf) {
+  EXPECT_DOUBLE_EQ(*AreaUnderRoc({0.5, 0.5, 0.5, 0.5},
+                                 {true, false, true, false}), 0.5);
+}
+
+TEST(Auc, MidrankTieHandling) {
+  // Positive tied with one negative at 0.5, one negative below.
+  // Ranks ascending: 0.1 -> 1, the two 0.5s -> 2.5 each.
+  // AUC = (2.5 - 1) / (1 * 2) = 0.75.
+  EXPECT_DOUBLE_EQ(*AreaUnderRoc({0.5, 0.5, 0.1}, {true, false, false}), 0.75);
+}
+
+TEST(Auc, InterleavedKnownValue) {
+  // scores desc: 0.9(+), 0.7(-), 0.6(+), 0.3(-): concordant pairs 3 of 4.
+  EXPECT_DOUBLE_EQ(*AreaUnderRoc({0.9, 0.7, 0.6, 0.3},
+                                 {true, false, true, false}), 0.75);
+}
+
+TEST(Auc, Validation) {
+  EXPECT_TRUE(AreaUnderRoc({0.1}, {true, false}).status().IsInvalidArgument());
+  EXPECT_TRUE(AreaUnderRoc({0.1, 0.2}, {true, true}).status().IsInvalidArgument());
+  EXPECT_TRUE(AreaUnderRoc({0.1, 0.2}, {false, false}).status().IsInvalidArgument());
+}
+
+// --- Ranks ---
+
+TEST(DescendingRanks, Basic) {
+  EXPECT_EQ(DescendingRanks({0.3, 0.9, 0.5}), (std::vector<double>{3, 1, 2}));
+}
+
+TEST(DescendingRanks, MidranksForTies) {
+  EXPECT_EQ(DescendingRanks({0.5, 0.5, 0.1}), (std::vector<double>{1.5, 1.5, 3}));
+  EXPECT_EQ(DescendingRanks({1, 1, 1}), (std::vector<double>{2, 2, 2}));
+}
+
+TEST(AverageRankDifference, PerfectAgreementIsZero) {
+  std::vector<double> truth = {5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(*AverageRankDifference(truth, truth, 3), 0.0);
+}
+
+TEST(AverageRankDifference, KnownDisplacement) {
+  // truth ranks: a=1, b=2, c=3. measure ranks: a=3, b=2, c=1.
+  std::vector<double> truth = {3, 2, 1};
+  std::vector<double> measure = {1, 2, 3};
+  // top_n = 1 -> only a, displaced by 2.
+  EXPECT_DOUBLE_EQ(*AverageRankDifference(truth, measure, 1), 2.0);
+  // top_n = 3 -> (2 + 0 + 2) / 3.
+  EXPECT_NEAR(*AverageRankDifference(truth, measure, 3), 4.0 / 3.0, 1e-12);
+}
+
+TEST(AverageRankDifference, Validation) {
+  EXPECT_TRUE(AverageRankDifference({1.0}, {1.0, 2.0}, 1).status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(AverageRankDifference({}, {}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(AverageRankDifference({1.0}, {1.0}, 0).status().IsInvalidArgument());
+}
+
+// --- Spearman ---
+
+TEST(Spearman, PerfectPositiveAndNegative) {
+  EXPECT_DOUBLE_EQ(*SpearmanCorrelation({1, 2, 3, 4}, {10, 20, 30, 40}), 1.0);
+  EXPECT_DOUBLE_EQ(*SpearmanCorrelation({1, 2, 3, 4}, {40, 30, 20, 10}), -1.0);
+}
+
+TEST(Spearman, MonotoneTransformInvariant) {
+  std::vector<double> a = {1, 5, 3, 9, 7};
+  std::vector<double> b = {2, 26, 10, 82, 50};  // b = a^2 + 1 (monotone)
+  EXPECT_DOUBLE_EQ(*SpearmanCorrelation(a, b), 1.0);
+}
+
+// --- Precision@k ---
+
+TEST(PrecisionAtK, PerfectAndWorstRanking) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  EXPECT_DOUBLE_EQ(*PrecisionAtK(scores, {true, true, false, false}, 2), 1.0);
+  EXPECT_DOUBLE_EQ(*PrecisionAtK(scores, {false, false, true, true}, 2), 0.0);
+}
+
+TEST(PrecisionAtK, PartialCredit) {
+  std::vector<double> scores = {0.9, 0.8, 0.7, 0.1};
+  EXPECT_DOUBLE_EQ(*PrecisionAtK(scores, {true, false, true, false}, 3),
+                   2.0 / 3.0);
+}
+
+TEST(PrecisionAtK, KBeyondSizeUsesAll) {
+  EXPECT_DOUBLE_EQ(*PrecisionAtK({0.5, 0.4}, {true, false}, 10), 0.5);
+}
+
+TEST(PrecisionAtK, Validation) {
+  EXPECT_TRUE(PrecisionAtK({0.5}, {true, false}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(PrecisionAtK({}, {}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(PrecisionAtK({0.5}, {true}, 0).status().IsInvalidArgument());
+}
+
+// --- NDCG ---
+
+TEST(Ndcg, IdealOrderingScoresOne) {
+  std::vector<double> gains = {3, 2, 1, 0};
+  EXPECT_DOUBLE_EQ(*NdcgAtK({0.9, 0.8, 0.7, 0.6}, gains, 4), 1.0);
+}
+
+TEST(Ndcg, ReversedOrderingBelowOne) {
+  std::vector<double> gains = {3, 2, 1, 0};
+  double ndcg = *NdcgAtK({0.1, 0.2, 0.3, 0.4}, gains, 4);
+  EXPECT_LT(ndcg, 1.0);
+  EXPECT_GT(ndcg, 0.0);
+}
+
+TEST(Ndcg, KnownValue) {
+  // Two items, gains (1, 0). Wrong order: DCG = 0/log2(2) + 1/log2(3);
+  // ideal = 1/log2(2) = 1. NDCG = 1/log2(3) = 0.6309...
+  double ndcg = *NdcgAtK({0.1, 0.9}, {1.0, 0.0}, 2);
+  EXPECT_NEAR(ndcg, 1.0 / std::log2(3.0), 1e-12);
+}
+
+TEST(Ndcg, AllZeroGainsScoreZero) {
+  EXPECT_DOUBLE_EQ(*NdcgAtK({0.5, 0.4}, {0.0, 0.0}, 2), 0.0);
+}
+
+TEST(Ndcg, Validation) {
+  EXPECT_TRUE(NdcgAtK({0.5}, {1.0, 2.0}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(NdcgAtK({0.5}, {-1.0}, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(NdcgAtK({0.5}, {1.0}, 0).status().IsInvalidArgument());
+}
+
+// --- Kendall tau ---
+
+TEST(KendallTau, PerfectAgreementAndReversal) {
+  EXPECT_DOUBLE_EQ(*KendallTau({1, 2, 3}, {4, 5, 6}), 1.0);
+  EXPECT_DOUBLE_EQ(*KendallTau({1, 2, 3}, {6, 5, 4}), -1.0);
+}
+
+TEST(KendallTau, OneSwappedPair) {
+  // 4 items, one adjacent transposition: (C(4,2)-2)/C(4,2) = 4/6.
+  EXPECT_NEAR(*KendallTau({1, 2, 3, 4}, {1, 3, 2, 4}), 4.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTau, TiesContributeZero) {
+  EXPECT_DOUBLE_EQ(*KendallTau({1, 1, 2}, {1, 2, 3}), 2.0 / 3.0);
+}
+
+TEST(KendallTau, Validation) {
+  EXPECT_TRUE(KendallTau({1.0}, {1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(KendallTau({1, 2}, {1, 2, 3}).status().IsInvalidArgument());
+}
+
+TEST(Spearman, Validation) {
+  EXPECT_TRUE(SpearmanCorrelation({1.0}, {1.0}).status().IsInvalidArgument());
+  EXPECT_TRUE(SpearmanCorrelation({1, 2}, {1, 2, 3}).status().IsInvalidArgument());
+  EXPECT_TRUE(SpearmanCorrelation({1, 1, 1}, {1, 2, 3}).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace hetesim

@@ -1,0 +1,255 @@
+// Tests for the per-query trace (common/trace.h): span-tree parent/child
+// integrity (including across the engine's early returns on cancellation
+// and expired deadlines), concurrent recording from many threads (part of
+// the sanitizer CI matrix), and the JSON dump format.
+
+#include <algorithm>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/context.h"
+#include "common/trace.h"
+#include "core/hetesim.h"
+#include "core/topk.h"
+#include "hin/metapath.h"
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+std::map<std::string, std::string> AnnotationMap(const Trace::Span& span) {
+  return {span.annotations.begin(), span.annotations.end()};
+}
+
+const Trace::Span* FindSpan(const std::vector<Trace::Span>& spans,
+                            const std::string& name) {
+  for (const Trace::Span& span : spans) {
+    if (span.name == name) return &span;
+  }
+  return nullptr;
+}
+
+TEST(Trace, RaiiSpansFormATree) {
+  Trace trace;
+  {
+    TraceSpan root(&trace, "root");
+    ASSERT_TRUE(root.active());
+    {
+      TraceSpan child(&trace, "child");
+      TraceSpan grandchild(&trace, "grandchild");
+      grandchild.Annotate("k", "v");
+    }
+    TraceSpan sibling(&trace, "sibling");
+  }
+  const std::vector<Trace::Span> spans = trace.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent, Trace::kNoParent);
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+  EXPECT_EQ(spans[2].name, "grandchild");
+  EXPECT_EQ(spans[2].parent, spans[1].id);
+  EXPECT_EQ(spans[3].name, "sibling");
+  EXPECT_EQ(spans[3].parent, spans[0].id);
+  for (const Trace::Span& span : spans) {
+    EXPECT_TRUE(span.finished) << span.name;
+    EXPECT_LE(span.start, span.end) << span.name;
+  }
+  EXPECT_EQ(AnnotationMap(spans[2]).at("k"), "v");
+}
+
+TEST(Trace, NullTraceSpanIsInactiveNoOp) {
+  TraceSpan span(nullptr, "ignored");
+  EXPECT_FALSE(span.active());
+  span.Annotate("k", "v");  // must not crash
+}
+
+TEST(Trace, EndSpanIgnoresUnknownAndDoubleEnd) {
+  Trace trace;
+  const Trace::SpanId id = trace.BeginSpan("s", Trace::kNoParent);
+  trace.EndSpan(id);
+  trace.EndSpan(id);    // double end: ignored
+  trace.EndSpan(9999);  // unknown: ignored
+  trace.Annotate(9999, "k", "v");
+  ASSERT_EQ(trace.Spans().size(), 1u);
+  EXPECT_TRUE(trace.Spans()[0].finished);
+}
+
+TEST(Trace, RenderJsonMarksUnfinishedSpansAndEscapes) {
+  Trace trace;
+  const Trace::SpanId open = trace.BeginSpan("left\"open\"", Trace::kNoParent);
+  trace.Annotate(open, "note", "line1\nline2\ttab");
+  const Trace::SpanId closed = trace.BeginSpan("closed", open);
+  trace.EndSpan(closed);
+  const std::string json = trace.RenderJson();
+  EXPECT_NE(json.find("\"end_ns\": null"), std::string::npos);
+  EXPECT_NE(json.find("left\\\"open\\\""), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\ttab"), std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+}
+
+TEST(Trace, EngineComputeProducesStageSpans) {
+  const HinGraph graph = testing::BuildFig4Graph();
+  const MetaPath path = *MetaPath::Parse(graph.schema(), "APCPA");
+  Trace trace;
+  const QueryContext ctx = QueryContext::Background().WithTrace(&trace);
+  HeteSimEngine engine(graph);
+  ASSERT_TRUE(engine.Compute(path, ctx).ok());
+
+  const std::vector<Trace::Span> spans = trace.Spans();
+  const Trace::Span* root = FindSpan(spans, "engine.compute");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->parent, Trace::kNoParent);
+  EXPECT_TRUE(root->finished);
+  EXPECT_EQ(AnnotationMap(*root).at("path"), path.ToString());
+  for (const char* stage :
+       {"engine.reach_matrices", "engine.product", "engine.normalize"}) {
+    const Trace::Span* span = FindSpan(spans, stage);
+    ASSERT_NE(span, nullptr) << stage;
+    EXPECT_EQ(span->parent, root->id) << stage;
+    EXPECT_TRUE(span->finished) << stage;
+    EXPECT_LE(root->start, span->start) << stage;
+    EXPECT_LE(span->end, root->end) << stage;
+  }
+}
+
+TEST(Trace, SpanTreeIntactAcrossCancellation) {
+  const HinGraph graph = testing::BuildFig4Graph();
+  const MetaPath path = *MetaPath::Parse(graph.schema(), "APCPA");
+  Trace trace;
+  // A fresh context, NOT derived from Background(): the cancel token is
+  // shared state, so cancelling a Background()-derived copy would cancel
+  // the process-wide background context for every later test.
+  const QueryContext ctx = QueryContext().WithTrace(&trace);
+  ctx.Cancel();
+  HeteSimEngine engine(graph);
+  auto result = engine.Compute(path, ctx);
+  ASSERT_FALSE(result.ok());
+  ASSERT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+
+  // The root span must be closed (not abandoned) despite the early return,
+  // carry the terminal status, and every recorded span must still point at
+  // a real, earlier parent.
+  const std::vector<Trace::Span> spans = trace.Spans();
+  const Trace::Span* root = FindSpan(spans, "engine.compute");
+  ASSERT_NE(root, nullptr);
+  EXPECT_TRUE(root->finished);
+  const std::map<std::string, std::string> notes = AnnotationMap(*root);
+  EXPECT_EQ(notes.at("cancelled"), "true");
+  ASSERT_TRUE(notes.count("status"));
+  std::map<Trace::SpanId, const Trace::Span*> by_id;
+  for (const Trace::Span& span : spans) by_id[span.id] = &span;
+  for (const Trace::Span& span : spans) {
+    EXPECT_TRUE(span.finished) << span.name;
+    if (span.parent != Trace::kNoParent) {
+      ASSERT_TRUE(by_id.count(span.parent)) << span.name;
+      EXPECT_LT(span.parent, span.id) << span.name;
+    }
+  }
+}
+
+TEST(Trace, TopKQueryAnnotatesTruncationOnExpiredDeadline) {
+  // The searcher polls its context once per 1024 middle objects, so the
+  // middle type (B, for path ABA) must be larger than one poll stride for
+  // an expired deadline to surface as truncation.
+  const HinGraph graph = testing::RandomTripartite(50, 3000, 4, 0.05, 7);
+  const MetaPath path = *MetaPath::Parse(graph.schema(), "ABA");
+  Trace trace;
+  const QueryContext ctx = QueryContext::Background().WithTrace(&trace);
+  auto searcher = TopKSearcher::Prepare(graph, path, {}, ctx);
+  ASSERT_TRUE(searcher.ok());
+
+  const QueryContext expired =
+      QueryContext::Background().WithTrace(&trace).WithDeadlineAfterMs(0);
+  auto result = searcher->Query(0, 5, expired);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_TRUE(result->truncated);
+
+  const std::vector<Trace::Span> spans = trace.Spans();
+  ASSERT_NE(FindSpan(spans, "topk.prepare"), nullptr);
+  const Trace::Span* query = FindSpan(spans, "topk.query");
+  ASSERT_NE(query, nullptr);
+  EXPECT_TRUE(query->finished);
+  EXPECT_EQ(AnnotationMap(*query).at("truncated"), "true");
+}
+
+/// StartGate from the PR-1 concurrency suite.
+class StartGate {
+ public:
+  explicit StartGate(int expected) : expected_(expected) {}
+
+  void ArriveAndWait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (++arrived_ == expected_) {
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [this] { return arrived_ == expected_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int expected_;
+  int arrived_ = 0;
+};
+
+TEST(Trace, ConcurrentRecordingKeepsPerThreadTreesSeparate) {
+  Trace trace;
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  StartGate gate(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      gate.ArriveAndWait();
+      TraceSpan root(&trace, "thread_root");
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan child(&trace, "work");
+        child.Annotate("i", std::to_string(i));
+        if (i % 64 == 0) (void)trace.Spans();  // concurrent snapshot
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  const std::vector<Trace::Span> spans = trace.Spans();
+  ASSERT_EQ(spans.size(),
+            static_cast<size_t>(kThreads) * (kSpansPerThread + 1));
+  // Thread-local parenting: every "work" span hangs off a "thread_root",
+  // never off another thread's span, and ids are unique and dense.
+  std::map<Trace::SpanId, const Trace::Span*> by_id;
+  for (const Trace::Span& span : spans) {
+    EXPECT_TRUE(by_id.emplace(span.id, &span).second);
+    EXPECT_TRUE(span.finished);
+  }
+  for (const Trace::Span& span : spans) {
+    if (span.name == "thread_root") {
+      EXPECT_EQ(span.parent, Trace::kNoParent);
+    } else {
+      ASSERT_TRUE(by_id.count(span.parent));
+      EXPECT_EQ(by_id.at(span.parent)->name, "thread_root");
+    }
+  }
+}
+
+TEST(Trace, NestedSpanParentingSurvivesSeparateTraces) {
+  // A span on trace B opened inside a span on trace A must become a root of
+  // B, not a child of A's span (the thread-local parent is per-trace).
+  Trace a;
+  Trace b;
+  TraceSpan outer(&a, "outer");
+  TraceSpan inner(&b, "inner");
+  ASSERT_EQ(b.Spans().size(), 1u);
+  EXPECT_EQ(b.Spans()[0].parent, Trace::kNoParent);
+}
+
+}  // namespace
+}  // namespace hetesim

@@ -25,6 +25,15 @@
 // path-matrix cache's accounted bytes (a hard limit, enforced by eviction
 // and by serving oversized products uncached).
 //
+// Observability (DESIGN.md §12): every command accepts
+//   --metrics-out=FILE   dump the process-wide metrics registry after the
+//                        command finishes. A `.json` extension selects the
+//                        structured JSON sink; anything else gets the
+//                        Prometheus text exposition.
+//   --trace-out=FILE     record the query's span tree (engine / chain /
+//                        top-k stages) and write it as JSON.
+// Both options also accept the space-separated `--metrics-out FILE` form.
+//
 // Path SPECs use the meta-path syntax of MetaPath::Parse: type codes
 // ("APVC", "A-P-V-C") or full type names ("author-paper-venue-conference").
 // Graph files use the text format of datagen/io.h.
@@ -38,6 +47,8 @@
 #include <vector>
 
 #include "common/context.h"
+#include "common/metrics.h"
+#include "common/trace.h"
 #include "core/hetesim.h"
 #include "core/materialize.h"
 #include "core/topk.h"
@@ -82,7 +93,11 @@ Result<Args> ParseArgs(int argc, char** argv) {
       return Status::InvalidArgument("unexpected argument '" + token + "'");
     }
     std::string key = token.substr(2);
-    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      // --key=value form.
+      args.options[key.substr(0, eq)] = key.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       args.options[key] = argv[++i];
     } else {
       args.options[key] = "";  // bare flag
@@ -112,6 +127,11 @@ struct QueryBounds {
   std::shared_ptr<PathMatrixCache> cache;
 };
 
+/// The trace collecting this invocation's spans, set in main() when
+/// --trace-out is present. A pointer (not an owning object) so the trace's
+/// lifetime brackets the command dispatch and the final RenderJson.
+Trace* g_trace = nullptr;
+
 QueryBounds MakeQueryBounds(const Args& args) {
   QueryBounds bounds;
   if (args.Has("deadline-ms")) {
@@ -124,6 +144,7 @@ QueryBounds MakeQueryBounds(const Args& args) {
     bounds.cache = std::make_shared<PathMatrixCache>();
     bounds.cache->SetMemoryBudget(bounds.budget);
   }
+  if (g_trace != nullptr) bounds.ctx = bounds.ctx.WithTrace(g_trace);
   return bounds;
 }
 
@@ -388,7 +409,21 @@ void PrintUsage() {
                "  topk-pairs --graph FILE --path SPEC [--k N] "
                "[--exclude-diagonal]\n"
                "  matrix   --graph FILE --path SPEC --out FILE.csv "
-               "[--threads N] [--deadline-ms N] [--max-cache-mb N]\n");
+               "[--threads N] [--deadline-ms N] [--max-cache-mb N]\n"
+               "observability (any command):\n"
+               "  --metrics-out=FILE  dump the metrics registry "
+               "(.json -> JSON, else Prometheus text)\n"
+               "  --trace-out=FILE    write the query's span tree as JSON\n");
+}
+
+/// Writes `contents` to `path`; a failed dump is reported but never turns a
+/// successful command into a failing exit code.
+void DumpObservability(const std::string& path, const std::string& contents) {
+  std::ofstream file(path);
+  if (file.is_open()) file << contents;
+  if (!file.good()) {
+    std::fprintf(stderr, "warning: could not write '%s'\n", path.c_str());
+  }
 }
 
 }  // namespace
@@ -399,6 +434,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
     PrintUsage();
     return 2;
+  }
+  std::optional<Trace> trace;
+  if (args->Has("trace-out")) {
+    trace.emplace();
+    g_trace = &*trace;
   }
   Status status;
   if (args->command == "generate") {
@@ -426,6 +466,17 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: unknown command '%s'\n", args->command.c_str());
     PrintUsage();
     return 2;
+  }
+  if (auto metrics_out = args->Get("metrics-out"); metrics_out) {
+    const bool json = metrics_out->size() >= 5 &&
+                      metrics_out->compare(metrics_out->size() - 5, 5,
+                                           ".json") == 0;
+    const MetricsRegistry& registry = MetricsRegistry::Global();
+    DumpObservability(*metrics_out, json ? registry.RenderJson()
+                                         : registry.RenderPrometheus());
+  }
+  if (auto trace_out = args->Get("trace-out"); trace_out && trace) {
+    DumpObservability(*trace_out, trace->RenderJson());
   }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
