@@ -1,7 +1,10 @@
 #include "common/string_util.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
 
 namespace hetesim {
 
@@ -61,6 +64,53 @@ std::string StrFormat(const char* format, ...) {
   }
   va_end(args_copy);
   return out;
+}
+
+Result<int64_t> ParseInt64(std::string_view text) {
+  const std::string trimmed(Trim(text));
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("expected an integer, got empty string");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(trimmed.c_str(), &end, 10);
+  if (end != trimmed.c_str() + trimmed.size() || errno == ERANGE) {
+    return Status::InvalidArgument("'" + trimmed + "' is not a valid integer");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<uint64_t> ParseUint64(std::string_view text) {
+  const std::string trimmed(Trim(text));
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("expected an unsigned integer, got empty string");
+  }
+  if (trimmed[0] == '-') {
+    return Status::InvalidArgument("'" + trimmed + "' must be non-negative");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(trimmed.c_str(), &end, 10);
+  if (end != trimmed.c_str() + trimmed.size() || errno == ERANGE) {
+    return Status::InvalidArgument("'" + trimmed +
+                                   "' is not a valid unsigned integer");
+  }
+  return static_cast<uint64_t>(value);
+}
+
+Result<double> ParseDouble(std::string_view text) {
+  const std::string trimmed(Trim(text));
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("expected a number, got empty string");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  if (end != trimmed.c_str() + trimmed.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    return Status::InvalidArgument("'" + trimmed + "' is not a finite number");
+  }
+  return value;
 }
 
 }  // namespace hetesim

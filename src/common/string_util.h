@@ -1,9 +1,12 @@
 #ifndef HETESIM_COMMON_STRING_UTIL_H_
 #define HETESIM_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/result.h"
 
 namespace hetesim {
 
@@ -26,6 +29,19 @@ bool StartsWith(std::string_view text, std::string_view prefix);
 /// printf-style formatting into a std::string (libstdc++ 12 lacks
 /// `<format>`, so this is the project's formatting primitive).
 std::string StrFormat(const char* format, ...) __attribute__((format(printf, 1, 2)));
+
+/// Strict base-10 integer parse: the whole (trimmed) string must be a valid
+/// integer — no trailing junk, no empty input, overflow rejected. This is
+/// the project-wide replacement for `atoi`-style parsing, which silently
+/// turns garbage into 0 and negative surprises into accepted values.
+[[nodiscard]] Result<int64_t> ParseInt64(std::string_view text);
+
+/// Strict unsigned parse; additionally rejects any leading '-'.
+[[nodiscard]] Result<uint64_t> ParseUint64(std::string_view text);
+
+/// Strict floating-point parse (decimal or scientific); whole string must
+/// be consumed, NaN/Inf rejected.
+[[nodiscard]] Result<double> ParseDouble(std::string_view text);
 
 }  // namespace hetesim
 

@@ -1,0 +1,86 @@
+#include "workload/generators.h"
+
+#include "common/check.h"
+
+namespace hetesim::workload {
+namespace {
+
+/// SplitMix64 finalizer (Steele et al.); also used by common/random.cc to
+/// expand seeds. Repeated here rather than exported from random.cc so the
+/// workload stream-splitting contract is frozen independently of the Rng
+/// seeding internals.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t DeriveStreamSeed(uint64_t base, uint64_t stream) {
+  // Two finalization rounds over the pair: one mixes the stream id into the
+  // base, the second decorrelates neighbouring streams.
+  return Mix64(Mix64(base ^ 0x6a09e667f3bcc909ULL) + stream);
+}
+
+NURandGenerator::NURandGenerator(Index n, uint64_t run_seed) : n_(n) {
+  HETESIM_CHECK(n > 0) << "NURandGenerator needs a positive domain";
+  // Smallest 2^k - 1 covering n/4, clamped to [1, n-1]: for TPC-C's 1000
+  // customers this lands on 255, matching the spec's constant.
+  uint64_t a = 1;
+  const uint64_t target = static_cast<uint64_t>(n) / 4;
+  while (a < target) a = (a << 1) | 1;
+  if (a >= static_cast<uint64_t>(n)) {
+    a = n > 1 ? static_cast<uint64_t>(n - 1) : 1;
+  }
+  a_ = a;
+  c_ = DeriveStreamSeed(run_seed, 0xC0FFEE) % static_cast<uint64_t>(n);
+}
+
+Index NURandGenerator::Sample(Rng& rng) const {
+  const uint64_t hot = rng.Uniform(a_ + 1);
+  const uint64_t uniform = rng.Uniform(static_cast<uint64_t>(n_));
+  return static_cast<Index>(((hot | uniform) + c_) % static_cast<uint64_t>(n_));
+}
+
+PopularitySampler::PopularitySampler(PopularityKind kind, Index n, double s,
+                                     uint64_t run_seed)
+    : kind_(kind), n_(n) {
+  HETESIM_CHECK(n > 0) << "PopularitySampler needs a positive domain";
+  // Affine rank->id shuffle: any odd multiplier is a bijection mod 2^64;
+  // reduced mod n it is "random enough" to scatter the Zipf head without a
+  // stored permutation (domain can be millions of nodes).
+  shuffle_mult_ = DeriveStreamSeed(run_seed, 0x5afe) | 1;
+  shuffle_add_ = DeriveStreamSeed(run_seed, 0xadd);
+  switch (kind) {
+    case PopularityKind::kUniform:
+      break;
+    case PopularityKind::kZipf:
+      zipf_ = std::make_shared<const ZipfSampler>(static_cast<uint64_t>(n),
+                                                  s > 0 ? s : 1.0);
+      break;
+    case PopularityKind::kNurand:
+      nurand_ = std::make_shared<const NURandGenerator>(n, run_seed);
+      break;
+  }
+}
+
+Index PopularitySampler::Sample(Rng& rng) const {
+  switch (kind_) {
+    case PopularityKind::kUniform:
+      return static_cast<Index>(rng.Uniform(static_cast<uint64_t>(n_)));
+    case PopularityKind::kZipf: {
+      // ZipfSampler draws a 1-based rank; map rank through the shuffle so
+      // the hottest object is seed-dependent, not always id 0.
+      const uint64_t rank = zipf_->Sample(rng) - 1;
+      return static_cast<Index>(
+          (rank * shuffle_mult_ + shuffle_add_) % static_cast<uint64_t>(n_));
+    }
+    case PopularityKind::kNurand:
+      return nurand_->Sample(rng);
+  }
+  return 0;  // unreachable; switch is exhaustive
+}
+
+}  // namespace hetesim::workload

@@ -1,0 +1,90 @@
+#ifndef HETESIM_WORKLOAD_GENERATORS_H_
+#define HETESIM_WORKLOAD_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "hin/graph.h"
+
+namespace hetesim::workload {
+
+/// \file
+/// Deterministic value generation for the workload harness.
+///
+/// Reproducibility contract: every random decision in a workload run is a
+/// pure function of (scenario seed, query index). `DeriveStreamSeed` splits
+/// one 64-bit seed into independent streams (SplitMix64 finalization over
+/// the pair), so the schedule can be generated — or regenerated for any
+/// subset of queries — in any order and on any number of threads and still
+/// come out bitwise identical. This is the tpccbench/genny recipe: seed the
+/// generator per logical entity, never share a sequential stream across
+/// workers.
+
+/// Seed for logical stream `stream` of the generator seeded with `base`.
+/// Distinct (base, stream) pairs give statistically independent streams;
+/// the mapping is stable across platforms and releases.
+uint64_t DeriveStreamSeed(uint64_t base, uint64_t stream);
+
+/// \brief TPC-C style non-uniform random numbers over `[0, n)`.
+///
+/// `NURand(A, 0, n-1) = (((random(0,A) | random(0,n-1)) + C) % n)` — the
+/// bitwise OR concentrates the distribution on a stable set of "hot" values
+/// whose identity is shuffled by the run constant `C`, which we derive from
+/// the scenario seed (the tpccbench `NURandC::makeRandom` idea). The result
+/// is a skewed popularity profile with a hot set of roughly `n * A / (A+1)`
+/// effective mass concentrated on `~A` keys, independent of `n`.
+class NURandGenerator {
+ public:
+  /// `n` must be positive; `run_seed` selects the hot-key identity.
+  NURandGenerator(Index n, uint64_t run_seed);
+
+  /// Draws one skewed value in `[0, n)` using `rng`.
+  Index Sample(Rng& rng) const;
+
+  /// The OR-mask parameter chosen for this domain size (TPC-C uses 255 for
+  /// 1 000 values, 1023 for 3 000, 8191 for 100 000; we generalize to the
+  /// smallest `2^k - 1 >= n/4`).
+  uint64_t a() const { return a_; }
+
+ private:
+  Index n_;
+  uint64_t a_;
+  uint64_t c_;
+};
+
+/// How query sources are drawn from a domain of `n` objects.
+enum class PopularityKind {
+  kUniform,  ///< every object equally likely
+  kZipf,     ///< Zipf(s) over a seed-shuffled object order
+  kNurand,   ///< TPC-C NURand hot-key skew
+};
+
+/// \brief Draws object ids in `[0, n)` under a configured popularity skew.
+///
+/// For `kZipf`, rank-1 mass goes to a seed-dependent object (ranks are
+/// mapped through a multiplicative shuffle), so two classes over the same
+/// domain but different seeds have different hot objects — the cache-hostile
+/// case — while identical seeds collide on purpose for hot-key scenarios.
+class PopularitySampler {
+ public:
+  /// `n` must be positive. `s` is the Zipf exponent (ignored otherwise).
+  PopularitySampler(PopularityKind kind, Index n, double s, uint64_t run_seed);
+
+  Index Sample(Rng& rng) const;
+
+  PopularityKind kind() const { return kind_; }
+  Index domain() const { return n_; }
+
+ private:
+  PopularityKind kind_;
+  Index n_;
+  uint64_t shuffle_mult_;  ///< odd multiplier mapping rank -> object id
+  uint64_t shuffle_add_;
+  std::shared_ptr<const ZipfSampler> zipf_;
+  std::shared_ptr<const NURandGenerator> nurand_;
+};
+
+}  // namespace hetesim::workload
+
+#endif  // HETESIM_WORKLOAD_GENERATORS_H_

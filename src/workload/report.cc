@@ -1,0 +1,130 @@
+#include "workload/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace hetesim::workload {
+namespace {
+
+void AppendClassJson(const ClassStats& stats, std::ostringstream* out) {
+  *out << "      {\n"
+       << "        \"name\": \"" << stats.name << "\",\n"
+       << StrFormat("        \"queries\": %lld,\n",
+                    static_cast<long long>(stats.queries))
+       << StrFormat("        \"throughput_qps\": %.3f,\n", stats.throughput_qps)
+       << "        \"latency_ms\": {"
+       << StrFormat("\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f, "
+                    "\"p999\": %.4f, \"mean\": %.4f, \"max\": %.4f},\n",
+                    stats.p50_ms, stats.p95_ms, stats.p99_ms, stats.p999_ms,
+                    stats.mean_ms, stats.max_ms)
+       << StrFormat("        \"ok\": %lld,\n", static_cast<long long>(stats.ok))
+       << StrFormat("        \"truncated\": %lld,\n",
+                    static_cast<long long>(stats.truncated))
+       << StrFormat("        \"deadline_exceeded\": %lld,\n",
+                    static_cast<long long>(stats.deadline_exceeded))
+       << StrFormat("        \"cancelled\": %lld,\n",
+                    static_cast<long long>(stats.cancelled))
+       << StrFormat("        \"errors\": %lld,\n",
+                    static_cast<long long>(stats.errors))
+       << StrFormat("        \"deadline_miss_rate\": %.6f,\n",
+                    stats.queries > 0 ? static_cast<double>(stats.deadline_missed) /
+                                            static_cast<double>(stats.queries)
+                                      : 0.0)
+       << StrFormat("        \"cancellation_rate\": %.6f\n",
+                    stats.queries > 0 ? static_cast<double>(stats.cancelled) /
+                                            static_cast<double>(stats.queries)
+                                      : 0.0)
+       << "      }";
+}
+
+}  // namespace
+
+std::string RenderWorkloadReportsJson(
+    const std::vector<ScenarioReport>& reports) {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"context\": {\n"
+      << "    \"harness\": \"hetesim-workload\",\n"
+      << "    \"format_version\": 1\n"
+      << "  },\n"
+      << "  \"scenarios\": [\n";
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const ScenarioReport& report = reports[i];
+    out << "    {\n"
+        << "      \"name\": \"" << report.name << "\",\n"
+        << StrFormat("      \"seed\": %llu,\n",
+                     static_cast<unsigned long long>(report.seed))
+        << "      \"arrival\": \"" << report.arrival << "\",\n"
+        << StrFormat("      \"workers\": %d,\n", report.workers)
+        << StrFormat("      \"tenants\": %d,\n", report.tenants)
+        << StrFormat("      \"total_queries\": %lld,\n",
+                     static_cast<long long>(report.total_queries))
+        << StrFormat("      \"warmup_queries\": %lld,\n",
+                     static_cast<long long>(report.warmup_queries))
+        << StrFormat("      \"wall_seconds\": %.4f,\n", report.wall_seconds)
+        << StrFormat("      \"throughput_qps\": %.3f,\n", report.throughput_qps)
+        << StrFormat("      \"schedule_digest\": \"0x%016llx\",\n",
+                     static_cast<unsigned long long>(report.schedule_digest));
+    if (report.cache_limit_bytes > 0) {
+      out << StrFormat("      \"cache_peak_bytes\": %zu,\n",
+                       report.cache_peak_bytes)
+          << StrFormat("      \"cache_limit_bytes\": %zu,\n",
+                       report.cache_limit_bytes)
+          << StrFormat("      \"cache_evictions\": %zu,\n",
+                       report.cache_evictions);
+    }
+    out << "      \"classes\": [\n";
+    for (size_t c = 0; c < report.classes.size(); ++c) {
+      AppendClassJson(report.classes[c], &out);
+      out << (c + 1 < report.classes.size() ? ",\n" : "\n");
+    }
+    out << "      ],\n"
+        << "      \"tenant_queries\": [";
+    for (size_t t = 0; t < report.tenants_stats.size(); ++t) {
+      out << (t == 0 ? "" : ", ")
+          << static_cast<long long>(report.tenants_stats[t].queries);
+    }
+    out << "]\n"
+        << "    }" << (i + 1 < reports.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n"
+      << "}\n";
+  return out.str();
+}
+
+Status WriteWorkloadReports(const std::string& path,
+                            const std::vector<ScenarioReport>& reports) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file.is_open()) {
+    return Status::IOError("cannot open '" + path + "' for writing");
+  }
+  file << RenderWorkloadReportsJson(reports);
+  if (!file.good()) return Status::IOError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+std::string RenderScenarioSummary(const ScenarioReport& report) {
+  std::ostringstream out;
+  out << StrFormat(
+      "scenario %-24s %6lld queries  %8.1f q/s  wall %6.2fs  digest 0x%016llx\n",
+      report.name.c_str(), static_cast<long long>(report.total_queries),
+      report.throughput_qps, report.wall_seconds,
+      static_cast<unsigned long long>(report.schedule_digest));
+  for (const ClassStats& cls : report.classes) {
+    out << StrFormat(
+        "  %-16s %6lld q  %8.1f q/s  p50 %8.3fms  p95 %8.3fms  p99 %8.3fms  "
+        "miss %5.1f%%  trunc %lld  err %lld\n",
+        cls.name.c_str(), static_cast<long long>(cls.queries),
+        cls.throughput_qps, cls.p50_ms, cls.p95_ms, cls.p99_ms,
+        cls.queries > 0 ? 100.0 * static_cast<double>(cls.deadline_missed) /
+                              static_cast<double>(cls.queries)
+                        : 0.0,
+        static_cast<long long>(cls.truncated),
+        static_cast<long long>(cls.errors));
+  }
+  return out.str();
+}
+
+}  // namespace hetesim::workload

@@ -1,0 +1,51 @@
+#ifndef HETESIM_WORKLOAD_REPORT_H_
+#define HETESIM_WORKLOAD_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/config.h"
+#include "workload/recorder.h"
+
+namespace hetesim::workload {
+
+/// Everything one scenario run publishes into `BENCH_workload.json`.
+struct ScenarioReport {
+  std::string name;
+  uint64_t seed = 0;
+  std::string arrival;  ///< "closed" | "open"
+  int workers = 0;
+  int tenants = 0;
+  int64_t total_queries = 0;   ///< recorded (post-warmup)
+  int64_t warmup_queries = 0;
+  double wall_seconds = 0;
+  double throughput_qps = 0;
+  /// Schedule identity: equal seeds must produce equal digests (and equal
+  /// per-class/per-tenant/per-source counts — the first two are echoed in
+  /// the class/tenant sections, the digest covers all of it bitwise).
+  uint64_t schedule_digest = 0;
+  std::vector<ClassStats> classes;
+  std::vector<TenantStats> tenants_stats;
+  /// Cache counters when the scenario ran with a budgeted cache.
+  size_t cache_peak_bytes = 0;
+  size_t cache_limit_bytes = 0;
+  size_t cache_evictions = 0;
+};
+
+/// Renders reports as the `BENCH_workload.json` document:
+/// `{"context": {...}, "scenarios": [...]}`. No trailing metrics section —
+/// callers append one via `bench_util.h`'s `MergeMetricsIntoBenchJson` (the
+/// standard BENCH artifact pipeline) or leave it off.
+std::string RenderWorkloadReportsJson(const std::vector<ScenarioReport>& reports);
+
+/// Writes `RenderWorkloadReportsJson` to `path`.
+[[nodiscard]] Status WriteWorkloadReports(
+    const std::string& path, const std::vector<ScenarioReport>& reports);
+
+/// One-line human summary per class, printed by the CLI after a run.
+std::string RenderScenarioSummary(const ScenarioReport& report);
+
+}  // namespace hetesim::workload
+
+#endif  // HETESIM_WORKLOAD_REPORT_H_

@@ -1,0 +1,97 @@
+#ifndef HETESIM_WORKLOAD_RUNNER_H_
+#define HETESIM_WORKLOAD_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "common/context.h"
+#include "common/result.h"
+#include "core/hetesim.h"
+#include "core/materialize.h"
+#include "core/topk.h"
+#include "workload/config.h"
+#include "workload/report.h"
+#include "workload/schedule.h"
+
+namespace hetesim::workload {
+
+/// What the runner saw for one finished query; handed to the optional
+/// observer so stress tests can assert engine invariants in-line (truncation
+/// markers, score ordering) without re-running queries.
+struct QueryObservation {
+  QueryOutcome outcome = QueryOutcome::kOk;
+  double latency_seconds = 0;
+  bool deadline_missed = false;
+  /// The full result for top-k classes; empty otherwise. Owned by the
+  /// observation (not a pointer into runner state) so observers may stash it.
+  std::optional<TopKResult> topk;
+};
+
+/// Per-run knobs that override the scenario config without editing it —
+/// the CI/reduced-scale escape hatch.
+struct RunOptions {
+  int64_t override_queries = 0;  ///< 0 = config.num_queries
+  int override_workers = 0;      ///< 0 = config.workers
+  /// When false, think times and open-loop arrival pacing are skipped and
+  /// queries run back-to-back (max-throughput mode for stress tests; the
+  /// schedule — and its digest — is unchanged).
+  bool realtime = true;
+  /// Called after every query (warmup included), from worker threads —
+  /// must be thread-safe. Null = off.
+  std::function<void(const QuerySpec&, const QueryObservation&)> observer;
+};
+
+/// \brief In-process load driver: executes a scenario's schedule against a
+/// `HeteSimEngine`/`TopKSearcher` stack through per-query `QueryContext`s.
+///
+/// `Create` builds (or loads) the graph, parses every class's meta-path,
+/// prepares one `TopKSearcher` per top-k class (preparation is serving-time
+/// setup, not query latency), and wires the shared `PathMatrixCache` +
+/// `MemoryBudget` per the config. `Run` generates the schedule and drives
+/// it with `workers` closed- or open-loop worker loops on a dedicated
+/// `ThreadPool`. Engine calls run with `num_threads = 1`: concurrency comes
+/// from queries in flight, matching the paper's interactive-service setting.
+class WorkloadRunner {
+ public:
+  [[nodiscard]] static Result<std::unique_ptr<WorkloadRunner>> Create(
+      const WorkloadConfig& config);
+
+  /// Runs the scenario once. Callable repeatedly; each run rebuilds the
+  /// (deterministic) schedule and returns a fresh report.
+  [[nodiscard]] Result<ScenarioReport> Run(const RunOptions& options = {});
+
+  /// Builds the schedule this runner would execute (for schedule
+  /// inspection / determinism tests) without running it.
+  [[nodiscard]] Result<Schedule> BuildRunSchedule(int64_t override_queries = 0) const;
+
+  const HinGraph& graph() const { return *graph_; }
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  struct ClassRuntime {
+    MetaPath path;
+    ClassDomain domain;
+    std::unique_ptr<TopKSearcher> searcher;  ///< top-k classes only
+
+    explicit ClassRuntime(MetaPath p) : path(std::move(p)) {}
+  };
+
+  WorkloadRunner(WorkloadConfig config, std::unique_ptr<HinGraph> graph);
+
+  /// Executes one scheduled query; returns what to record.
+  QueryObservation ExecuteQuery(const QuerySpec& spec,
+                                const RunOptions& options) const;
+
+  WorkloadConfig config_;
+  std::unique_ptr<HinGraph> graph_;
+  std::shared_ptr<MemoryBudget> budget_;       ///< null = unlimited
+  std::shared_ptr<PathMatrixCache> cache_;     ///< null = cache off
+  std::unique_ptr<HeteSimEngine> engine_;
+  std::vector<ClassRuntime> classes_;
+};
+
+}  // namespace hetesim::workload
+
+#endif  // HETESIM_WORKLOAD_RUNNER_H_

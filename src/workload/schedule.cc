@@ -1,0 +1,187 @@
+#include "workload/schedule.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace hetesim::workload {
+namespace {
+
+/// Stream ids for the independent random decisions of one query. Fixed
+/// constants: renumbering them is a schedule-format break (digest fixtures
+/// would shift), so append only.
+enum QueryStream : uint64_t {
+  kStreamClass = 1,
+  kStreamTenant = 2,
+  kStreamSource = 3,
+  kStreamTarget = 4,
+  kStreamDeadline = 5,
+  kStreamThink = 6,
+};
+
+/// The arrival process gets its own top-level stream, distinct from any
+/// per-query stream: inter-arrival gaps are cumulative, hence generated
+/// sequentially from one generator.
+constexpr uint64_t kArrivalStream = 0x41525249;  // "ARRI"
+
+uint64_t QueryStreamSeed(uint64_t base, int64_t index, QueryStream stream) {
+  return DeriveStreamSeed(DeriveStreamSeed(base, static_cast<uint64_t>(index)),
+                          stream);
+}
+
+void HashValue(uint64_t value, uint64_t* digest) {
+  *digest = Fnv1a64(&value, sizeof(value), *digest);
+}
+
+/// Exponential draw with mean `mean` (inversion; strictly positive).
+double Exponential(Rng& rng, double mean) {
+  double u = rng.UniformDouble();
+  if (u >= 1.0) u = 0.9999999999999999;
+  return -mean * std::log1p(-u);
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+Result<Schedule> BuildSchedule(const WorkloadConfig& config,
+                               const std::vector<ClassDomain>& domains) {
+  if (domains.size() != config.classes.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "BuildSchedule: %zu domains for %zu classes", domains.size(),
+        config.classes.size()));
+  }
+  const size_t num_classes = config.classes.size();
+
+  // Class-selection CDF over the normalized weights.
+  std::vector<double> cdf(num_classes);
+  double total_weight = 0;
+  for (const QueryClassSpec& spec : config.classes) total_weight += spec.weight;
+  double acc = 0;
+  for (size_t i = 0; i < num_classes; ++i) {
+    acc += config.classes[i].weight / total_weight;
+    cdf[i] = acc;
+  }
+  cdf.back() = 1.0;  // guard against rounding
+
+  // One popularity sampler per class, seeded so classes sharing the default
+  // scenario popularity also share hot keys (the hot-key scenario), while a
+  // per-class override re-seeds and scatters them.
+  std::vector<PopularitySampler> samplers;
+  samplers.reserve(num_classes);
+  for (size_t i = 0; i < num_classes; ++i) {
+    const ClassDomain& domain = domains[i];
+    if (domain.num_sources <= 0) {
+      return Status::InvalidArgument("class '" + config.classes[i].name +
+                                     "' has an empty source domain");
+    }
+    if (config.classes[i].type == QueryType::kPair && domain.num_targets <= 0) {
+      return Status::InvalidArgument("class '" + config.classes[i].name +
+                                     "' has an empty target domain");
+    }
+    const PopularitySpec& pop = config.classes[i].popularity.has_value()
+                                    ? *config.classes[i].popularity
+                                    : config.popularity;
+    const uint64_t pop_seed =
+        config.classes[i].popularity.has_value()
+            ? DeriveStreamSeed(config.seed, 0x504f50 + i)  // "POP" + class
+            : DeriveStreamSeed(config.seed, 0x504f50);
+    samplers.emplace_back(pop.kind, domain.num_sources, pop.zipf_s, pop_seed);
+  }
+
+  Schedule schedule;
+  schedule.specs.reserve(static_cast<size_t>(config.num_queries));
+  schedule.queries_per_class.assign(num_classes, 0);
+  schedule.queries_per_tenant.assign(static_cast<size_t>(config.tenants), 0);
+  schedule.sources_per_class.resize(num_classes);
+
+  // Open-loop arrivals: cumulative Poisson process, sequential by nature.
+  std::vector<int64_t> arrivals;
+  if (config.arrival == ArrivalMode::kOpenLoop) {
+    arrivals.resize(static_cast<size_t>(config.num_queries));
+    Rng arrival_rng(DeriveStreamSeed(config.seed, kArrivalStream));
+    const double mean_gap_us = 1e6 / config.rate_qps;
+    double now_us = 0;
+    for (int64_t i = 0; i < config.num_queries; ++i) {
+      now_us += Exponential(arrival_rng, mean_gap_us);
+      arrivals[static_cast<size_t>(i)] = static_cast<int64_t>(now_us);
+    }
+  }
+
+  uint64_t digest = 0xcbf29ce484222325ULL;
+  for (int64_t i = 0; i < config.num_queries; ++i) {
+    QuerySpec spec;
+    spec.index = i;
+
+    Rng class_rng(QueryStreamSeed(config.seed, i, kStreamClass));
+    const double pick = class_rng.UniformDouble();
+    size_t class_id = 0;
+    while (class_id + 1 < num_classes && pick >= cdf[class_id]) ++class_id;
+    spec.class_id = static_cast<int>(class_id);
+    const QueryClassSpec& cls = config.classes[class_id];
+    const ClassDomain& domain = domains[class_id];
+
+    Rng tenant_rng(QueryStreamSeed(config.seed, i, kStreamTenant));
+    spec.tenant = static_cast<int>(
+        tenant_rng.Uniform(static_cast<uint64_t>(config.tenants)));
+
+    Rng source_rng(QueryStreamSeed(config.seed, i, kStreamSource));
+    spec.source = samplers[class_id].Sample(source_rng);
+
+    if (cls.type == QueryType::kPair) {
+      Rng target_rng(QueryStreamSeed(config.seed, i, kStreamTarget));
+      spec.target = static_cast<Index>(
+          target_rng.Uniform(static_cast<uint64_t>(domain.num_targets)));
+    }
+    if (cls.type == QueryType::kTopK) spec.k = cls.k;
+
+    if (cls.deadline.mean_ms > 0) {
+      Rng deadline_rng(QueryStreamSeed(config.seed, i, kStreamDeadline));
+      const double jitter = cls.deadline.jitter_pct / 100.0;
+      const double factor =
+          1.0 + jitter * (2.0 * deadline_rng.UniformDouble() - 1.0);
+      spec.deadline_ms = cls.deadline.mean_ms * factor;
+    }
+
+    if (config.arrival == ArrivalMode::kClosedLoop && config.think_ms > 0) {
+      Rng think_rng(QueryStreamSeed(config.seed, i, kStreamThink));
+      spec.think_us =
+          static_cast<int64_t>(Exponential(think_rng, config.think_ms * 1e3));
+    }
+    if (config.arrival == ArrivalMode::kOpenLoop) {
+      spec.arrival_us = arrivals[static_cast<size_t>(i)];
+    }
+
+    schedule.queries_per_class[class_id]++;
+    schedule.queries_per_tenant[static_cast<size_t>(spec.tenant)]++;
+    schedule.sources_per_class[class_id][spec.source]++;
+
+    HashValue(static_cast<uint64_t>(spec.index), &digest);
+    HashValue(static_cast<uint64_t>(spec.class_id), &digest);
+    HashValue(static_cast<uint64_t>(spec.tenant), &digest);
+    HashValue(static_cast<uint64_t>(spec.source), &digest);
+    HashValue(static_cast<uint64_t>(spec.target), &digest);
+    HashValue(static_cast<uint64_t>(spec.k), &digest);
+    uint64_t deadline_bits = 0;
+    static_assert(sizeof(deadline_bits) == sizeof(spec.deadline_ms));
+    std::memcpy(&deadline_bits, &spec.deadline_ms, sizeof(deadline_bits));
+    HashValue(deadline_bits, &digest);
+    HashValue(static_cast<uint64_t>(spec.arrival_us), &digest);
+    HashValue(static_cast<uint64_t>(spec.think_us), &digest);
+
+    schedule.specs.push_back(spec);
+  }
+  schedule.digest = digest;
+  return schedule;
+}
+
+}  // namespace hetesim::workload

@@ -1,0 +1,65 @@
+#ifndef HETESIM_WORKLOAD_SCHEDULE_H_
+#define HETESIM_WORKLOAD_SCHEDULE_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "hin/graph.h"
+#include "workload/config.h"
+
+namespace hetesim::workload {
+
+/// One scheduled query, fully decided before execution begins: which class,
+/// which tenant issues it, which source (and target, for pair queries),
+/// its deadline, and its timing parameters. Every field is a pure function
+/// of `(config.seed, index)` — see workload/generators.h — so the schedule
+/// is bitwise reproducible at any worker count, which is what makes latency
+/// comparisons between runs meaningful.
+struct QuerySpec {
+  int64_t index = 0;
+  int class_id = 0;
+  int tenant = 0;
+  Index source = 0;
+  Index target = 0;     ///< pair classes only; 0 otherwise
+  int k = 0;            ///< top-k classes only; 0 otherwise
+  double deadline_ms = 0;  ///< 0 = no deadline
+  int64_t arrival_us = 0;  ///< open loop: offset from run start
+  int64_t think_us = 0;    ///< closed loop: think time after this query
+};
+
+/// Source/target domain sizes of one query class (taken from the graph:
+/// `NumNodes(path.SourceType())` / `NumNodes(path.TargetType())`).
+struct ClassDomain {
+  Index num_sources = 0;
+  Index num_targets = 0;
+};
+
+/// A materialized schedule plus the aggregates the determinism contract is
+/// checked against ("two identical-seed runs produce identical schedules:
+/// counts per class, per tenant, per source bitwise-equal").
+struct Schedule {
+  std::vector<QuerySpec> specs;
+  /// FNV-1a over every field of every spec, in index order.
+  uint64_t digest = 0;
+  std::vector<int64_t> queries_per_class;
+  std::vector<int64_t> queries_per_tenant;
+  /// Per class: source id -> times drawn. std::map keeps iteration (and the
+  /// digest of any rendering) deterministic.
+  std::vector<std::map<Index, int64_t>> sources_per_class;
+};
+
+/// Generates the full schedule for `config` over per-class domains
+/// (`domains[i]` describes `config.classes[i]`). Fails when a class has an
+/// empty source/target domain. Deterministic in `config.seed`; thread count
+/// plays no part.
+[[nodiscard]] Result<Schedule> BuildSchedule(
+    const WorkloadConfig& config, const std::vector<ClassDomain>& domains);
+
+/// FNV-1a 64-bit over `data`; exposed for digest fixtures and tests.
+uint64_t Fnv1a64(const void* data, size_t size, uint64_t seed = 0xcbf29ce484222325ULL);
+
+}  // namespace hetesim::workload
+
+#endif  // HETESIM_WORKLOAD_SCHEDULE_H_

@@ -1,0 +1,100 @@
+// Soak tier (CTest label "soak"): long memory-pressure runs for leak
+// hunting and eviction-churn validation, intended for manual/ASan use:
+//
+//   cmake -B build -S . -DHETESIM_ENABLE_SOAK=ON
+//   cmake --build build -j && cd build
+//   ctest -L soak --output-on-failure
+//
+// The tests are registered only when HETESIM_ENABLE_SOAK is ON (the binary
+// itself always builds, so the tier cannot bit-rot); they are excluded
+// from the default ctest run and from tier1/stress CI legs. Runtime is
+// minutes, not seconds — that is the point.
+
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+#include "workload/config.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+namespace hetesim::workload {
+namespace {
+
+// Scale knob so a human can shrink a soak iteration while bisecting:
+// HETESIM_SOAK_QUERIES=2000 ctest -L soak ...
+int64_t SoakQueries(int64_t fallback) {
+  const char* env = std::getenv("HETESIM_SOAK_QUERIES");
+  if (env == nullptr) return fallback;
+  const long long parsed = std::atoll(env);
+  return parsed > 0 ? parsed : fallback;
+}
+
+TEST(WorkloadSoak, MemoryPressureSoakCompletesCleanly) {
+  Result<WorkloadConfig> config = ParseWorkloadConfig(R"(
+scenario memory_pressure_soak
+graph dblp papers=1000 authors=800 seed=11
+seed 5
+queries 20000
+warmup 500
+arrival closed workers=8
+popularity zipf s=1.1
+cache mb=24
+class soak_topk type=topk   path=A-P-T-P-A weight=0.4 k=15 deadline_ms=500
+class soak_row  type=single path=A-P-C-P-A weight=0.3
+class soak_pair type=pair   path=C-P-T-P-C weight=0.3 deadline_ms=250
+)");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  Result<std::unique_ptr<WorkloadRunner>> runner =
+      WorkloadRunner::Create(*config);
+  ASSERT_TRUE(runner.ok()) << runner.status().ToString();
+  RunOptions options;
+  options.realtime = false;
+  options.override_queries = SoakQueries(20000);
+  Result<ScenarioReport> report = (*runner)->Run(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  for (const ClassStats& cls : report->classes) {
+    EXPECT_EQ(cls.errors, 0) << cls.name;
+  }
+  EXPECT_LE(report->cache_peak_bytes, report->cache_limit_bytes);
+}
+
+TEST(WorkloadSoak, RepeatedRunsAreStable) {
+  // Back-to-back runs on one runner: the schedule digest must not drift and
+  // the second run must see a warm cache (no slow first-materialization
+  // cliff turning into errors or cancellations).
+  Result<WorkloadConfig> config = ParseWorkloadConfig(R"(
+scenario soak_repeat
+graph dblp papers=600 authors=400 seed=11
+seed 17
+queries 4000
+arrival closed workers=8
+popularity zipf s=1.3
+cache mb=16
+class r_topk type=topk path=A-P-T-P-A weight=0.5 k=10 deadline_ms=400
+class r_pair type=pair path=C-P-A-P-C weight=0.5 deadline_ms=200
+)");
+  ASSERT_TRUE(config.ok()) << config.status().ToString();
+  Result<std::unique_ptr<WorkloadRunner>> runner =
+      WorkloadRunner::Create(*config);
+  ASSERT_TRUE(runner.ok()) << runner.status().ToString();
+  RunOptions options;
+  options.realtime = false;
+  options.override_queries = SoakQueries(4000);
+  uint64_t first_digest = 0;
+  for (int round = 0; round < 3; ++round) {
+    Result<ScenarioReport> report = (*runner)->Run(options);
+    ASSERT_TRUE(report.ok()) << "round " << round << ": "
+                             << report.status().ToString();
+    if (round == 0) {
+      first_digest = report->schedule_digest;
+    } else {
+      EXPECT_EQ(report->schedule_digest, first_digest) << "round " << round;
+    }
+    for (const ClassStats& cls : report->classes) {
+      EXPECT_EQ(cls.errors, 0) << "round " << round << " " << cls.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hetesim::workload

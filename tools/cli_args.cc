@@ -1,0 +1,86 @@
+#include "cli_args.h"
+
+#include "common/string_util.h"
+
+namespace hetesim::cli {
+namespace {
+
+Status BadFlag(const std::string& key, const std::string& value,
+               const char* expected) {
+  return Status::InvalidArgument("--" + key + ": expected " + expected +
+                                 ", got '" + value + "'");
+}
+
+Status OutOfRange(const std::string& key, const std::string& value,
+                  const std::string& lo, const std::string& hi) {
+  return Status::InvalidArgument("--" + key + ": value " + value +
+                                 " out of range [" + lo + ", " + hi + "]");
+}
+
+}  // namespace
+
+Result<Args> Args::Parse(int argc, const char* const* argv) {
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected argument '" + token + "'");
+    }
+    std::string key = token.substr(2);
+    const size_t eq = key.find('=');
+    if (eq != std::string::npos) {
+      // --key=value form.
+      args.options[key.substr(0, eq)] = key.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "";  // bare flag
+    }
+  }
+  return args;
+}
+
+Result<int> Args::GetInt(const std::string& key, int fallback, int min,
+                         int max) const {
+  HETESIM_ASSIGN_OR_RETURN(
+      int64_t wide, GetInt64(key, fallback, static_cast<int64_t>(min),
+                             static_cast<int64_t>(max)));
+  return static_cast<int>(wide);
+}
+
+Result<int64_t> Args::GetInt64(const std::string& key, int64_t fallback,
+                               int64_t min, int64_t max) const {
+  auto value = Get(key);
+  if (!value) return fallback;
+  Result<int64_t> parsed = ParseInt64(*value);
+  if (!parsed.ok()) return BadFlag(key, *value, "an integer");
+  if (*parsed < min || *parsed > max) {
+    return OutOfRange(key, *value, std::to_string(min), std::to_string(max));
+  }
+  return *parsed;
+}
+
+Result<uint64_t> Args::GetUint64(const std::string& key,
+                                 uint64_t fallback) const {
+  auto value = Get(key);
+  if (!value) return fallback;
+  Result<uint64_t> parsed = ParseUint64(*value);
+  if (!parsed.ok()) return BadFlag(key, *value, "a non-negative integer");
+  return *parsed;
+}
+
+Result<double> Args::GetDouble(const std::string& key, double fallback,
+                               double min, double max) const {
+  auto value = Get(key);
+  if (!value) return fallback;
+  Result<double> parsed = ParseDouble(*value);
+  if (!parsed.ok()) return BadFlag(key, *value, "a number");
+  if (*parsed < min || *parsed > max) {
+    return OutOfRange(key, *value, StrFormat("%g", min), StrFormat("%g", max));
+  }
+  return *parsed;
+}
+
+}  // namespace hetesim::cli

@@ -14,6 +14,8 @@
 //                        [--exclude-diagonal]
 //   hetesim_cli matrix   --graph FILE --path SPEC --out FILE.csv
 //                        [--threads N] [--deadline-ms N] [--max-cache-mb N]
+//   hetesim_cli workload --config FILE[,FILE...] [--out FILE.json]
+//                        [--queries N] [--workers N] [--no-realtime]
 //
 // --threads follows the library convention: 1 (default) is sequential,
 // 0 uses every hardware thread via the shared pool.
@@ -40,12 +42,14 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <map>
 #include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "cli_args.h"
 #include "common/context.h"
 #include "common/metrics.h"
 #include "common/trace.h"
@@ -60,51 +64,14 @@
 #include "hin/metapath.h"
 #include "hin/stats.h"
 #include "learn/spectral.h"
+#include "workload/config.h"
+#include "workload/report.h"
+#include "workload/runner.h"
 
 namespace {
 
 using namespace hetesim;
-
-/// Parsed command line: a command word plus --key value (or bare --flag)
-/// options.
-struct Args {
-  std::string command;
-  std::map<std::string, std::string> options;
-
-  std::optional<std::string> Get(const std::string& key) const {
-    auto it = options.find(key);
-    if (it == options.end()) return std::nullopt;
-    return it->second;
-  }
-  bool Has(const std::string& key) const { return options.count(key) != 0; }
-  int GetInt(const std::string& key, int fallback) const {
-    auto value = Get(key);
-    return value ? std::atoi(value->c_str()) : fallback;
-  }
-};
-
-Result<Args> ParseArgs(int argc, char** argv) {
-  if (argc < 2) return Status::InvalidArgument("missing command");
-  Args args;
-  args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string token = argv[i];
-    if (token.rfind("--", 0) != 0) {
-      return Status::InvalidArgument("unexpected argument '" + token + "'");
-    }
-    std::string key = token.substr(2);
-    const size_t eq = key.find('=');
-    if (eq != std::string::npos) {
-      // --key=value form.
-      args.options[key.substr(0, eq)] = key.substr(eq + 1);
-    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      args.options[key] = argv[++i];
-    } else {
-      args.options[key] = "";  // bare flag
-    }
-  }
-  return args;
-}
+using cli::Args;
 
 Result<HinGraph> LoadGraphArg(const Args& args) {
   auto path = args.Get("graph");
@@ -132,20 +99,37 @@ struct QueryBounds {
 /// lifetime brackets the command dispatch and the final RenderJson.
 Trace* g_trace = nullptr;
 
-QueryBounds MakeQueryBounds(const Args& args) {
+Result<QueryBounds> MakeQueryBounds(const Args& args) {
   QueryBounds bounds;
   if (args.Has("deadline-ms")) {
-    bounds.ctx = bounds.ctx.WithDeadlineAfterMs(args.GetInt("deadline-ms", 0));
+    HETESIM_ASSIGN_OR_RETURN(
+        int deadline_ms,
+        args.GetInt("deadline-ms", 0, /*min=*/0,
+                    /*max=*/std::numeric_limits<int>::max()));
+    bounds.ctx = bounds.ctx.WithDeadlineAfterMs(deadline_ms);
   }
   if (args.Has("max-cache-mb")) {
-    const size_t limit =
-        static_cast<size_t>(args.GetInt("max-cache-mb", 0)) * 1024 * 1024;
+    HETESIM_ASSIGN_OR_RETURN(
+        int cache_mb,
+        args.GetInt("max-cache-mb", 0, /*min=*/0, /*max=*/1 << 20));
+    const size_t limit = static_cast<size_t>(cache_mb) * 1024 * 1024;
     bounds.budget = std::make_shared<MemoryBudget>(limit);
     bounds.cache = std::make_shared<PathMatrixCache>();
     bounds.cache->SetMemoryBudget(bounds.budget);
   }
   if (g_trace != nullptr) bounds.ctx = bounds.ctx.WithTrace(g_trace);
   return bounds;
+}
+
+/// --threads follows the library convention: 0 = every hardware thread,
+/// N >= 1 explicit. Negative or garbage is a usage error.
+Result<int> GetThreadsArg(const Args& args) {
+  return args.GetInt("threads", 1, /*min=*/0, /*max=*/4096);
+}
+
+Result<int> GetKArg(const Args& args, int fallback) {
+  return args.GetInt("k", fallback, /*min=*/1,
+                     /*max=*/std::numeric_limits<int>::max());
 }
 
 void PrintCacheStats(const QueryBounds& bounds) {
@@ -173,9 +157,13 @@ Status RunGenerate(const Args& args) {
   }
   if (*dataset == "acm") {
     AcmConfig config;
-    config.seed = static_cast<uint64_t>(args.GetInt("seed", 7));
-    config.num_papers = args.GetInt("papers", config.num_papers);
-    config.num_authors = args.GetInt("authors", config.num_authors);
+    HETESIM_ASSIGN_OR_RETURN(config.seed, args.GetUint64("seed", 7));
+    HETESIM_ASSIGN_OR_RETURN(
+        config.num_papers,
+        args.GetInt("papers", config.num_papers, /*min=*/1));
+    HETESIM_ASSIGN_OR_RETURN(
+        config.num_authors,
+        args.GetInt("authors", config.num_authors, /*min=*/1));
     HETESIM_ASSIGN_OR_RETURN(AcmDataset acm, GenerateAcm(config));
     HETESIM_RETURN_NOT_OK(SaveHinGraphToFile(acm.graph, *out));
     std::printf("wrote ACM-style network to %s\n%s", out->c_str(),
@@ -184,9 +172,13 @@ Status RunGenerate(const Args& args) {
   }
   if (*dataset == "dblp") {
     DblpConfig config;
-    config.seed = static_cast<uint64_t>(args.GetInt("seed", 11));
-    config.num_papers = args.GetInt("papers", config.num_papers);
-    config.num_authors = args.GetInt("authors", config.num_authors);
+    HETESIM_ASSIGN_OR_RETURN(config.seed, args.GetUint64("seed", 11));
+    HETESIM_ASSIGN_OR_RETURN(
+        config.num_papers,
+        args.GetInt("papers", config.num_papers, /*min=*/1));
+    HETESIM_ASSIGN_OR_RETURN(
+        config.num_authors,
+        args.GetInt("authors", config.num_authors, /*min=*/1));
     HETESIM_ASSIGN_OR_RETURN(DblpDataset dblp, GenerateDblp(config));
     HETESIM_RETURN_NOT_OK(SaveHinGraphToFile(dblp.graph, *out));
     std::printf("wrote DBLP-style network to %s\n%s", out->c_str(),
@@ -219,10 +211,11 @@ Status RunDot(const Args& args) {
   }
   HETESIM_ASSIGN_OR_RETURN(TypeId type, ResolveType(graph.schema(), *type_token));
   HETESIM_ASSIGN_OR_RETURN(Index id, graph.FindNode(type, *node_name));
+  HETESIM_ASSIGN_OR_RETURN(int radius, args.GetInt("radius", 2, /*min=*/0));
+  HETESIM_ASSIGN_OR_RETURN(int max_nodes,
+                           args.GetInt("max-nodes", 50, /*min=*/1));
   HETESIM_ASSIGN_OR_RETURN(
-      std::string dot,
-      NeighborhoodToDot(graph, type, id, args.GetInt("radius", 2),
-                        args.GetInt("max-nodes", 50)));
+      std::string dot, NeighborhoodToDot(graph, type, id, radius, max_nodes));
   std::printf("%s", dot.c_str());
   return Status::OK();
 }
@@ -234,9 +227,9 @@ Status RunCluster(const Args& args) {
     return Status::InvalidArgument(
         "cluster needs a same-typed (ideally symmetric) path");
   }
-  const int k = args.GetInt("k", 4);
+  HETESIM_ASSIGN_OR_RETURN(const int k, GetKArg(args, 4));
   HeteSimOptions options;
-  options.num_threads = args.GetInt("threads", 1);
+  HETESIM_ASSIGN_OR_RETURN(options.num_threads, GetThreadsArg(args));
   HeteSimEngine engine(graph, options);
   DenseMatrix affinity = engine.Compute(path);
   HETESIM_ASSIGN_OR_RETURN(std::vector<int> clusters,
@@ -259,7 +252,8 @@ Status RunPaths(const Args& args) {
   HETESIM_ASSIGN_OR_RETURN(TypeId source, ResolveType(graph.schema(), *from));
   HETESIM_ASSIGN_OR_RETURN(TypeId target, ResolveType(graph.schema(), *to));
   EnumerateOptions options;
-  options.max_length = args.GetInt("max-length", 4);
+  HETESIM_ASSIGN_OR_RETURN(options.max_length,
+                           args.GetInt("max-length", 4, /*min=*/1, /*max=*/32));
   options.symmetric_only = args.Has("symmetric");
   HETESIM_ASSIGN_OR_RETURN(std::vector<MetaPath> paths,
                            EnumerateMetaPaths(graph.schema(), source, target,
@@ -286,8 +280,8 @@ Status RunPair(const Args& args) {
                            graph.FindNode(path.TargetType(), *target_name));
   HeteSimOptions options;
   options.normalized = !args.Has("unnormalized");
-  options.num_threads = args.GetInt("threads", 1);
-  const QueryBounds bounds = MakeQueryBounds(args);
+  HETESIM_ASSIGN_OR_RETURN(options.num_threads, GetThreadsArg(args));
+  HETESIM_ASSIGN_OR_RETURN(const QueryBounds bounds, MakeQueryBounds(args));
   HeteSimEngine engine(graph, options, bounds.cache);
   HETESIM_ASSIGN_OR_RETURN(
       std::vector<double> scores,
@@ -304,8 +298,8 @@ Status RunTopK(const Args& args) {
   if (!source_name) return Status::InvalidArgument("topk needs --source NAME");
   HETESIM_ASSIGN_OR_RETURN(Index source,
                            graph.FindNode(path.SourceType(), *source_name));
-  const int k = args.GetInt("k", 10);
-  const QueryBounds bounds = MakeQueryBounds(args);
+  HETESIM_ASSIGN_OR_RETURN(const int k, GetKArg(args, 10));
+  HETESIM_ASSIGN_OR_RETURN(const QueryBounds bounds, MakeQueryBounds(args));
   Result<TopKSearcher> searcher =
       TopKSearcher::Prepare(graph, path, {}, bounds.ctx);
   if (searcher.status().IsDeadlineExceeded()) {
@@ -340,7 +334,7 @@ Status RunTopK(const Args& args) {
 Status RunTopKPairs(const Args& args) {
   HETESIM_ASSIGN_OR_RETURN(HinGraph graph, LoadGraphArg(args));
   HETESIM_ASSIGN_OR_RETURN(MetaPath path, ParsePathArg(graph, args));
-  const int k = args.GetInt("k", 10);
+  HETESIM_ASSIGN_OR_RETURN(const int k, GetKArg(args, 10));
   HETESIM_ASSIGN_OR_RETURN(
       std::vector<ScoredPair> pairs,
       TopKPairs(graph, path, k, args.Has("exclude-diagonal")));
@@ -360,8 +354,8 @@ Status RunMatrix(const Args& args) {
   auto out = args.Get("out");
   if (!out) return Status::InvalidArgument("matrix needs --out FILE.csv");
   HeteSimOptions options;
-  options.num_threads = args.GetInt("threads", 1);
-  const QueryBounds bounds = MakeQueryBounds(args);
+  HETESIM_ASSIGN_OR_RETURN(options.num_threads, GetThreadsArg(args));
+  HETESIM_ASSIGN_OR_RETURN(const QueryBounds bounds, MakeQueryBounds(args));
   HeteSimEngine engine(graph, options, bounds.cache);
   HETESIM_ASSIGN_OR_RETURN(DenseMatrix scores, engine.Compute(path, bounds.ctx));
   std::ofstream file(*out);
@@ -389,6 +383,50 @@ Status RunMatrix(const Args& args) {
   return Status::OK();
 }
 
+Status RunWorkload(const Args& args) {
+  auto config_arg = args.Get("config");
+  if (!config_arg || config_arg->empty()) {
+    return Status::InvalidArgument("workload needs --config FILE[,FILE...]");
+  }
+  workload::RunOptions run_options;
+  HETESIM_ASSIGN_OR_RETURN(
+      run_options.override_queries,
+      args.GetInt64("queries", 0, /*min=*/0,
+                    /*max=*/std::numeric_limits<int64_t>::max()));
+  HETESIM_ASSIGN_OR_RETURN(run_options.override_workers,
+                           args.GetInt("workers", 0, /*min=*/0, /*max=*/4096));
+  run_options.realtime = !args.Has("no-realtime");
+
+  std::vector<std::string> files;
+  for (size_t start = 0; start <= config_arg->size();) {
+    size_t comma = config_arg->find(',', start);
+    if (comma == std::string::npos) comma = config_arg->size();
+    if (comma > start) files.push_back(config_arg->substr(start, comma - start));
+    start = comma + 1;
+  }
+  if (files.empty()) {
+    return Status::InvalidArgument("workload needs --config FILE[,FILE...]");
+  }
+
+  std::vector<workload::ScenarioReport> reports;
+  for (const std::string& file : files) {
+    HETESIM_ASSIGN_OR_RETURN(workload::WorkloadConfig config,
+                             workload::LoadWorkloadConfigFromFile(file));
+    HETESIM_ASSIGN_OR_RETURN(std::unique_ptr<workload::WorkloadRunner> runner,
+                             workload::WorkloadRunner::Create(config));
+    HETESIM_ASSIGN_OR_RETURN(workload::ScenarioReport report,
+                             runner->Run(run_options));
+    std::printf("%s", workload::RenderScenarioSummary(report).c_str());
+    reports.push_back(std::move(report));
+  }
+  if (auto out = args.Get("out"); out) {
+    HETESIM_RETURN_NOT_OK(workload::WriteWorkloadReports(*out, reports));
+    std::printf("wrote %zu scenario report(s) to %s\n", reports.size(),
+                out->c_str());
+  }
+  return Status::OK();
+}
+
 void PrintUsage() {
   std::fprintf(stderr,
                "usage: hetesim_cli COMMAND [--options]\n"
@@ -410,6 +448,8 @@ void PrintUsage() {
                "[--exclude-diagonal]\n"
                "  matrix   --graph FILE --path SPEC --out FILE.csv "
                "[--threads N] [--deadline-ms N] [--max-cache-mb N]\n"
+               "  workload --config FILE[,FILE...] [--out FILE.json] "
+               "[--queries N] [--workers N] [--no-realtime]\n"
                "observability (any command):\n"
                "  --metrics-out=FILE  dump the metrics registry "
                "(.json -> JSON, else Prometheus text)\n"
@@ -429,7 +469,7 @@ void DumpObservability(const std::string& path, const std::string& contents) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Result<Args> args = ParseArgs(argc, argv);
+  Result<Args> args = Args::Parse(argc, argv);
   if (!args.ok()) {
     std::fprintf(stderr, "error: %s\n", args.status().ToString().c_str());
     PrintUsage();
@@ -459,6 +499,8 @@ int main(int argc, char** argv) {
     status = RunTopKPairs(*args);
   } else if (args->command == "matrix") {
     status = RunMatrix(*args);
+  } else if (args->command == "workload") {
+    status = RunWorkload(*args);
   } else if (args->command == "help" || args->command == "--help") {
     PrintUsage();
     return 0;
