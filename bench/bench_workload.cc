@@ -36,9 +36,10 @@ using namespace hetesim;
 
 // Every scenario checked in under bench/workloads/, in report order.
 constexpr const char* kScenarios[] = {
-    "steady_state_dblp.workload",   "hot_key_skew.workload",
-    "deadline_storm.workload",      "cache_hostile_adhoc.workload",
+    "steady_state_dblp.workload",    "hot_key_skew.workload",
+    "deadline_storm.workload",       "cache_hostile_adhoc.workload",
     "memory_pressure_soak.workload", "multi_tenant_fairness.workload",
+    "overload_shedding.workload",
 };
 
 int Fail(const std::string& message) {

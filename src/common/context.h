@@ -66,6 +66,14 @@ class MemoryBudget {
   size_t used_bytes() const { return used_.load(std::memory_order_relaxed); }
   size_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
 
+  /// Fraction of the limit currently reserved, in [0, 1]; 0 for an
+  /// unlimited budget. The admission controller's memory-pressure signal.
+  double UsedFraction() const {
+    if (limit_ == 0 || limit_ == kUnlimited) return 0.0;
+    const double f = static_cast<double>(used_bytes()) / static_cast<double>(limit_);
+    return f > 1.0 ? 1.0 : f;
+  }
+
  private:
   const size_t limit_;
   std::atomic<size_t> used_{0};
@@ -150,6 +158,14 @@ class QueryContext {
   QueryContext WithBudget(MemoryBudget* budget) const {
     QueryContext copy = *this;
     copy.budget_ = budget;
+    return copy;
+  }
+  /// Returns a copy observing `token` instead of this context's own token.
+  /// Lets an external party (e.g. a connection handler that detects a
+  /// client disconnect) cancel the query without holding the context.
+  QueryContext WithCancel(CancelToken token) const {
+    QueryContext copy = *this;
+    copy.token_ = std::move(token);
     return copy;
   }
   /// Returns a copy that records stage spans into `trace` (non-owning; the

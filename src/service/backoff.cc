@@ -1,0 +1,50 @@
+#include "service/backoff.h"
+
+#include <algorithm>
+
+namespace hetesim::service {
+
+double DecorrelatedJitterBackoff::NextDelayMs() {
+  const double lo = options_.base_ms;
+  const double hi = std::max(lo, prev_ms_ * options_.multiplier);
+  const double delay =
+      std::min(options_.cap_ms, lo + (hi - lo) * rng_.UniformDouble());
+  prev_ms_ = delay;
+  return delay;
+}
+
+bool CircuitBreaker::AllowRequest(Clock::time_point now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      const auto cooldown = std::chrono::duration<double, std::milli>(options_.open_ms);
+      if (now - opened_at_ >= cooldown) {
+        state_ = State::kHalfOpen;
+        return true;  // the single probe
+      }
+      return false;
+    }
+    case State::kHalfOpen:
+      // Probe already in flight this cooldown; refuse further traffic
+      // until its verdict arrives.
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::RecordFailure(Clock::time_point now) {
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = now;
+  }
+}
+
+}  // namespace hetesim::service

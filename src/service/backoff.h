@@ -1,0 +1,85 @@
+#ifndef HETESIM_SERVICE_BACKOFF_H_
+#define HETESIM_SERVICE_BACKOFF_H_
+
+#include <chrono>
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace hetesim::service {
+
+/// \file
+/// Client-side retry machinery: decorrelated-jitter backoff and a
+/// circuit breaker. Both are pure state machines over caller-supplied
+/// time points, so unit tests drive them with a fake clock.
+
+struct BackoffOptions {
+  double base_ms = 2.0;  ///< floor of every delay
+  double cap_ms = 200.0; ///< ceiling of every delay
+  double multiplier = 3.0;  ///< growth factor on the previous delay
+};
+
+/// \brief "Decorrelated jitter" backoff: each delay is drawn uniformly from
+/// [base, prev * multiplier], capped. Compared to plain exponential
+/// backoff-with-jitter this decorrelates retry storms faster — competing
+/// clients spread over the whole interval instead of clustering at powers
+/// of the base.
+class DecorrelatedJitterBackoff {
+ public:
+  DecorrelatedJitterBackoff(const BackoffOptions& options, uint64_t seed)
+      : options_(options), rng_(seed), prev_ms_(options.base_ms) {}
+
+  /// The next delay in milliseconds. Successive calls grow (stochastically)
+  /// toward the cap.
+  double NextDelayMs();
+
+  /// Resets to the initial (base) state, e.g. after a success.
+  void Reset() { prev_ms_ = options_.base_ms; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  double prev_ms_;
+};
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// How long the breaker stays open before allowing one probe.
+  double open_ms = 1000.0;
+};
+
+/// \brief Classic closed → open → half-open circuit breaker.
+///
+/// Closed: requests flow; consecutive failures count up. Open: requests
+/// are refused locally (no network) until `open_ms` elapses. Half-open:
+/// exactly one probe is allowed; its success closes the breaker, its
+/// failure re-opens it. Not thread-safe; the owning client serializes.
+class CircuitBreaker {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit CircuitBreaker(const CircuitBreakerOptions& options)
+      : options_(options) {}
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// True when a request may be attempted now. In the open state this
+  /// flips to half-open (admitting one probe) once the cooldown elapses.
+  bool AllowRequest(Clock::time_point now);
+  void RecordSuccess();
+  void RecordFailure(Clock::time_point now);
+
+  State state() const { return state_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  CircuitBreakerOptions options_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  Clock::time_point opened_at_{};
+};
+
+}  // namespace hetesim::service
+
+#endif  // HETESIM_SERVICE_BACKOFF_H_

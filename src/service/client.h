@@ -1,0 +1,128 @@
+#ifndef HETESIM_SERVICE_CLIENT_H_
+#define HETESIM_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "service/backoff.h"
+#include "service/protocol.h"
+#include "service/service.h"
+
+namespace hetesim::service {
+
+/// \brief One interface over both ways of reaching a `QueryService`.
+///
+/// The workload harness drives whichever implementation the scenario asks
+/// for; everything above this line (retry, recording, reporting) is
+/// transport-agnostic. Implementations are NOT thread-safe — the harness
+/// gives each worker its own client, mirroring a real connection-per-worker
+/// deployment.
+class ServiceClient {
+ public:
+  virtual ~ServiceClient() = default;
+
+  /// Executes one query to completion (including refusals: a rejection is
+  /// a normal response, not an error). Transport problems — connect
+  /// failure, IO timeout, short frame — surface as
+  /// `ResponseOutcome::kTransportError`, never as a crash or a hang.
+  virtual QueryResponse Execute(const QueryRequest& request) = 0;
+};
+
+/// Direct in-process calls into a `QueryService` (the harness's default
+/// mode: no sockets, same admission pipeline).
+class InProcessClient : public ServiceClient {
+ public:
+  /// `service` must outlive the client.
+  explicit InProcessClient(QueryService* service) : service_(service) {}
+
+  QueryResponse Execute(const QueryRequest& request) override {
+    return service_->Execute(request);
+  }
+
+ private:
+  QueryService* const service_;
+};
+
+/// \brief Framed-protocol client over a Unix domain socket.
+///
+/// Connects lazily on the first `Execute` and reconnects on the next call
+/// after any transport error, so a server restart heals without client
+/// plumbing. Reads wait for the query's own deadline plus `io_timeout_ms`
+/// grace before declaring the server stalled.
+class SocketClient : public ServiceClient {
+ public:
+  explicit SocketClient(std::string socket_path, int io_timeout_ms = 5000);
+  ~SocketClient() override;
+
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  QueryResponse Execute(const QueryRequest& request) override;
+
+  /// Liveness probe: one ping/pong round trip.
+  [[nodiscard]] bool Ping();
+
+ private:
+  [[nodiscard]] bool EnsureConnected();
+  void Disconnect();
+  QueryResponse TransportError(const QueryRequest& request, std::string message);
+
+  const std::string socket_path_;
+  const int io_timeout_ms_;
+  int fd_ = -1;
+};
+
+/// Retry policy for `RetryingClient`.
+struct RetryOptions {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 4;
+  BackoffOptions backoff;
+  CircuitBreakerOptions breaker;
+  /// Seed for the jitter stream (deterministic per client).
+  uint64_t seed = 1;
+};
+
+/// \brief Deadline-honoring retry decorator with decorrelated-jitter
+/// backoff and a circuit breaker.
+///
+/// Retries only outcomes that can plausibly succeed on a later attempt —
+/// kRejected / kShed (the server said "later", possibly with a
+/// Retry-After hint that overrides the backoff draw when larger) and
+/// kTransportError. The remaining deadline is a hard wall: a retry whose
+/// backoff delay would land past it is not attempted, and each attempt's
+/// `deadline_ms` is shrunk to the budget actually left. Only transport
+/// errors feed the circuit breaker: an admission rejection is the server
+/// protecting itself, not the server being down.
+///
+/// The clock and sleep are injectable so unit tests run on a fake clock.
+class RetryingClient : public ServiceClient {
+ public:
+  using NowFn = std::function<Clock::time_point()>;
+  using SleepFn = std::function<void(double ms)>;
+
+  /// Production form: real clock, real sleep.
+  RetryingClient(std::unique_ptr<ServiceClient> base, const RetryOptions& options);
+  /// Test form with injected time.
+  RetryingClient(std::unique_ptr<ServiceClient> base, const RetryOptions& options,
+                 NowFn now, SleepFn sleep);
+
+  QueryResponse Execute(const QueryRequest& request) override;
+
+  const CircuitBreaker& breaker() const { return breaker_; }
+  uint64_t retries_attempted() const { return retries_attempted_; }
+
+ private:
+  std::unique_ptr<ServiceClient> base_;
+  RetryOptions options_;
+  DecorrelatedJitterBackoff backoff_;
+  CircuitBreaker breaker_;
+  NowFn now_;
+  SleepFn sleep_;
+  uint64_t retries_attempted_ = 0;
+};
+
+}  // namespace hetesim::service
+
+#endif  // HETESIM_SERVICE_CLIENT_H_

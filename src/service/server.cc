@@ -1,0 +1,318 @@
+#include "service/server.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/string_util.h"
+#include "service/protocol.h"
+
+namespace hetesim::service {
+namespace {
+
+/// poll() one fd for `events`, retrying on EINTR, honoring an absolute
+/// deadline. Returns the revents (0 on timeout, -1 on poll failure).
+int PollFd(int fd, short events, Clock::time_point deadline) {
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    const int timeout_ms =
+        static_cast<int>(std::max<int64_t>(0, remaining.count()));
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (rc == 0) return 0;  // timeout
+    return pfd.revents;
+  }
+}
+
+}  // namespace
+
+SocketServer::SocketServer(QueryService* service, const ServerOptions& options)
+    : service_(service), options_(options) {}
+
+Result<std::unique_ptr<SocketServer>> SocketServer::Start(
+    QueryService* service, const ServerOptions& options) {
+  if (options.socket_path.empty()) {
+    return Status::InvalidArgument("socket path must not be empty");
+  }
+  struct sockaddr_un addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (options.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument(
+        StrFormat("socket path too long (%zu bytes, max %zu)",
+                  options.socket_path.size(), sizeof(addr.sun_path) - 1));
+  }
+  memcpy(addr.sun_path, options.socket_path.c_str(), options.socket_path.size());
+
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(StrFormat("socket(): %s", strerror(errno)));
+  }
+  // A stale socket file from a crashed predecessor would make bind fail;
+  // removing it is safe because a live listener would still hold its fd.
+  unlink(options.socket_path.c_str());
+  if (bind(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status status =
+        Status::IOError(StrFormat("bind(%s): %s", options.socket_path.c_str(),
+                                  strerror(errno)));
+    close(fd);
+    return status;
+  }
+  if (listen(fd, 64) < 0) {
+    const Status status = Status::IOError(StrFormat("listen(): %s", strerror(errno)));
+    close(fd);
+    unlink(options.socket_path.c_str());
+    return status;
+  }
+
+  // make_unique needs a public constructor; assembled in place instead.
+  std::unique_ptr<SocketServer> server(
+      new SocketServer(service, options));  // hetesim-lint: allow(no-naked-new)
+  server->listen_fd_ = fd;
+  server->handler_pool_ =
+      std::make_unique<ThreadPool>(std::max(1, options.max_connections));
+  server->accept_pool_ = std::make_unique<ThreadPool>(1);
+  SocketServer* raw = server.get();
+  server->accept_pool_->Submit([raw] { raw->AcceptLoop(); });
+  return server;
+}
+
+SocketServer::~SocketServer() { Stop(); }
+
+void SocketServer::Stop() {
+  {
+    MutexLock lock(mutex_);
+    if (stopped_) return;
+    stopped_ = true;
+  }
+  stopping_.store(true, std::memory_order_release);
+  // Wake the accept loop and every blocked handler IO.
+  if (listen_fd_ >= 0) shutdown(listen_fd_, SHUT_RDWR);
+  {
+    MutexLock lock(mutex_);
+    for (int fd : connection_fds_) shutdown(fd, SHUT_RDWR);
+  }
+  // Joining the pools guarantees no handler touches a fd after this.
+  accept_pool_.reset();
+  handler_pool_.reset();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  unlink(options_.socket_path.c_str());
+}
+
+void SocketServer::TrackConnection(int fd, bool add) {
+  MutexLock lock(mutex_);
+  if (add) {
+    connection_fds_.push_back(fd);
+  } else {
+    connection_fds_.erase(
+        std::remove(connection_fds_.begin(), connection_fds_.end(), fd),
+        connection_fds_.end());
+  }
+}
+
+void SocketServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const int revents = PollFd(listen_fd_, POLLIN,
+                               Clock::now() + std::chrono::milliseconds(100));
+    if (stopping_.load(std::memory_order_acquire)) break;
+    if (revents == 0) continue;       // timeout: re-check the stop flag
+    if (revents < 0) break;           // poll failure: shutting down
+    if ((revents & POLLIN) == 0) break;
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;  // listen socket gone (Stop) or unrecoverable
+    }
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      // Over capacity: refuse at the door rather than queue a handler the
+      // busy pool would not run — the client sees EOF and retries.
+      rejected_capacity_.fetch_add(1, std::memory_order_relaxed);
+      close(conn);
+      continue;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    TrackConnection(conn, /*add=*/true);
+    handler_pool_->Submit([this, conn] { HandleConnection(conn); });
+  }
+}
+
+void SocketServer::HandleConnection(int fd) {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    if (!ServeOne(fd)) break;
+  }
+  TrackConnection(fd, /*add=*/false);
+  close(fd);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+bool SocketServer::ReadFully(int fd, uint8_t* buffer, size_t bytes) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.io_timeout_ms);
+  size_t done = 0;
+  while (done < bytes) {
+    if (stopping_.load(std::memory_order_acquire)) return false;
+    const int revents = PollFd(fd, POLLIN, deadline);
+    if (revents == 0) {
+      closed_stall_.fetch_add(1, std::memory_order_relaxed);
+      return false;  // slow-client stall
+    }
+    if (revents < 0 || (revents & (POLLERR | POLLNVAL)) != 0) return false;
+    const ssize_t n = recv(fd, buffer + done, bytes - done, 0);
+    if (n == 0) return false;  // orderly EOF
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool SocketServer::WriteFully(int fd, const uint8_t* data, size_t bytes) {
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(options_.io_timeout_ms);
+  size_t done = 0;
+  while (done < bytes) {
+    if (stopping_.load(std::memory_order_acquire)) return false;
+    const int revents = PollFd(fd, POLLOUT, deadline);
+    if (revents == 0) {
+      closed_stall_.fetch_add(1, std::memory_order_relaxed);
+      return false;  // client not draining its socket
+    }
+    if (revents < 0 || (revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+      return false;
+    }
+    const ssize_t n = send(fd, data + done, bytes - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    done += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool SocketServer::PeerGone(int fd) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN
+#ifdef POLLRDHUP
+               | POLLRDHUP
+#endif
+      ;
+  pfd.revents = 0;
+  const int rc = poll(&pfd, 1, 0);
+  if (rc < 0) return errno != EINTR;
+  if (rc == 0) return false;
+  if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) return true;
+#ifdef POLLRDHUP
+  if ((pfd.revents & POLLRDHUP) != 0) return true;
+#endif
+  if ((pfd.revents & POLLIN) != 0) {
+    // Lockstep protocol: the peer owes us nothing right now, so readable
+    // means EOF (orderly close) or a protocol violation. Peek to tell.
+    char probe;
+    const ssize_t n = recv(fd, &probe, 1, MSG_PEEK | MSG_DONTWAIT);
+    if (n == 0) return true;
+  }
+  return false;
+}
+
+bool SocketServer::ServeOne(int fd) {
+  uint8_t header_bytes[kFrameHeaderBytes];
+  if (!ReadFully(fd, header_bytes, sizeof(header_bytes))) return false;
+  Result<FrameHeader> header = DecodeFrameHeader(header_bytes);
+  if (!header.ok()) {
+    // Bad magic/type/length: the byte stream is unsynchronized, nothing
+    // sent after this point can be trusted. Close.
+    closed_protocol_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  std::string payload(header->payload_bytes, '\0');
+  if (header->payload_bytes > 0 &&
+      !ReadFully(fd, reinterpret_cast<uint8_t*>(payload.data()),
+                 payload.size())) {
+    return false;
+  }
+
+  if (header->type == FrameType::kPing) {
+    const std::string pong = EncodeFrame(FrameType::kPong, "");
+    return WriteFully(fd, reinterpret_cast<const uint8_t*>(pong.data()),
+                      pong.size());
+  }
+  if (header->type != FrameType::kRequest) {
+    closed_protocol_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+
+  // Chaos hook: corrupt the payload after a clean read, as a flaky peer or
+  // truncated write would. The decoder must reject it; the server answers
+  // with a well-formed error frame and survives.
+  if (!payload.empty() && HETESIM_FAULT_POINT("service.frame.corrupt")) {
+    payload[payload.size() / 2] ^= 0x5a;
+  }
+
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  Result<QueryRequest> request = DecodeRequest(payload);
+  QueryResponse response;
+  if (!request.ok()) {
+    // Framing is intact, only the payload is malformed — answer the error
+    // and keep the connection.
+    response.outcome = ResponseOutcome::kError;
+    response.status_code = StatusCode::kInvalidArgument;
+    response.message = std::string(request.status().message());
+  } else {
+    std::shared_ptr<PendingQuery> pending = service_->Submit(*request);
+    // Chaos hook: cancel mid-flight, as a client crash would.
+    if (HETESIM_FAULT_POINT("service.conn.cancel")) pending->Cancel();
+    while (!pending->WaitForMs(options_.poll_interval_ms)) {
+      if (stopping_.load(std::memory_order_acquire) || PeerGone(fd)) {
+        // The answer has no recipient: stop the work, then drain the
+        // handle so the reservation-release path still runs to completion.
+        disconnect_cancels_.fetch_add(1, std::memory_order_relaxed);
+        pending->Cancel();
+        pending->Wait();
+        return false;
+      }
+    }
+    response = pending->Wait();
+  }
+
+  const std::string frame =
+      EncodeFrame(FrameType::kResponse, EncodeResponse(response));
+  return WriteFully(fd, reinterpret_cast<const uint8_t*>(frame.data()),
+                    frame.size());
+}
+
+SocketServer::Stats SocketServer::stats() const {
+  Stats stats;
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.rejected_capacity = rejected_capacity_.load(std::memory_order_relaxed);
+  stats.closed_stall = closed_stall_.load(std::memory_order_relaxed);
+  stats.closed_protocol = closed_protocol_.load(std::memory_order_relaxed);
+  stats.disconnect_cancels = disconnect_cancels_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace hetesim::service

@@ -1,0 +1,116 @@
+#ifndef HETESIM_SERVICE_SERVER_H_
+#define HETESIM_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "service/service.h"
+
+namespace hetesim::service {
+
+struct ServerOptions {
+  /// Filesystem path of the Unix domain socket. A stale file from a
+  /// previous run is unlinked on bind.
+  std::string socket_path;
+  /// Connections served concurrently; an accept beyond this is closed
+  /// immediately (the client sees a transport error and backs off).
+  int max_connections = 32;
+  /// Slow-client guard: a peer that keeps a frame read or write blocked
+  /// longer than this is disconnected — one stalled client must never pin
+  /// a connection handler forever.
+  int io_timeout_ms = 5000;
+  /// Granularity of the pending-query wait loop; bounds how fast a client
+  /// disconnect turns into a query cancellation.
+  int poll_interval_ms = 20;
+};
+
+/// \brief Unix-socket front end for a `QueryService`.
+///
+/// One handler per connection (bounded by `max_connections`), running on
+/// an owned `ThreadPool`; the protocol is lockstep request/response
+/// (service/protocol.h). While a query runs, the handler watches the
+/// socket: a client that disconnects mid-query cancels it (via
+/// `PendingQuery::Cancel`), so abandoned work stops consuming workers.
+///
+/// Fault points (compiled out unless HETESIM_FAULT_INJECTION):
+///   service.frame.corrupt — flips a payload byte after read, exercising
+///                           the decode-reject path against a live peer
+///   service.conn.cancel   — cancels a pending query mid-flight, as a
+///                           vanished client would
+class SocketServer {
+ public:
+  /// Binds, listens, and starts accepting. `service` must outlive the
+  /// server.
+  [[nodiscard]] static Result<std::unique_ptr<SocketServer>> Start(
+      QueryService* service, const ServerOptions& options);
+
+  /// Stops accepting, disconnects all clients (cancelling their in-flight
+  /// queries), joins the handler pool, and removes the socket file.
+  /// Idempotent; also run by the destructor.
+  void Stop();
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  const std::string& socket_path() const { return options_.socket_path; }
+
+  struct Stats {
+    uint64_t accepted = 0;
+    uint64_t rejected_capacity = 0;
+    uint64_t closed_stall = 0;
+    uint64_t closed_protocol = 0;
+    uint64_t disconnect_cancels = 0;
+    uint64_t requests = 0;
+  };
+  Stats stats() const;
+
+ private:
+  SocketServer(QueryService* service, const ServerOptions& options);
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// One request/response exchange; false = close the connection.
+  bool ServeOne(int fd);
+
+  /// poll()-guarded exact-length IO; false on timeout/EOF/error.
+  bool ReadFully(int fd, uint8_t* buffer, size_t bytes);
+  bool WriteFully(int fd, const uint8_t* data, size_t bytes);
+  /// True when the peer hung up or errored (non-blocking probe).
+  static bool PeerGone(int fd);
+
+  void TrackConnection(int fd, bool add) EXCLUDES(mutex_);
+
+  QueryService* const service_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> active_connections_{0};
+
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> rejected_capacity_{0};
+  std::atomic<uint64_t> closed_stall_{0};
+  std::atomic<uint64_t> closed_protocol_{0};
+  std::atomic<uint64_t> disconnect_cancels_{0};
+  std::atomic<uint64_t> requests_{0};
+
+  mutable Mutex mutex_;
+  std::vector<int> connection_fds_ GUARDED_BY(mutex_);
+  bool stopped_ GUARDED_BY(mutex_) = false;
+
+  /// Declared last so their destructors join before members vanish.
+  std::unique_ptr<ThreadPool> handler_pool_;
+  std::unique_ptr<ThreadPool> accept_pool_;
+};
+
+}  // namespace hetesim::service
+
+#endif  // HETESIM_SERVICE_SERVER_H_

@@ -223,6 +223,40 @@ Status ParseCacheLine(const Line& line, OptionReader& reader,
   return Status::OK();
 }
 
+Status ParseServiceLine(const Line& line, OptionReader& reader,
+                        WorkloadConfig* config) {
+  if (line.positional.size() != 1) {
+    return LineError(line, "service needs a mode: on | off");
+  }
+  const std::string& mode = line.positional[0];
+  if (mode == "off") {
+    config->service = ServiceSpec{};
+    return Status::OK();
+  }
+  if (mode != "on") {
+    return LineError(line, "unknown service mode '" + mode + "' (want on | off)");
+  }
+  config->service.enabled = true;
+  HETESIM_ASSIGN_OR_RETURN(int64_t workers, reader.TakeInt("workers", 0, 0));
+  config->service.workers = static_cast<int>(workers);
+  HETESIM_ASSIGN_OR_RETURN(int64_t queue_depth,
+                           reader.TakeInt("queue_depth", 64, 1));
+  config->service.queue_depth = static_cast<int>(queue_depth);
+  HETESIM_ASSIGN_OR_RETURN(int64_t memory_mb,
+                           reader.TakeInt("memory_mb", 0, 0));
+  config->service.memory_mb = static_cast<size_t>(memory_mb);
+  HETESIM_ASSIGN_OR_RETURN(config->service.tenant_rate,
+                           reader.TakeDouble("tenant_rate", 0, 0));
+  HETESIM_ASSIGN_OR_RETURN(config->service.tenant_burst,
+                           reader.TakeDouble("tenant_burst", 1.0, 0));
+  HETESIM_ASSIGN_OR_RETURN(config->service.truncate_slice_ms,
+                           reader.TakeDouble("truncate_slice_ms", 10.0, 0));
+  HETESIM_ASSIGN_OR_RETURN(int64_t retries, reader.TakeInt("retries", 0, 0));
+  if (retries > 16) return LineError(line, "retries must be <= 16");
+  config->service.retries = static_cast<int>(retries);
+  return Status::OK();
+}
+
 Status ParseClassLine(const Line& line, OptionReader& reader,
                       WorkloadConfig* config) {
   if (line.positional.size() != 1) {
@@ -338,6 +372,8 @@ Result<WorkloadConfig> ParseWorkloadConfig(std::string_view text) {
           config.popularity, ParsePopularity(line, line.positional[0], reader));
     } else if (line.directive == "cache") {
       HETESIM_RETURN_NOT_OK(ParseCacheLine(line, reader, &config));
+    } else if (line.directive == "service") {
+      HETESIM_RETURN_NOT_OK(ParseServiceLine(line, reader, &config));
     } else if (line.directive == "class") {
       HETESIM_RETURN_NOT_OK(ParseClassLine(line, reader, &config));
     } else {

@@ -29,6 +29,7 @@ namespace hetesim::workload {
 ///   arrival open rate_qps=400 workers=8           # open loop, Poisson arrivals
 ///   popularity zipf s=1.05                        # or: uniform | nurand
 ///   cache mb=64                                   # or: cache off | cache unlimited
+///   service on workers=2 queue_depth=8 memory_mb=64 retries=2   # admission pipeline
 ///   class pair_hot type=pair   path=A-P-A   weight=0.3 deadline_ms=200
 ///   class topk_c   type=topk   path=C-P-A   weight=0.5 k=10 deadline_ms=100 deadline_jitter_pct=50 popularity=nurand
 ///   class row_scan type=single path=A-P-C-P-A weight=0.2
@@ -77,6 +78,25 @@ struct QueryClassSpec {
   std::optional<PopularitySpec> popularity;  ///< override of the scenario default
 };
 
+/// Admission-pipeline knobs for service-mode scenarios (`service on ...`).
+/// When enabled, the runner routes queries through a resident
+/// `service::QueryService` (in-process, or over a Unix socket when the run
+/// is given `--service-socket`) instead of calling the engine directly, so
+/// overload scenarios exercise rejection/shedding/degradation.
+struct ServiceSpec {
+  bool enabled = false;
+  /// Executor threads inside the service; 0 = the scenario's `workers`.
+  int workers = 0;
+  int queue_depth = 64;      ///< admission queue capacity
+  size_t memory_mb = 0;      ///< service memory budget, 0 = unlimited
+  double tenant_rate = 0;    ///< per-tenant quota, cost-seconds/s (0 = off)
+  double tenant_burst = 1.0; ///< per-tenant burst, cost-seconds
+  double truncate_slice_ms = 10.0;  ///< degraded top-k deadline slice
+  /// Client-side retries per query beyond the first attempt (0 = plain
+  /// client, no retry loop).
+  int retries = 0;
+};
+
 /// Where the graph under load comes from.
 struct GraphSpec {
   enum class Kind { kDblp, kAcm, kFile };
@@ -102,6 +122,7 @@ struct WorkloadConfig {
   PopularitySpec popularity;
   bool cache_enabled = true;
   size_t cache_mb = 0;  ///< 0 = unlimited (no memory budget)
+  ServiceSpec service;
   std::vector<QueryClassSpec> classes;
 };
 

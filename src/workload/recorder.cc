@@ -41,8 +41,16 @@ const char* QueryOutcomeName(QueryOutcome outcome) {
     case QueryOutcome::kDeadlineExceeded: return "deadline_exceeded";
     case QueryOutcome::kCancelled: return "cancelled";
     case QueryOutcome::kError: return "error";
+    case QueryOutcome::kRejected: return "rejected";
+    case QueryOutcome::kShed: return "shed";
+    case QueryOutcome::kDegraded: return "degraded";
   }
   return "unknown";
+}
+
+bool OutcomeServed(QueryOutcome outcome) {
+  return outcome == QueryOutcome::kOk || outcome == QueryOutcome::kTruncated ||
+         outcome == QueryOutcome::kDegraded;
 }
 
 LatencyRecorder::LatencyRecorder(std::vector<std::string> class_names,
@@ -62,12 +70,16 @@ void LatencyRecorder::Record(int class_id, int tenant, double latency_seconds,
     MutexLock lock(mutex_);
     PerClass& cls = classes_[static_cast<size_t>(class_id)];
     cls.latencies_s.push_back(latency_seconds);
+    if (OutcomeServed(outcome)) cls.served_latencies_s.push_back(latency_seconds);
     switch (outcome) {
       case QueryOutcome::kOk: cls.ok++; break;
       case QueryOutcome::kTruncated: cls.truncated++; break;
       case QueryOutcome::kDeadlineExceeded: cls.deadline_exceeded++; break;
       case QueryOutcome::kCancelled: cls.cancelled++; break;
       case QueryOutcome::kError: cls.errors++; break;
+      case QueryOutcome::kRejected: cls.rejected++; break;
+      case QueryOutcome::kShed: cls.shed++; break;
+      case QueryOutcome::kDegraded: cls.degraded++; break;
     }
     if (deadline_missed) cls.deadline_missed++;
     if (tenant >= 0 && static_cast<size_t>(tenant) < tenant_counts_.size()) {
@@ -86,6 +98,15 @@ void LatencyRecorder::Record(int class_id, int tenant, double latency_seconds,
     if (outcome == QueryOutcome::kError) {
       registry.GetCounter("hetesim_workload_errors_total").Increment();
     }
+    if (outcome == QueryOutcome::kRejected) {
+      registry.GetCounter("hetesim_workload_rejected_total").Increment();
+    }
+    if (outcome == QueryOutcome::kShed) {
+      registry.GetCounter("hetesim_workload_shed_total").Increment();
+    }
+    if (outcome == QueryOutcome::kDegraded) {
+      registry.GetCounter("hetesim_workload_degraded_total").Increment();
+    }
     registry
         .GetHistogram("hetesim_workload_" +
                           Sanitize(class_names_[static_cast<size_t>(class_id)]) +
@@ -100,17 +121,22 @@ ClassStats LatencyRecorder::ClassReport(int class_id,
   HETESIM_CHECK(class_id >= 0 &&
                 static_cast<size_t>(class_id) < class_names_.size());
   std::vector<double> sorted;
+  std::vector<double> served_sorted;
   ClassStats stats;
   stats.name = class_names_[static_cast<size_t>(class_id)];
   {
     MutexLock lock(mutex_);
     const PerClass& cls = classes_[static_cast<size_t>(class_id)];
     sorted = cls.latencies_s;
+    served_sorted = cls.served_latencies_s;
     stats.ok = cls.ok;
     stats.truncated = cls.truncated;
     stats.deadline_exceeded = cls.deadline_exceeded;
     stats.cancelled = cls.cancelled;
     stats.errors = cls.errors;
+    stats.rejected = cls.rejected;
+    stats.shed = cls.shed;
+    stats.degraded = cls.degraded;
     stats.deadline_missed = cls.deadline_missed;
   }
   std::sort(sorted.begin(), sorted.end());
@@ -127,6 +153,15 @@ ClassStats LatencyRecorder::ClassReport(int class_id,
     stats.p95_ms = QuantileSorted(sorted, 0.95) * 1e3;
     stats.p99_ms = QuantileSorted(sorted, 0.99) * 1e3;
     stats.p999_ms = QuantileSorted(sorted, 0.999) * 1e3;
+  }
+  std::sort(served_sorted.begin(), served_sorted.end());
+  if (wall_seconds > 0) {
+    stats.goodput_qps =
+        static_cast<double>(served_sorted.size()) / wall_seconds;
+  }
+  if (!served_sorted.empty()) {
+    stats.served_p99_ms = QuantileSorted(served_sorted, 0.99) * 1e3;
+    stats.served_max_ms = served_sorted.back() * 1e3;
   }
   return stats;
 }

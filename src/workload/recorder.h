@@ -17,7 +17,16 @@ enum class QueryOutcome {
   kDeadlineExceeded,  ///< all-or-nothing query died on its deadline
   kCancelled,         ///< cooperative cancellation surfaced
   kError,             ///< any other non-OK status
+  // Service-mode outcomes (DESIGN.md §13): the admission pipeline answered
+  // instead of the engine.
+  kRejected,  ///< refused before compute (queue full / deadline / quota)
+  kShed,      ///< dropped under overload or memory pressure
+  kDegraded,  ///< served, but at a reduced degradation level
 };
+
+/// True when the client got an answer with scores in it (kOk, kTruncated,
+/// kDegraded) — the numerator of goodput.
+bool OutcomeServed(QueryOutcome outcome);
 
 const char* QueryOutcomeName(QueryOutcome outcome);
 
@@ -30,16 +39,30 @@ struct ClassStats {
   int64_t deadline_exceeded = 0;
   int64_t cancelled = 0;
   int64_t errors = 0;
+  int64_t rejected = 0;  ///< admission refusals (service mode)
+  int64_t shed = 0;      ///< load/memory shedding (service mode)
+  int64_t degraded = 0;  ///< served at a reduced degradation level
   /// Queries whose latency exceeded their per-query deadline OR that ended
   /// truncated/expired — the user-facing SLO-miss count.
   int64_t deadline_missed = 0;
   double throughput_qps = 0;  ///< queries / wall seconds of the run
+  /// Served answers (ok + truncated + degraded) / wall seconds — the number
+  /// that must stay flat past saturation if shedding works.
+  double goodput_qps = 0;
+  /// Mean deadline the scenario assigned this class (0 = none); echoed so
+  /// the report is self-contained for SLO assertions.
+  double deadline_ms = 0;
   double mean_ms = 0;
   double max_ms = 0;
   double p50_ms = 0;
   double p95_ms = 0;
   double p99_ms = 0;
   double p999_ms = 0;
+  /// Latency quantiles over *served* answers only. Rejections return in
+  /// microseconds and would make the all-outcome p99 look better under
+  /// overload, not worse — SLO verdicts for admitted queries read these.
+  double served_p99_ms = 0;
+  double served_max_ms = 0;
 };
 
 /// Per-tenant issue counts (fairness reporting).
@@ -75,11 +98,16 @@ class LatencyRecorder {
  private:
   struct PerClass {
     std::vector<double> latencies_s;
+    /// Subset of `latencies_s` whose outcome served an answer.
+    std::vector<double> served_latencies_s;
     int64_t ok = 0;
     int64_t truncated = 0;
     int64_t deadline_exceeded = 0;
     int64_t cancelled = 0;
     int64_t errors = 0;
+    int64_t rejected = 0;
+    int64_t shed = 0;
+    int64_t degraded = 0;
     int64_t deadline_missed = 0;
   };
 

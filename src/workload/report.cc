@@ -14,11 +14,16 @@ void AppendClassJson(const ClassStats& stats, std::ostringstream* out) {
        << StrFormat("        \"queries\": %lld,\n",
                     static_cast<long long>(stats.queries))
        << StrFormat("        \"throughput_qps\": %.3f,\n", stats.throughput_qps)
+       << StrFormat("        \"goodput_qps\": %.3f,\n", stats.goodput_qps)
+       << StrFormat("        \"deadline_ms\": %.4f,\n", stats.deadline_ms)
        << "        \"latency_ms\": {"
        << StrFormat("\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f, "
                     "\"p999\": %.4f, \"mean\": %.4f, \"max\": %.4f},\n",
                     stats.p50_ms, stats.p95_ms, stats.p99_ms, stats.p999_ms,
                     stats.mean_ms, stats.max_ms)
+       << "        \"served_latency_ms\": {"
+       << StrFormat("\"p99\": %.4f, \"max\": %.4f},\n", stats.served_p99_ms,
+                    stats.served_max_ms)
        << StrFormat("        \"ok\": %lld,\n", static_cast<long long>(stats.ok))
        << StrFormat("        \"truncated\": %lld,\n",
                     static_cast<long long>(stats.truncated))
@@ -28,6 +33,12 @@ void AppendClassJson(const ClassStats& stats, std::ostringstream* out) {
                     static_cast<long long>(stats.cancelled))
        << StrFormat("        \"errors\": %lld,\n",
                     static_cast<long long>(stats.errors))
+       << StrFormat("        \"rejected\": %lld,\n",
+                    static_cast<long long>(stats.rejected))
+       << StrFormat("        \"shed\": %lld,\n",
+                    static_cast<long long>(stats.shed))
+       << StrFormat("        \"degraded\": %lld,\n",
+                    static_cast<long long>(stats.degraded))
        << StrFormat("        \"deadline_miss_rate\": %.6f,\n",
                     stats.queries > 0 ? static_cast<double>(stats.deadline_missed) /
                                             static_cast<double>(stats.queries)
@@ -65,8 +76,24 @@ std::string RenderWorkloadReportsJson(
                      static_cast<long long>(report.warmup_queries))
         << StrFormat("      \"wall_seconds\": %.4f,\n", report.wall_seconds)
         << StrFormat("      \"throughput_qps\": %.3f,\n", report.throughput_qps)
+        << StrFormat("      \"goodput_qps\": %.3f,\n", report.goodput_qps)
         << StrFormat("      \"schedule_digest\": \"0x%016llx\",\n",
                      static_cast<unsigned long long>(report.schedule_digest));
+    if (report.service_enabled) {
+      out << "      \"service\": {\n"
+          << "        \"mode\": \"" << report.service_mode << "\",\n"
+          << StrFormat("        \"rejected\": %llu,\n",
+                       static_cast<unsigned long long>(report.service_rejected))
+          << StrFormat("        \"shed\": %llu,\n",
+                       static_cast<unsigned long long>(report.service_shed))
+          << StrFormat("        \"degraded\": %llu,\n",
+                       static_cast<unsigned long long>(report.service_degraded))
+          << StrFormat("        \"client_retries\": %llu,\n",
+                       static_cast<unsigned long long>(report.service_retries))
+          << StrFormat("        \"flops_per_second\": %.3e\n",
+                       report.service_flops_per_second)
+          << "      },\n";
+    }
     if (report.cache_limit_bytes > 0) {
       out << StrFormat("      \"cache_peak_bytes\": %zu,\n",
                        report.cache_peak_bytes)
@@ -112,6 +139,16 @@ std::string RenderScenarioSummary(const ScenarioReport& report) {
       report.name.c_str(), static_cast<long long>(report.total_queries),
       report.throughput_qps, report.wall_seconds,
       static_cast<unsigned long long>(report.schedule_digest));
+  if (report.service_enabled) {
+    out << StrFormat(
+        "  service (%s): goodput %8.1f q/s  rejected %llu  shed %llu  "
+        "degraded %llu  retries %llu\n",
+        report.service_mode.c_str(), report.goodput_qps,
+        static_cast<unsigned long long>(report.service_rejected),
+        static_cast<unsigned long long>(report.service_shed),
+        static_cast<unsigned long long>(report.service_degraded),
+        static_cast<unsigned long long>(report.service_retries));
+  }
   for (const ClassStats& cls : report.classes) {
     out << StrFormat(
         "  %-16s %6lld q  %8.1f q/s  p50 %8.3fms  p95 %8.3fms  p99 %8.3fms  "

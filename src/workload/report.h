@@ -21,6 +21,9 @@ struct ScenarioReport {
   int64_t warmup_queries = 0;
   double wall_seconds = 0;
   double throughput_qps = 0;
+  /// Served answers per wall second, summed over classes (== throughput
+  /// when no admission pipeline is in front).
+  double goodput_qps = 0;
   /// Schedule identity: equal seeds must produce equal digests (and equal
   /// per-class/per-tenant/per-source counts — the first two are echoed in
   /// the class/tenant sections, the digest covers all of it bitwise).
@@ -31,6 +34,18 @@ struct ScenarioReport {
   size_t cache_peak_bytes = 0;
   size_t cache_limit_bytes = 0;
   size_t cache_evictions = 0;
+  /// Service-mode summary (DESIGN.md §13), present when queries went
+  /// through a QueryService admission pipeline instead of straight into
+  /// the engine.
+  bool service_enabled = false;
+  std::string service_mode;  ///< "inproc" | "socket"
+  uint64_t service_rejected = 0;
+  uint64_t service_shed = 0;
+  uint64_t service_degraded = 0;
+  /// Calibrated executor throughput (in-process mode only; 0 over socket).
+  double service_flops_per_second = 0;
+  /// Client-side retry attempts beyond the first try (retrying client only).
+  uint64_t service_retries = 0;
 };
 
 /// Renders reports as the `BENCH_workload.json` document:

@@ -12,6 +12,8 @@
 #include "datagen/dblp_generator.h"
 #include "datagen/io.h"
 #include "hin/metapath.h"
+#include "service/client.h"
+#include "service/protocol.h"
 
 namespace hetesim::workload {
 namespace {
@@ -50,6 +52,32 @@ QueryOutcome OutcomeFromStatus(const Status& status) {
   if (status.IsDeadlineExceeded()) return QueryOutcome::kDeadlineExceeded;
   if (status.IsCancelled()) return QueryOutcome::kCancelled;
   return QueryOutcome::kError;
+}
+
+QueryOutcome OutcomeFromResponse(const service::QueryResponse& response) {
+  using service::ResponseOutcome;
+  switch (response.outcome) {
+    case ResponseOutcome::kOk:
+      return response.truncated ? QueryOutcome::kTruncated : QueryOutcome::kOk;
+    case ResponseOutcome::kDegraded: return QueryOutcome::kDegraded;
+    case ResponseOutcome::kRejected: return QueryOutcome::kRejected;
+    case ResponseOutcome::kShed: return QueryOutcome::kShed;
+    case ResponseOutcome::kDeadlineExceeded:
+      return QueryOutcome::kDeadlineExceeded;
+    case ResponseOutcome::kCancelled: return QueryOutcome::kCancelled;
+    case ResponseOutcome::kError: return QueryOutcome::kError;
+    case ResponseOutcome::kTransportError: return QueryOutcome::kError;
+  }
+  return QueryOutcome::kError;
+}
+
+service::QueryKind KindOf(QueryType type) {
+  switch (type) {
+    case QueryType::kPair: return service::QueryKind::kPair;
+    case QueryType::kSingleSource: return service::QueryKind::kSingleSource;
+    case QueryType::kTopK: return service::QueryKind::kTopK;
+  }
+  return service::QueryKind::kPair;
 }
 
 /// Reduced-scale runs shrink the warmup proportionally (to a tenth of the
@@ -100,9 +128,10 @@ Result<std::unique_ptr<WorkloadRunner>> WorkloadRunner::Create(
         runner->graph_->NumNodes(runtime.path.SourceType());
     runtime.domain.num_targets =
         runner->graph_->NumNodes(runtime.path.TargetType());
-    if (cls.type == QueryType::kTopK) {
+    if (cls.type == QueryType::kTopK && !config.service.enabled) {
       // Preparation is one-time serving setup (the paper's materialization
-      // step), deliberately outside per-query latency.
+      // step), deliberately outside per-query latency. In service mode the
+      // QueryService prepares its own searchers, so skip the direct-path one.
       HETESIM_ASSIGN_OR_RETURN(
           TopKSearcher searcher,
           TopKSearcher::Prepare(*runner->graph_, runtime.path, options,
@@ -110,6 +139,21 @@ Result<std::unique_ptr<WorkloadRunner>> WorkloadRunner::Create(
       runtime.searcher = std::make_unique<TopKSearcher>(std::move(searcher));
     }
     runner->classes_.push_back(std::move(runtime));
+  }
+
+  if (config.service.enabled) {
+    service::ServiceOptions service_options;
+    service_options.admission.workers =
+        config.service.workers > 0 ? config.service.workers : config.workers;
+    service_options.admission.queue_capacity = config.service.queue_depth;
+    service_options.admission.tenant_rate = config.service.tenant_rate;
+    service_options.admission.tenant_burst = config.service.tenant_burst;
+    service_options.memory_mb = config.service.memory_mb;
+    service_options.cache_enabled = config.cache_enabled;
+    service_options.truncate_slice_ms = config.service.truncate_slice_ms;
+    service_options.engine.num_threads = 1;  // same convention as direct mode
+    runner->service_ =
+        service::QueryService::Create(*runner->graph_, service_options);
   }
   return runner;
 }
@@ -127,11 +171,38 @@ Result<Schedule> WorkloadRunner::BuildRunSchedule(
   return BuildSchedule(config, domains);
 }
 
-QueryObservation WorkloadRunner::ExecuteQuery(const QuerySpec& spec,
-                                              const RunOptions& options) const {
+QueryObservation WorkloadRunner::ExecuteQuery(
+    const QuerySpec& spec, const RunOptions& options,
+    service::ServiceClient* client) const {
   (void)options;
   const ClassRuntime& runtime = classes_[static_cast<size_t>(spec.class_id)];
   const QueryClassSpec& cls = config_.classes[static_cast<size_t>(spec.class_id)];
+
+  if (client != nullptr) {
+    service::QueryRequest request;
+    request.id = static_cast<uint64_t>(spec.index);
+    request.kind = KindOf(cls.type);
+    request.tenant = static_cast<uint32_t>(spec.tenant);
+    request.deadline_ms = spec.deadline_ms;
+    request.path = cls.path_spec;
+    request.source = spec.source;
+    request.target = spec.target;
+    request.k = spec.k;
+
+    const Clock::time_point issue = Clock::now();
+    const service::QueryResponse response = client->Execute(request);
+    QueryObservation observation;
+    observation.outcome = OutcomeFromResponse(response);
+    observation.latency_seconds =
+        std::chrono::duration<double>(Clock::now() - issue).count();
+    observation.deadline_missed =
+        spec.deadline_ms > 0 &&
+        (observation.latency_seconds * 1e3 > spec.deadline_ms ||
+         observation.outcome == QueryOutcome::kTruncated ||
+         observation.outcome == QueryOutcome::kDeadlineExceeded ||
+         observation.outcome == QueryOutcome::kCancelled);
+    return observation;
+  }
 
   const Clock::time_point issue = Clock::now();
   QueryContext ctx;
@@ -186,6 +257,26 @@ QueryObservation WorkloadRunner::ExecuteQuery(const QuerySpec& spec,
   return observation;
 }
 
+std::unique_ptr<service::ServiceClient> WorkloadRunner::MakeClient(
+    const RunOptions& options, int worker_id) const {
+  std::unique_ptr<service::ServiceClient> base;
+  if (!options.service_socket.empty()) {
+    base = std::make_unique<service::SocketClient>(options.service_socket);
+  } else if (service_ != nullptr) {
+    base = std::make_unique<service::InProcessClient>(service_.get());
+  } else {
+    return nullptr;  // direct engine path
+  }
+  if (config_.service.retries <= 0) return base;
+  service::RetryOptions retry_options;
+  retry_options.max_attempts = config_.service.retries + 1;
+  // Distinct deterministic jitter stream per worker.
+  retry_options.seed =
+      config_.seed * 0x9e3779b97f4a7c15ULL + static_cast<uint64_t>(worker_id) + 1;
+  return std::make_unique<service::RetryingClient>(std::move(base),
+                                                   retry_options);
+}
+
 Result<ScenarioReport> WorkloadRunner::Run(const RunOptions& options) {
   HETESIM_ASSIGN_OR_RETURN(Schedule schedule,
                            BuildRunSchedule(options.override_queries));
@@ -201,7 +292,11 @@ Result<ScenarioReport> WorkloadRunner::Run(const RunOptions& options) {
 
   const bool open_loop = config_.arrival == ArrivalMode::kOpenLoop;
   const bool pace = options.realtime;
+  const bool service_mode =
+      service_ != nullptr || !options.service_socket.empty();
   std::atomic<int64_t> next{0};
+  std::atomic<int> worker_seq{0};
+  std::atomic<uint64_t> total_retries{0};
 
   Mutex done_mutex;
   CondVar done_cv;
@@ -209,6 +304,9 @@ Result<ScenarioReport> WorkloadRunner::Run(const RunOptions& options) {
 
   const Clock::time_point run_start = Clock::now();
   auto worker_loop = [&]() {
+    // Connection-per-worker, like a real deployment; null in direct mode.
+    const std::unique_ptr<service::ServiceClient> client =
+        MakeClient(options, worker_seq.fetch_add(1, std::memory_order_relaxed));
     for (;;) {
       const int64_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= num_queries) break;
@@ -223,7 +321,7 @@ Result<ScenarioReport> WorkloadRunner::Run(const RunOptions& options) {
         // of an open-loop driver.
         latency_base = arrival;
       }
-      QueryObservation observation = ExecuteQuery(spec, options);
+      QueryObservation observation = ExecuteQuery(spec, options, client.get());
       if (open_loop && pace) {
         observation.latency_seconds =
             std::chrono::duration<double>(Clock::now() - latency_base).count();
@@ -240,6 +338,11 @@ Result<ScenarioReport> WorkloadRunner::Run(const RunOptions& options) {
       if (!open_loop && pace && spec.think_us > 0) {
         std::this_thread::sleep_for(std::chrono::microseconds(spec.think_us));
       }
+    }
+    if (const auto* retrying =
+            dynamic_cast<const service::RetryingClient*>(client.get())) {
+      total_retries.fetch_add(retrying->retries_attempted(),
+                              std::memory_order_relaxed);
     }
     MutexLock lock(done_mutex);
     ++workers_done;
@@ -269,11 +372,30 @@ Result<ScenarioReport> WorkloadRunner::Run(const RunOptions& options) {
   report.schedule_digest = schedule.digest;
   for (size_t c = 0; c < classes_.size(); ++c) {
     report.classes.push_back(recorder.ClassReport(static_cast<int>(c), wall));
-    report.total_queries += report.classes.back().queries;
+    ClassStats& cls = report.classes.back();
+    cls.deadline_ms = config_.classes[c].deadline.mean_ms;
+    report.total_queries += cls.queries;
+    report.goodput_qps += cls.goodput_qps;
   }
   report.tenants_stats = recorder.TenantReport();
   if (wall > 0) {
     report.throughput_qps = static_cast<double>(report.total_queries) / wall;
+  }
+  if (service_mode) {
+    report.service_enabled = true;
+    report.service_mode = options.service_socket.empty() ? "inproc" : "socket";
+    report.service_retries = total_retries.load(std::memory_order_relaxed);
+    // Per-outcome totals come from the recorder (post-warmup, like every
+    // other report number), not the service's own counters (which include
+    // warmup and, over a socket, aren't visible here anyway).
+    for (const ClassStats& cls : report.classes) {
+      report.service_rejected += static_cast<uint64_t>(cls.rejected);
+      report.service_shed += static_cast<uint64_t>(cls.shed);
+      report.service_degraded += static_cast<uint64_t>(cls.degraded);
+    }
+    if (service_ != nullptr) {
+      report.service_flops_per_second = service_->stats().flops_per_second;
+    }
   }
   if (cache_ != nullptr && budget_ != nullptr) {
     const PathMatrixCache::Stats stats = cache_->stats();

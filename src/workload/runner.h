@@ -11,6 +11,8 @@
 #include "core/hetesim.h"
 #include "core/materialize.h"
 #include "core/topk.h"
+#include "service/client.h"
+#include "service/service.h"
 #include "workload/config.h"
 #include "workload/report.h"
 #include "workload/schedule.h"
@@ -41,6 +43,10 @@ struct RunOptions {
   /// Called after every query (warmup included), from worker threads —
   /// must be thread-safe. Null = off.
   std::function<void(const QuerySpec&, const QueryObservation&)> observer;
+  /// When non-empty, queries go over this Unix socket to an external
+  /// `hetesim_serve` instead of the in-process engine/service. The scenario
+  /// still supplies the schedule; the server supplies admission control.
+  std::string service_socket;
 };
 
 /// \brief In-process load driver: executes a scenario's schedule against a
@@ -68,6 +74,8 @@ class WorkloadRunner {
 
   const HinGraph& graph() const { return *graph_; }
   const WorkloadConfig& config() const { return config_; }
+  /// The in-process service when the scenario enables one (null otherwise).
+  service::QueryService* service() const { return service_.get(); }
 
  private:
   struct ClassRuntime {
@@ -80,15 +88,24 @@ class WorkloadRunner {
 
   WorkloadRunner(WorkloadConfig config, std::unique_ptr<HinGraph> graph);
 
-  /// Executes one scheduled query; returns what to record.
+  /// Executes one scheduled query; returns what to record. `client` is the
+  /// worker's service client in service mode, null for the direct engine
+  /// path.
   QueryObservation ExecuteQuery(const QuerySpec& spec,
-                                const RunOptions& options) const;
+                                const RunOptions& options,
+                                service::ServiceClient* client) const;
+
+  /// Builds one worker's client stack (transport + optional retry
+  /// decorator) for service mode; null when the run is direct.
+  std::unique_ptr<service::ServiceClient> MakeClient(const RunOptions& options,
+                                                     int worker_id) const;
 
   WorkloadConfig config_;
   std::unique_ptr<HinGraph> graph_;
   std::shared_ptr<MemoryBudget> budget_;       ///< null = unlimited
   std::shared_ptr<PathMatrixCache> cache_;     ///< null = cache off
   std::unique_ptr<HeteSimEngine> engine_;
+  std::unique_ptr<service::QueryService> service_;  ///< service-mode only
   std::vector<ClassRuntime> classes_;
 };
 

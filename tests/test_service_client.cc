@@ -1,0 +1,349 @@
+// Client-side resilience machinery (DESIGN.md §13): decorrelated-jitter
+// backoff, the circuit breaker, and the deadline-honoring RetryingClient.
+// Everything here runs on fake clocks — the breaker and the retry loop take
+// injected time, so these tests never sleep for real.
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/backoff.h"
+#include "service/client.h"
+#include "service/protocol.h"
+
+namespace hetesim::service {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Decorrelated-jitter backoff
+
+TEST(Backoff, EveryDelayStaysWithinBaseAndCap) {
+  BackoffOptions options;  // base 2, cap 200, multiplier 3
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    DecorrelatedJitterBackoff backoff(options, seed);
+    for (int i = 0; i < 200; ++i) {
+      const double delay = backoff.NextDelayMs();
+      EXPECT_GE(delay, options.base_ms);
+      EXPECT_LE(delay, options.cap_ms);
+    }
+  }
+}
+
+TEST(Backoff, FirstDrawIsBoundedByBaseTimesMultiplier) {
+  BackoffOptions options;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    DecorrelatedJitterBackoff backoff(options, seed);
+    const double first = backoff.NextDelayMs();
+    EXPECT_GE(first, options.base_ms);
+    EXPECT_LE(first, options.base_ms * options.multiplier);
+  }
+}
+
+TEST(Backoff, GrowsStochasticallyTowardTheCapAndResets) {
+  BackoffOptions options;
+  DecorrelatedJitterBackoff backoff(options, /*seed=*/7);
+  // The expected delay grows multiplicatively; over 1000 draws some must
+  // land in the top half of the range, which a non-growing jitter around
+  // the base could never reach.
+  double max_seen = 0;
+  for (int i = 0; i < 1000; ++i) max_seen = std::max(max_seen, backoff.NextDelayMs());
+  EXPECT_GT(max_seen, options.cap_ms / 2);
+  // Reset snaps the state back to the base: the next draw is again bounded
+  // by base * multiplier.
+  backoff.Reset();
+  EXPECT_LE(backoff.NextDelayMs(), options.base_ms * options.multiplier);
+}
+
+TEST(Backoff, IsDeterministicPerSeed) {
+  BackoffOptions options;
+  DecorrelatedJitterBackoff a(options, 42), b(options, 42);
+  for (int i = 0; i < 50; ++i) EXPECT_DOUBLE_EQ(a.NextDelayMs(), b.NextDelayMs());
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker (explicit fake time points)
+
+TEST(Breaker, OpensAtThresholdAndRefusesUntilCooldown) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 3;
+  options.open_ms = 1000;
+  CircuitBreaker breaker(options);
+  const CircuitBreaker::Clock::time_point t0 = CircuitBreaker::Clock::now();
+
+  EXPECT_TRUE(breaker.AllowRequest(t0));
+  breaker.RecordFailure(t0);
+  breaker.RecordFailure(t0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest(t0));  // 2 < threshold, still closed
+  breaker.RecordFailure(t0);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.consecutive_failures(), 3);
+
+  // Open: refused locally until the cooldown elapses.
+  EXPECT_FALSE(breaker.AllowRequest(t0 + std::chrono::milliseconds(999)));
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(Breaker, HalfOpenAdmitsExactlyOneProbe) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_ms = 100;
+  CircuitBreaker breaker(options);
+  const CircuitBreaker::Clock::time_point t0 = CircuitBreaker::Clock::now();
+  breaker.RecordFailure(t0);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  const CircuitBreaker::Clock::time_point t1 = t0 + std::chrono::milliseconds(100);
+  EXPECT_TRUE(breaker.AllowRequest(t1));  // the probe
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.AllowRequest(t1));  // probe in flight: refuse
+  breaker.RecordSuccess();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.consecutive_failures(), 0);
+}
+
+TEST(Breaker, FailedProbeReopensWithAFreshCooldown) {
+  CircuitBreakerOptions options;
+  options.failure_threshold = 1;
+  options.open_ms = 100;
+  CircuitBreaker breaker(options);
+  const CircuitBreaker::Clock::time_point t0 = CircuitBreaker::Clock::now();
+  breaker.RecordFailure(t0);
+  const CircuitBreaker::Clock::time_point t1 = t0 + std::chrono::milliseconds(100);
+  ASSERT_TRUE(breaker.AllowRequest(t1));
+  breaker.RecordFailure(t1);  // probe failed
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  // The cooldown restarts from the probe failure, not the original trip.
+  EXPECT_FALSE(breaker.AllowRequest(t1 + std::chrono::milliseconds(99)));
+  EXPECT_TRUE(breaker.AllowRequest(t1 + std::chrono::milliseconds(100)));
+}
+
+// ---------------------------------------------------------------------------
+// RetryingClient on a fake clock
+
+/// Scripted base client: returns canned responses in order and records the
+/// deadline each attempt carried. The last response repeats if the script
+/// runs dry.
+class ScriptedClient : public ServiceClient {
+ public:
+  explicit ScriptedClient(std::vector<QueryResponse> script)
+      : script_(std::move(script)) {}
+
+  QueryResponse Execute(const QueryRequest& request) override {
+    attempt_deadlines_ms.push_back(request.deadline_ms);
+    const size_t index = std::min(calls_, script_.size() - 1);
+    ++calls_;
+    QueryResponse response = script_[index];
+    response.id = request.id;
+    return response;
+  }
+
+  size_t calls() const { return calls_; }
+  std::vector<double> attempt_deadlines_ms;
+
+ private:
+  std::vector<QueryResponse> script_;
+  size_t calls_ = 0;
+};
+
+QueryResponse Outcome(ResponseOutcome outcome, double retry_after_ms = 0) {
+  QueryResponse response;
+  response.outcome = outcome;
+  response.retry_after_ms = retry_after_ms;
+  response.status_code =
+      outcome == ResponseOutcome::kOk ? StatusCode::kOk : StatusCode::kIOError;
+  return response;
+}
+
+/// Harness owning the fake clock: `now` only advances when the retry loop
+/// sleeps (or the test advances it directly), and every sleep is recorded.
+struct FakeTime {
+  Clock::time_point now = Clock::now();
+  std::vector<double> sleeps_ms;
+
+  RetryingClient::NowFn now_fn() {
+    return [this] { return now; };
+  }
+  RetryingClient::SleepFn sleep_fn() {
+    return [this](double ms) {
+      sleeps_ms.push_back(ms);
+      now += std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double, std::milli>(ms));
+    };
+  }
+};
+
+RetryOptions SmallRetryOptions(int max_attempts) {
+  RetryOptions options;
+  options.max_attempts = max_attempts;
+  options.seed = 99;
+  return options;
+}
+
+TEST(RetryingClient, RetriesRejectionThenSucceeds) {
+  auto base = std::make_unique<ScriptedClient>(std::vector<QueryResponse>{
+      Outcome(ResponseOutcome::kRejected), Outcome(ResponseOutcome::kOk)});
+  ScriptedClient* script = base.get();
+  FakeTime time;
+  RetryingClient client(std::move(base), SmallRetryOptions(3), time.now_fn(),
+                        time.sleep_fn());
+  QueryRequest request;
+  request.deadline_ms = 1000;
+  const QueryResponse response = client.Execute(request);
+  EXPECT_EQ(response.outcome, ResponseOutcome::kOk);
+  EXPECT_EQ(script->calls(), 2u);
+  EXPECT_EQ(client.retries_attempted(), 1u);
+  ASSERT_EQ(time.sleeps_ms.size(), 1u);
+  EXPECT_GE(time.sleeps_ms[0], 2.0);  // at least the backoff base
+}
+
+TEST(RetryingClient, ServerRetryAfterHintOverridesSmallerBackoffDraw) {
+  auto base = std::make_unique<ScriptedClient>(std::vector<QueryResponse>{
+      Outcome(ResponseOutcome::kShed, /*retry_after_ms=*/50),
+      Outcome(ResponseOutcome::kOk)});
+  FakeTime time;
+  RetryingClient client(std::move(base), SmallRetryOptions(2), time.now_fn(),
+                        time.sleep_fn());
+  QueryRequest request;  // no deadline
+  const QueryResponse response = client.Execute(request);
+  EXPECT_EQ(response.outcome, ResponseOutcome::kOk);
+  // First backoff draw is at most base*multiplier = 6 ms; the 50 ms server
+  // hint must win.
+  ASSERT_EQ(time.sleeps_ms.size(), 1u);
+  EXPECT_DOUBLE_EQ(time.sleeps_ms[0], 50.0);
+}
+
+TEST(RetryingClient, NeverSleepsPastTheDeadlineWall) {
+  auto base = std::make_unique<ScriptedClient>(
+      std::vector<QueryResponse>{Outcome(ResponseOutcome::kRejected)});
+  FakeTime time;
+  const Clock::time_point start = time.now;
+  RetryingClient client(std::move(base), SmallRetryOptions(100), time.now_fn(),
+                        time.sleep_fn());
+  QueryRequest request;
+  request.deadline_ms = 10;
+  const QueryResponse response = client.Execute(request);
+  // The loop gives up with the last rejection once a delay cannot fit; the
+  // fake clock must never have advanced past the wall.
+  EXPECT_EQ(response.outcome, ResponseOutcome::kRejected);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(time.now - start).count();
+  EXPECT_LT(elapsed_ms, 10.0);
+  EXPECT_FALSE(time.sleeps_ms.empty());  // it did try before giving up
+}
+
+TEST(RetryingClient, HugeRetryAfterHintReturnsImmediatelyUnderDeadline) {
+  auto base = std::make_unique<ScriptedClient>(std::vector<QueryResponse>{
+      Outcome(ResponseOutcome::kRejected, /*retry_after_ms=*/5000)});
+  ScriptedClient* script = base.get();
+  FakeTime time;
+  RetryingClient client(std::move(base), SmallRetryOptions(5), time.now_fn(),
+                        time.sleep_fn());
+  QueryRequest request;
+  request.deadline_ms = 100;
+  const QueryResponse response = client.Execute(request);
+  EXPECT_EQ(response.outcome, ResponseOutcome::kRejected);
+  EXPECT_EQ(script->calls(), 1u);       // no second attempt
+  EXPECT_TRUE(time.sleeps_ms.empty());  // and no pointless sleep
+  EXPECT_EQ(client.retries_attempted(), 0u);
+}
+
+TEST(RetryingClient, AttemptDeadlinesShrinkToTheRemainingBudget) {
+  auto base = std::make_unique<ScriptedClient>(
+      std::vector<QueryResponse>{Outcome(ResponseOutcome::kRejected),
+                                 Outcome(ResponseOutcome::kRejected),
+                                 Outcome(ResponseOutcome::kOk)});
+  ScriptedClient* script = base.get();
+  FakeTime time;
+  RetryingClient client(std::move(base), SmallRetryOptions(3), time.now_fn(),
+                        time.sleep_fn());
+  QueryRequest request;
+  request.deadline_ms = 1000;
+  (void)client.Execute(request);
+  ASSERT_EQ(script->attempt_deadlines_ms.size(), 3u);
+  EXPECT_DOUBLE_EQ(script->attempt_deadlines_ms[0], 1000.0);
+  // Each sleep consumed budget, so later attempts carry strictly less.
+  EXPECT_LT(script->attempt_deadlines_ms[1], script->attempt_deadlines_ms[0]);
+  EXPECT_LT(script->attempt_deadlines_ms[2], script->attempt_deadlines_ms[1]);
+}
+
+TEST(RetryingClient, NonRetryableOutcomesReturnImmediately) {
+  for (ResponseOutcome outcome :
+       {ResponseOutcome::kOk, ResponseOutcome::kError,
+        ResponseOutcome::kDeadlineExceeded, ResponseOutcome::kCancelled,
+        ResponseOutcome::kDegraded}) {
+    auto base = std::make_unique<ScriptedClient>(
+        std::vector<QueryResponse>{Outcome(outcome)});
+    ScriptedClient* script = base.get();
+    FakeTime time;
+    RetryingClient client(std::move(base), SmallRetryOptions(5), time.now_fn(),
+                          time.sleep_fn());
+    const QueryResponse response = client.Execute(QueryRequest{});
+    EXPECT_EQ(response.outcome, outcome);
+    EXPECT_EQ(script->calls(), 1u) << ResponseOutcomeName(outcome);
+  }
+}
+
+TEST(RetryingClient, TransportFailuresTripTheBreaker) {
+  auto base = std::make_unique<ScriptedClient>(
+      std::vector<QueryResponse>{Outcome(ResponseOutcome::kTransportError)});
+  ScriptedClient* script = base.get();
+  FakeTime time;
+  RetryOptions options = SmallRetryOptions(10);
+  options.breaker.failure_threshold = 4;
+  RetryingClient client(std::move(base), options, time.now_fn(), time.sleep_fn());
+  const QueryResponse response = client.Execute(QueryRequest{});  // no deadline
+  // Four attempts reach the wire and trip the breaker; the fifth is refused
+  // locally (the fake clock never advances past the cooldown while the
+  // sleeps are shorter than open_ms).
+  EXPECT_EQ(script->calls(), 4u);
+  EXPECT_EQ(response.outcome, ResponseOutcome::kTransportError);
+  EXPECT_EQ(response.message, "circuit breaker open");
+  EXPECT_EQ(response.status_code, StatusCode::kResourceExhausted);
+  EXPECT_EQ(client.breaker().state(), CircuitBreaker::State::kOpen);
+}
+
+TEST(RetryingClient, ServerRejectionsDoNotFeedTheBreaker) {
+  // Rejections prove the transport healthy: the breaker must stay closed no
+  // matter how many the server issues.
+  auto base = std::make_unique<ScriptedClient>(
+      std::vector<QueryResponse>{Outcome(ResponseOutcome::kRejected)});
+  FakeTime time;
+  RetryOptions options = SmallRetryOptions(10);
+  options.breaker.failure_threshold = 2;
+  RetryingClient client(std::move(base), options, time.now_fn(), time.sleep_fn());
+  const QueryResponse response = client.Execute(QueryRequest{});
+  EXPECT_EQ(response.outcome, ResponseOutcome::kRejected);
+  EXPECT_EQ(client.breaker().state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(client.retries_attempted(), 9u);  // all attempts were made
+}
+
+TEST(RetryingClient, OversleptRetryIsReportedAsDeadlineExceeded) {
+  // The planned delay fits the budget, but the "OS" oversleeps past the
+  // wall. The next attempt must not reach the server: the loop reports
+  // kDeadlineExceeded instead of issuing a doomed request.
+  auto base = std::make_unique<ScriptedClient>(
+      std::vector<QueryResponse>{Outcome(ResponseOutcome::kRejected)});
+  ScriptedClient* script = base.get();
+  FakeTime time;
+  RetryingClient::SleepFn oversleep = [&time](double ms) {
+    time.sleeps_ms.push_back(ms);
+    time.now += std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double, std::milli>(ms + 50));
+  };
+  RetryingClient client(std::move(base), SmallRetryOptions(3), time.now_fn(),
+                        oversleep);
+  QueryRequest request;
+  request.deadline_ms = 20;  // first backoff draw (<= 6 ms) fits this
+  const QueryResponse response = client.Execute(request);
+  EXPECT_EQ(response.outcome, ResponseOutcome::kDeadlineExceeded);
+  EXPECT_EQ(response.status_code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(script->calls(), 1u);  // only the pre-sleep attempt went out
+}
+
+}  // namespace
+}  // namespace hetesim::service

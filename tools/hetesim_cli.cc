@@ -16,6 +16,10 @@
 //                        [--threads N] [--deadline-ms N] [--max-cache-mb N]
 //   hetesim_cli workload --config FILE[,FILE...] [--out FILE.json]
 //                        [--queries N] [--workers N] [--no-realtime]
+//                        [--service-socket PATH]
+//
+// Exit codes: 0 success, 2 usage error (unparseable command line or invalid
+// arguments), 1 runtime failure.
 //
 // --threads follows the library convention: 1 (default) is sequential,
 // 0 uses every hardware thread via the shared pool.
@@ -396,6 +400,12 @@ Status RunWorkload(const Args& args) {
   HETESIM_ASSIGN_OR_RETURN(run_options.override_workers,
                            args.GetInt("workers", 0, /*min=*/0, /*max=*/4096));
   run_options.realtime = !args.Has("no-realtime");
+  if (auto socket = args.Get("service-socket"); socket) {
+    if (socket->empty()) {
+      return Status::InvalidArgument("--service-socket needs a path");
+    }
+    run_options.service_socket = *socket;
+  }
 
   std::vector<std::string> files;
   for (size_t start = 0; start <= config_arg->size();) {
@@ -449,7 +459,8 @@ void PrintUsage() {
                "  matrix   --graph FILE --path SPEC --out FILE.csv "
                "[--threads N] [--deadline-ms N] [--max-cache-mb N]\n"
                "  workload --config FILE[,FILE...] [--out FILE.json] "
-               "[--queries N] [--workers N] [--no-realtime]\n"
+               "[--queries N] [--workers N] [--no-realtime] "
+               "[--service-socket PATH]\n"
                "observability (any command):\n"
                "  --metrics-out=FILE  dump the metrics registry "
                "(.json -> JSON, else Prometheus text)\n"
@@ -522,7 +533,10 @@ int main(int argc, char** argv) {
   }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-    return 1;
+    // Usage mistakes (bad/missing flags) exit 2, matching parse failures
+    // above; genuine runtime failures (IO, compute) exit 1, so scripts can
+    // tell "fix the command line" from "investigate the run".
+    return status.IsInvalidArgument() ? 2 : 1;
   }
   return 0;
 }
