@@ -10,6 +10,7 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "common/trace.h"
+#include "core/frontier.h"
 #include "core/materialize.h"
 #include "matrix/chain_plan.h"
 #include "matrix/cost_model.h"
@@ -71,6 +72,23 @@ void RecordQueryOutcome(TraceSpan& span, const Status& status,
 }
 
 }  // namespace
+
+Result<RelevanceAlgo> ParseRelevanceAlgo(std::string_view word) {
+  if (word == "exhaustive") return RelevanceAlgo::kExhaustive;
+  if (word == "pruned") return RelevanceAlgo::kPruned;
+  if (word == "frontier") return RelevanceAlgo::kFrontier;
+  return Status::InvalidArgument("unknown algo '" + std::string(word) +
+                                 "' (want exhaustive | pruned | frontier)");
+}
+
+const char* AlgoName(RelevanceAlgo algo) {
+  switch (algo) {
+    case RelevanceAlgo::kExhaustive: return "exhaustive";
+    case RelevanceAlgo::kPruned: return "pruned";
+    case RelevanceAlgo::kFrontier: return "frontier";
+  }
+  return "unknown";
+}
 
 HeteSimEngine::HeteSimEngine(const HinGraph& graph, HeteSimOptions options,
                              std::shared_ptr<PathMatrixCache> cache)
@@ -331,6 +349,52 @@ Result<std::vector<double>> HeteSimEngine::ComputePairsTraced(
     if (target < 0 || target >= num_targets) {
       return Status::OutOfRange("target id out of range");
     }
+  }
+  if (options_.algo == RelevanceAlgo::kFrontier) {
+    // Frontier pair scoring (core/frontier.h): both indicators propagate
+    // sparsely to the middle type and combine per Equation 7 — no reachable
+    // matrix is materialized. A cache, when present, is probed for partial
+    // products to fold into the chains (ad-hoc meta-path reuse), and each
+    // distinct id's frontier is propagated once.
+    if (span.active()) span.Annotate("mode", "frontier");
+    PathDecomposition decomposition = DecomposePath(graph_, path);
+    const FrontierChain left_chain = PlanFrontierChain(
+        decomposition.left_transitions, path, /*left_side=*/true, cache_.get());
+    const FrontierChain right_chain =
+        PlanFrontierChain(decomposition.right_transitions, path,
+                          /*left_side=*/false, cache_.get());
+    std::unordered_map<Index, SparseVector> source_frontiers;
+    std::unordered_map<Index, SparseVector> target_frontiers;
+    auto frontier_of =
+        [&](Index id, const FrontierChain& chain,
+            std::unordered_map<Index, SparseVector>& memo)
+        -> Result<const SparseVector*> {
+      auto it = memo.find(id);
+      if (it != memo.end()) return &it->second;
+      HETESIM_ASSIGN_OR_RETURN(
+          SparseVector propagated,
+          PropagateFrontier(id, chain, options_.truncation, ctx));
+      return &memo.emplace(id, std::move(propagated)).first->second;
+    };
+    std::vector<double> scores;
+    scores.reserve(pairs.size());
+    for (const auto& [source, target] : pairs) {
+      HETESIM_RETURN_NOT_OK(ctx.CheckAlive());
+      HETESIM_ASSIGN_OR_RETURN(
+          const SparseVector* u,
+          frontier_of(source, left_chain, source_frontiers));
+      HETESIM_ASSIGN_OR_RETURN(
+          const SparseVector* v,
+          frontier_of(target, right_chain, target_frontiers));
+      double score = SparseDot(*u, *v);
+      if (options_.normalized) {
+        const double nu = SparseNorm2(*u);
+        const double nv = SparseNorm2(*v);
+        score = (nu == 0.0 || nv == 0.0) ? 0.0 : score / (nu * nv);
+      }
+      scores.push_back(score);
+    }
+    return scores;
   }
   if (cache_ != nullptr) {
     if (span.active()) span.Annotate("mode", "cached");

@@ -2,6 +2,7 @@
 #define HETESIM_CORE_HETESIM_H_
 
 #include <memory>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -16,6 +17,28 @@ namespace hetesim {
 
 class PathMatrixCache;  // materialize.h
 class TraceSpan;        // common/trace.h
+
+/// Which execution strategy the single-source/pair fast paths use. The
+/// three values form the `--algo` ablation ladder (DESIGN.md §14):
+///  * kExhaustive — reference: score every object of the target type.
+///  * kPruned     — score only candidates sharing a middle object with the
+///                  source (the historical default since the pruning PR).
+///  * kFrontier   — sparse frontier propagation with per-hop truncation,
+///                  lazy normalization, and monotone-bound early exit
+///                  (Section 4.6 taken seriously; see core/frontier.h).
+enum class RelevanceAlgo {
+  kExhaustive,
+  kPruned,
+  kFrontier,
+};
+
+/// Parses an `--algo` word ("exhaustive" | "pruned" | "frontier").
+/// Unknown values are `InvalidArgument` naming the choices — a usage
+/// error (exit 2) at the CLI layer.
+[[nodiscard]] Result<RelevanceAlgo> ParseRelevanceAlgo(std::string_view word);
+
+/// The canonical spelling of `algo` (inverse of `ParseRelevanceAlgo`).
+const char* AlgoName(RelevanceAlgo algo);
 
 /// Options controlling HeteSim evaluation.
 struct HeteSimOptions {
@@ -49,6 +72,24 @@ struct HeteSimOptions {
   /// floating-point rounding, so results are only ~1e-12-close to the
   /// seed's strict left-to-right evaluation, not bitwise equal to it.
   int num_threads = 1;
+
+  /// Strategy for the latency-critical single-source/pair queries
+  /// (`TopKSearcher::Query`, `HeteSimEngine::ComputePairs`). The default
+  /// keeps the historical pruned path; `kFrontier` switches to the sparse
+  /// frontier executor with bound-based early exit (core/frontier.h).
+  /// Full-matrix `Compute` ignores this — there is nothing to prune when
+  /// every row is wanted. Under `kFrontier`, `truncation` is interpreted
+  /// as a *relative* per-hop threshold (fraction of the hop's largest
+  /// entry) rather than an absolute one; 0 stays exact either way.
+  RelevanceAlgo algo = RelevanceAlgo::kPruned;
+
+  /// Deadline/cancellation poll stride for the top-k accumulation loops.
+  /// 0 (the default) adapts the stride to the observed per-item cost,
+  /// targeting ~25us between polls, so cheap items poll rarely and
+  /// expensive items poll often enough to honor tight deadlines. A
+  /// positive value pins a fixed stride — 1024 reproduces the historical
+  /// constant the deadline-storm scenario was originally tuned around.
+  int topk_poll_stride = 0;
 };
 
 /// \brief The HeteSim relevance measure (Section 4 of the paper).

@@ -8,6 +8,7 @@
 #include "common/fault_injection.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
+#include "matrix/cost_model.h"
 #include "matrix/serialize.h"
 
 namespace hetesim {
@@ -25,6 +26,11 @@ struct CacheMetrics {
   Counter& failed_computes;
   Counter& rejected_inserts;
   Gauge& accounted_bytes;
+  Counter& prefix_probes;
+  Counter& prefix_probe_hits;
+  Counter& suffix_probes;
+  Counter& suffix_probe_hits;
+  Counter& partial_reuse_bytes;
 };
 
 CacheMetrics& GlobalCacheMetrics() {
@@ -37,6 +43,16 @@ CacheMetrics& GlobalCacheMetrics() {
       MetricsRegistry::Global().GetCounter(
           "hetesim_cache_rejected_inserts_total"),
       MetricsRegistry::Global().GetGauge("hetesim_cache_accounted_bytes"),
+      MetricsRegistry::Global().GetCounter(
+          "hetesim_cache_prefix_probes_total"),
+      MetricsRegistry::Global().GetCounter(
+          "hetesim_cache_prefix_probe_hits_total"),
+      MetricsRegistry::Global().GetCounter(
+          "hetesim_cache_suffix_probes_total"),
+      MetricsRegistry::Global().GetCounter(
+          "hetesim_cache_suffix_probe_hits_total"),
+      MetricsRegistry::Global().GetCounter(
+          "hetesim_cache_partial_reuse_bytes_total"),
   };
   return metrics;
 }
@@ -134,6 +150,64 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetRight(
                       });
 }
 
+Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetRightWithReuse(
+    const HinGraph& graph, const MetaPath& path, const QueryContext& ctx,
+    int num_threads) {
+  // The ad-hoc planning happens inside the compute callback, so a resident
+  // key stays a plain O(1) hit and probes are only counted when a
+  // never-seen path actually has to be materialized. The callback runs
+  // outside the cache lock (GetOrCompute's contract), so the re-entrant
+  // `ProbePartials` call is safe.
+  return GetOrCompute(
+      RightKey(path), ctx,
+      [this, &graph, &path, &ctx, num_threads]() -> Result<SparseMatrix> {
+        PathDecomposition decomposition = DecomposePath(graph, path);
+        const std::vector<SparseMatrix>& chain =
+            decomposition.right_transitions;
+        std::vector<PartialHit> hits = ProbePartials(
+            path, /*left_side=*/false, static_cast<int>(chain.size()));
+        // Score each candidate plan: estimated Gustavson flops of folding
+        // the hops it leaves uncovered, left-to-right.
+        auto plan_flops = [&chain](MatrixEstimate acc, size_t next) {
+          double flops = 0.0;
+          for (size_t s = next; s < chain.size(); ++s) {
+            const MatrixEstimate step = EstimateOf(chain[s]);
+            flops += EstimateProductFlops(acc, step);
+            acc = EstimateProduct(acc, step);
+          }
+          return flops;
+        };
+        PartialHit best;
+        if (!chain.empty()) {
+          double best_flops = plan_flops(EstimateOf(chain[0]), 1);
+          for (const PartialHit& hit : hits) {
+            if (hit.matrix == nullptr || hit.steps_covered < 1 ||
+                static_cast<size_t>(hit.steps_covered) > chain.size()) {
+              continue;
+            }
+            const double flops =
+                plan_flops(EstimateOf(*hit.matrix),
+                           static_cast<size_t>(hit.steps_covered));
+            if (flops < best_flops) {
+              best_flops = flops;
+              best = hit;
+            }
+          }
+        }
+        if (best.matrix == nullptr) {
+          return RightReachMatrixWithContext(decomposition, num_threads, ctx);
+        }
+        SparseMatrix folded = *best.matrix;
+        for (size_t s = static_cast<size_t>(best.steps_covered);
+             s < chain.size(); ++s) {
+          HETESIM_ASSIGN_OR_RETURN(
+              folded, folded.MultiplyParallel(chain[s], num_threads, ctx));
+        }
+        RecordPartialReuse(/*left_side=*/false, best.matrix->ApproxBytes());
+        return folded;
+      });
+}
+
 Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetReach(
     const HinGraph& graph, const MetaPath& path, const QueryContext& ctx,
     int num_threads) {
@@ -160,7 +234,77 @@ PathMatrixCache::Stats PathMatrixCache::stats() const {
   s.rejected_inserts = rejected_inserts_;
   s.accounted_bytes = accounted_bytes_;
   s.peak_accounted_bytes = peak_accounted_bytes_;
+  s.prefix_probes = prefix_probes_;
+  s.prefix_probe_hits = prefix_probe_hits_;
+  s.suffix_probes = suffix_probes_;
+  s.suffix_probe_hits = suffix_probe_hits_;
+  s.partial_bytes_saved = partial_bytes_saved_;
   return s;
+}
+
+std::vector<PathMatrixCache::PartialHit> PathMatrixCache::ProbePartials(
+    const MetaPath& path, bool left_side, int max_steps) {
+  // Candidate (key, chain matrices covered) pairs, longest cover first. The
+  // full half key is listed explicitly only for odd paths — for even ones it
+  // coincides with the longest step-prefix key below. Step-prefix keys equal
+  // `ReachKey` of the corresponding sub-path, so offline `GetReach`
+  // materializations of popular short paths are found here automatically.
+  const int l = path.length();
+  const int half = l / 2;
+  std::vector<std::pair<std::string, int>> candidates;
+  if (l % 2 == 1) {
+    candidates.emplace_back(left_side ? LeftKey(path) : RightKey(path),
+                            half + 1);
+  }
+  for (int j = half; j >= 1; --j) {
+    candidates.emplace_back(
+        left_side ? "PM:" + StepRangeString(path, 0, j)
+                  : "PM:" + InverseStepRangeString(path, l - j, l),
+        j);
+  }
+
+  std::vector<PartialHit> hits;
+  {
+    MutexLock lock(mutex_);
+    for (const auto& [key, covered] : candidates) {
+      if (covered > max_steps) continue;
+      auto it = entries_.find(key);
+      if (it == entries_.end() || !it->second->ready) continue;
+      Result<std::shared_ptr<const SparseMatrix>> entry =
+          it->second->future.get();  // ready slots resolve immediately
+      if (!entry.ok()) continue;
+      TouchLocked(*it->second);  // probed partials are about to be reused
+      hits.push_back({*std::move(entry), covered});
+    }
+    if (left_side) {
+      ++prefix_probes_;
+      if (!hits.empty()) ++prefix_probe_hits_;
+    } else {
+      ++suffix_probes_;
+      if (!hits.empty()) ++suffix_probe_hits_;
+    }
+  }
+  if (MetricsEnabled()) {
+    CacheMetrics& metrics = GlobalCacheMetrics();
+    (left_side ? metrics.prefix_probes : metrics.suffix_probes).Increment();
+    if (!hits.empty()) {
+      (left_side ? metrics.prefix_probe_hits : metrics.suffix_probe_hits)
+          .Increment();
+    }
+  }
+  return hits;
+}
+
+void PathMatrixCache::RecordPartialReuse(bool left_side, size_t bytes_saved) {
+  (void)left_side;
+  {
+    MutexLock lock(mutex_);
+    partial_bytes_saved_ += bytes_saved;
+  }
+  if (MetricsEnabled()) {
+    GlobalCacheMetrics().partial_reuse_bytes.Increment(
+        static_cast<uint64_t>(bytes_saved));
+  }
 }
 
 void PathMatrixCache::Clear() {

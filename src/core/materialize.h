@@ -113,6 +113,41 @@ class PathMatrixCache {
                                                        const QueryContext& ctx,
                                                        int num_threads = 1);
 
+  /// An already-materialized partial product usable as the head of one
+  /// half's transition chain: `matrix` equals the product of that half's
+  /// first `steps_covered` chain matrices (for an odd path's full half this
+  /// includes the decomposed edge-object factor, so `steps_covered` counts
+  /// *chain matrices*, not meta-path steps).
+  struct PartialHit {
+    std::shared_ptr<const SparseMatrix> matrix;
+    int steps_covered = 0;
+  };
+
+  /// Ad-hoc meta-path probe: returns every READY cached partial covering a
+  /// prefix of the requested half of `path` (`left_side` = the source half,
+  /// else the target half), longest first, skipping covers beyond
+  /// `max_steps` (the half's chain length). Probes never compute anything —
+  /// they only look — so they are cheap enough to run on query planning.
+  /// Each call counts one prefix/suffix probe; a call that finds at least
+  /// one partial counts one probe hit (see `Stats`).
+  std::vector<PartialHit> ProbePartials(const MetaPath& path, bool left_side,
+                                        int max_steps) EXCLUDES(mutex_);
+
+  /// Records that a probed partial was actually folded into an execution
+  /// plan, saving roughly `bytes_saved` of recomputed intermediates
+  /// (accumulated into `Stats::partial_bytes_saved`).
+  void RecordPartialReuse(bool left_side, size_t bytes_saved) EXCLUDES(mutex_);
+
+  /// `GetRight` for ad-hoc paths: on a miss, instead of recomputing the
+  /// whole right chain, probes for cached partial products covering a
+  /// prefix of it, scores each candidate plan with the cost model's
+  /// product-flops estimate, and folds the cheapest partial in — computing
+  /// only the uncovered tail hops. The result is cached under
+  /// `RightKey(path)` either way, so later callers take the plain hit path.
+  [[nodiscard]] Result<std::shared_ptr<const SparseMatrix>> GetRightWithReuse(
+      const HinGraph& graph, const MetaPath& path, const QueryContext& ctx,
+      int num_threads = 1);
+
   /// Attaches the byte budget charged by every subsequent admission
   /// (nullptr = unlimited, the default). Existing entries are *not*
   /// retroactively charged; attach before populating. The budget may be
@@ -133,6 +168,11 @@ class PathMatrixCache {
     size_t rejected_inserts = 0;  ///< matrices served uncached (didn't fit)
     size_t accounted_bytes = 0;   ///< bytes currently admitted
     size_t peak_accounted_bytes = 0;  ///< high-water mark of the above
+    size_t prefix_probes = 0;       ///< `ProbePartials` calls, left halves
+    size_t prefix_probe_hits = 0;   ///< ...that found >= 1 ready partial
+    size_t suffix_probes = 0;       ///< `ProbePartials` calls, right halves
+    size_t suffix_probe_hits = 0;   ///< ...that found >= 1 ready partial
+    size_t partial_bytes_saved = 0;  ///< recompute bytes avoided via reuse
   };
   Stats stats() const EXCLUDES(mutex_);
 
@@ -209,6 +249,11 @@ class PathMatrixCache {
   size_t rejected_inserts_ GUARDED_BY(mutex_) = 0;
   size_t accounted_bytes_ GUARDED_BY(mutex_) = 0;
   size_t peak_accounted_bytes_ GUARDED_BY(mutex_) = 0;
+  size_t prefix_probes_ GUARDED_BY(mutex_) = 0;
+  size_t prefix_probe_hits_ GUARDED_BY(mutex_) = 0;
+  size_t suffix_probes_ GUARDED_BY(mutex_) = 0;
+  size_t suffix_probe_hits_ GUARDED_BY(mutex_) = 0;
+  size_t partial_bytes_saved_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace hetesim

@@ -7,6 +7,8 @@
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/trace.h"
+#include "core/frontier.h"
+#include "core/materialize.h"
 #include "matrix/ops.h"
 
 namespace hetesim {
@@ -20,6 +22,7 @@ namespace {
 struct TopKMetrics {
   Counter& queries;
   Counter& truncated;
+  Counter& bound_exits;
   Histogram& latency;
 };
 
@@ -27,6 +30,7 @@ TopKMetrics& GlobalTopKMetrics() {
   static TopKMetrics metrics{
       MetricsRegistry::Global().GetCounter("hetesim_topk_queries_total"),
       MetricsRegistry::Global().GetCounter("hetesim_topk_truncated_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_topk_bound_exits_total"),
       MetricsRegistry::Global().GetHistogram(
           "hetesim_topk_query_latency_seconds",
           DefaultLatencyBoundariesSeconds()),
@@ -94,31 +98,50 @@ TopKSearcher::TopKSearcher(const HinGraph& graph, const MetaPath& path,
       num_sources_(graph.NumNodes(path.SourceType())) {
   PathDecomposition decomposition = DecomposePath(graph, path);
   left_transitions_ = std::move(decomposition.left_transitions);
-  right_ = MultiplyChain(decomposition.right_transitions);
-  right_transpose_ = right_.Transpose();
-  right_norms_.resize(static_cast<size_t>(right_.rows()));
-  for (Index t = 0; t < right_.rows(); ++t) {
-    right_norms_[static_cast<size_t>(t)] = right_.RowNorm(t);
+  right_ = std::make_shared<const SparseMatrix>(
+      MultiplyChain(decomposition.right_transitions));
+  FinishPreparation();
+}
+
+void TopKSearcher::FinishPreparation() {
+  right_transpose_ = right_->Transpose();
+  right_norms_.resize(static_cast<size_t>(right_->rows()));
+  max_right_norm_ = 0.0;
+  for (Index t = 0; t < right_->rows(); ++t) {
+    right_norms_[static_cast<size_t>(t)] = right_->RowNorm(t);
+    max_right_norm_ = std::max(max_right_norm_, right_norms_[static_cast<size_t>(t)]);
   }
 }
 
 Result<TopKSearcher> TopKSearcher::Prepare(const HinGraph& graph,
                                            const MetaPath& path,
                                            HeteSimOptions options,
-                                           const QueryContext& ctx) {
+                                           const QueryContext& ctx,
+                                           PathMatrixCache* cache) {
   TraceSpan span(ctx.trace(), "topk.prepare");
   TopKSearcher searcher(graph, options, graph.NumNodes(path.SourceType()));
   PathDecomposition decomposition = DecomposePath(graph, path);
   searcher.left_transitions_ = std::move(decomposition.left_transitions);
-  HETESIM_ASSIGN_OR_RETURN(
-      searcher.right_,
-      MultiplyChainWithContext(decomposition.right_transitions,
-                               options.num_threads, ctx));
-  searcher.right_transpose_ = searcher.right_.Transpose();
-  searcher.right_norms_.resize(static_cast<size_t>(searcher.right_.rows()));
-  for (Index t = 0; t < searcher.right_.rows(); ++t) {
-    searcher.right_norms_[static_cast<size_t>(t)] = searcher.right_.RowNorm(t);
+  if (cache != nullptr) {
+    // Ad-hoc path: serve (and retain) the right half through the cache,
+    // folding the cheapest cached partial products on a miss.
+    HETESIM_ASSIGN_OR_RETURN(
+        searcher.right_,
+        cache->GetRightWithReuse(graph, path, ctx, options.num_threads));
+    if (options.algo == RelevanceAlgo::kFrontier) {
+      FrontierChain plan = PlanFrontierChain(searcher.left_transitions_, path,
+                                             /*left_side=*/true, cache);
+      searcher.left_head_ = plan.head;
+      searcher.left_head_steps_ = plan.head_steps;
+    }
+  } else {
+    HETESIM_ASSIGN_OR_RETURN(
+        SparseMatrix right,
+        MultiplyChainWithContext(decomposition.right_transitions,
+                                 options.num_threads, ctx));
+    searcher.right_ = std::make_shared<const SparseMatrix>(std::move(right));
   }
+  searcher.FinishPreparation();
   HETESIM_RETURN_NOT_OK(ctx.CheckAlive());
   return searcher;
 }
@@ -143,6 +166,7 @@ Result<TopKResult> TopKSearcher::Query(Index source, int k,
     span.Annotate("source", std::to_string(source));
     span.Annotate("k", std::to_string(k));
   }
+  if (span.active()) span.Annotate("algo", AlgoName(options_.algo));
   Stopwatch stopwatch;
   Result<TopKResult> result = QueryTraced(source, k, ctx);
   if (MetricsEnabled()) {
@@ -150,6 +174,7 @@ Result<TopKResult> TopKSearcher::Query(Index source, int k,
     metrics.queries.Increment();
     metrics.latency.Observe(stopwatch.ElapsedSeconds());
     if (result.ok() && result->truncated) metrics.truncated.Increment();
+    if (result.ok() && result->bound_exit) metrics.bound_exits.Increment();
   }
   if (span.active()) {
     if (!result.ok()) {
@@ -157,6 +182,8 @@ Result<TopKResult> TopKSearcher::Query(Index source, int k,
                     std::string(StatusCodeToString(result.status().code())));
     } else if (result->truncated) {
       span.Annotate("truncated", "true");
+    } else if (result->bound_exit) {
+      span.Annotate("bound_exit", "true");
     }
   }
   return result;
@@ -164,6 +191,26 @@ Result<TopKResult> TopKSearcher::Query(Index source, int k,
 
 Result<TopKResult> TopKSearcher::QueryTraced(Index source, int k,
                                              const QueryContext& ctx) const {
+  // The `--algo` ablation switch. Exhaustive is the dense reference;
+  // frontier hands off to the sparse executor (core/frontier.h); the
+  // pruned accumulation below remains the default.
+  if (options_.algo == RelevanceAlgo::kExhaustive) {
+    return QueryExhaustive(source, k);
+  }
+  if (options_.algo == RelevanceAlgo::kFrontier) {
+    if (source < 0 || source >= num_sources_) {
+      return Status::OutOfRange("source id out of range");
+    }
+    FrontierChain left;
+    left.steps = &left_transitions_;
+    left.head = left_head_;
+    left.head_steps = left_head_steps_;
+    left.used_cached_partial = left_head_ != nullptr;
+    FrontierExecutor executor(std::move(left), right_.get(),
+                              &right_transpose_, &right_norms_,
+                              max_right_norm_, options_);
+    return executor.TopK(source, k, ctx);
+  }
   // Deliberately no up-front CheckAlive: a query whose deadline has already
   // passed still produces a well-formed *partial* result (one poll stride of
   // accumulation, truncation marker set) rather than an error — the
@@ -179,16 +226,17 @@ Result<TopKResult> TopKSearcher::QueryTraced(Index source, int k,
   }
   // Accumulate scores only for targets that share a middle object with u.
   // `right_transpose_` maps each middle object to the targets reaching it.
-  // The context is polled once per stride: an expired deadline (or a
-  // cancellation) stops the accumulation and the partial scores are ranked
-  // and returned with the truncation marker set, so the caller always gets
-  // a best-effort answer within one stride of the deadline.
-  constexpr size_t kPollStride = 1024;
-  std::vector<double> scores(static_cast<size_t>(right_.rows()), 0.0);
+  // The context is polled once per stride (adaptive by default, pinned via
+  // `topk_poll_stride`): an expired deadline (or a cancellation) stops the
+  // accumulation and the partial scores are ranked and returned with the
+  // truncation marker set, so the caller always gets a best-effort answer
+  // within one stride of the deadline.
+  PollStrideController poller(options_.topk_poll_stride);
+  std::vector<double> scores(static_cast<size_t>(right_->rows()), 0.0);
   std::vector<Index> touched;
   size_t processed = u.size();
   for (size_t m = 0; m < u.size(); ++m) {
-    if (m % kPollStride == 0 && m > 0 && ctx.Expired()) {
+    if (m > 0 && poller.ShouldPoll(m) && ctx.Expired()) {
       result.truncated = true;
       processed = m;
       break;
@@ -229,7 +277,7 @@ Result<TopKResult> TopKSearcher::QueryTraced(Index source, int k,
 Result<TopKResult> TopKSearcher::QueryExhaustive(Index source, int k) const {
   HETESIM_ASSIGN_OR_RETURN(std::vector<double> u, SourceDistribution(source));
   const double nu = Norm2(u);
-  std::vector<double> scores = right_.MultiplyVector(u);
+  std::vector<double> scores = right_->MultiplyVector(u);
   if (options_.normalized && nu != 0.0) {
     for (size_t t = 0; t < scores.size(); ++t) {
       const double nt = right_norms_[t];
@@ -237,7 +285,7 @@ Result<TopKResult> TopKSearcher::QueryExhaustive(Index source, int k) const {
     }
   }
   TopKResult result;
-  result.candidates_examined = right_.rows();
+  result.candidates_examined = right_->rows();
   result.items = TopK(scores, k);
   return result;
 }

@@ -1,6 +1,7 @@
 #ifndef HETESIM_CORE_TOPK_H_
 #define HETESIM_CORE_TOPK_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
@@ -10,6 +11,8 @@
 #include "matrix/sparse.h"
 
 namespace hetesim {
+
+class PathMatrixCache;  // materialize.h
 
 /// A ranked object: per-type node id plus its relevance score.
 struct Scored {
@@ -42,10 +45,25 @@ struct TopKResult {
   /// score is a valid partial lower bound, but objects may be missing or
   /// under-scored. Always false for queries run without a context.
   bool truncated = false;
-  /// Middle objects folded into the scores before stopping.
+  /// Middle objects folded into the scores before stopping. Under
+  /// `RelevanceAlgo::kFrontier` the unit is *frontier entries* (the middle
+  /// objects the source actually reaches) rather than the dense middle
+  /// dimension — the sweep never visits unreached middles at all.
   Index middle_processed = 0;
-  /// Size of the middle type (the full accumulation loop).
+  /// Size of the middle type (the full accumulation loop); for the frontier
+  /// algo, the source frontier's support.
   Index middle_total = 0;
+  /// True when the frontier sweep stopped early because the k-th best lower
+  /// bound provably exceeded every unseen candidate's upper bound. Unlike
+  /// `truncated`, the ranking is still EXACT — the frozen candidates are
+  /// rescored in full; the bound only proves no one outside them belongs in
+  /// the top-k. Always false for the exhaustive/pruned algos.
+  bool bound_exit = false;
+  /// Upper bound on the L1 probability mass dropped by per-hop truncation
+  /// (`HeteSimOptions::truncation` under the frontier algo); 0 for exact
+  /// runs. Scores may drift by up to roughly this mass (normalization makes
+  /// the bound heuristic rather than strict).
+  double error_bound = 0.0;
 };
 
 /// A scored (source, target) pair for global top-k joins.
@@ -85,18 +103,25 @@ class TopKSearcher {
 
   /// Context-aware preparation: the right-chain product runs under `ctx`
   /// (deadline / cancellation / budget), so even the one-time
-  /// materialization of a huge path respects `--deadline-ms`.
+  /// materialization of a huge path respects `--deadline-ms`. A non-null
+  /// `cache` makes preparation ad-hoc-path aware: the right half is fetched
+  /// through `PathMatrixCache::GetRightWithReuse` (folding the cheapest
+  /// cached partial products instead of recomputing from scratch) and,
+  /// under `RelevanceAlgo::kFrontier`, the left chain is planned against
+  /// cached prefix partials too. The cache must outlive the searcher.
   [[nodiscard]] static Result<TopKSearcher> Prepare(const HinGraph& graph, const MetaPath& path,
                                       HeteSimOptions options,
-                                      const QueryContext& ctx);
+                                      const QueryContext& ctx,
+                                      PathMatrixCache* cache = nullptr);
 
-  /// Pruned query: scores only targets sharing at least one middle object
-  /// with the source's reachable distribution. Exact — objects outside the
-  /// candidate set provably score 0.
+  /// Single-source query via the strategy selected by
+  /// `HeteSimOptions::algo`: exhaustive reference, pruned accumulation
+  /// (exact — objects outside the candidate set provably score 0), or the
+  /// frontier executor with bound-based early exit (`core/frontier.h`).
   [[nodiscard]] Result<TopKResult> Query(Index source, int k) const;
 
-  /// Deadline-aware `Query`: the context is polled every ~1k middle
-  /// objects; on expiry the scores accumulated so far are ranked and
+  /// Deadline-aware `Query`: the context is polled at the (adaptive) poll
+  /// stride; on expiry the scores accumulated so far are ranked and
   /// returned with `truncated = true` instead of an error, so callers get
   /// a best-effort partial answer within one poll stride of the deadline.
   [[nodiscard]] Result<TopKResult> Query(Index source, int k, const QueryContext& ctx) const;
@@ -105,12 +130,15 @@ class TopKSearcher {
   [[nodiscard]] Result<TopKResult> QueryExhaustive(Index source, int k) const;
 
   /// Number of target-type objects.
-  Index num_targets() const { return right_.rows(); }
+  Index num_targets() const { return right_->rows(); }
 
  private:
   /// Partially-initialized searcher for `Prepare` to fill in.
   TopKSearcher(const HinGraph& graph, HeteSimOptions options, Index num_sources)
       : graph_(graph), options_(options), num_sources_(num_sources) {}
+
+  /// Builds the inverted index and per-target norms from `right_`.
+  void FinishPreparation();
 
   /// Propagates the indicator of `source` through the left chain.
   [[nodiscard]] Result<std::vector<double>> SourceDistribution(Index source) const;
@@ -125,9 +153,17 @@ class TopKSearcher {
   HeteSimOptions options_;
   Index num_sources_;
   std::vector<SparseMatrix> left_transitions_;
-  SparseMatrix right_;            // |targets| x |middle|
+  /// Right reachable matrix, |targets| x |middle|. Shared so a cache-served
+  /// half is referenced, not copied, and so the searcher stays cheap to
+  /// move (the frontier executor views these members per query).
+  std::shared_ptr<const SparseMatrix> right_;
   SparseMatrix right_transpose_;  // |middle| x |targets| (inverted index)
   std::vector<double> right_norms_;
+  double max_right_norm_ = 0.0;   // max over right_norms_
+  /// Cached partial product covering the first `left_head_steps_` left-chain
+  /// matrices (ad-hoc meta-path reuse under the frontier algo), or null.
+  std::shared_ptr<const SparseMatrix> left_head_;
+  size_t left_head_steps_ = 0;
 };
 
 }  // namespace hetesim

@@ -391,8 +391,8 @@ QueryResponse QueryService::Run(const QueryRequest& request, PathState& state,
         // a retry storm of huge SpGEMMs.
         MutexLock lock(state.searcher_mutex);
         if (state.searcher == nullptr && !state.searcher_failed) {
-          Result<TopKSearcher> prepared =
-              TopKSearcher::Prepare(graph_, state.path, options_.engine, ctx);
+          Result<TopKSearcher> prepared = TopKSearcher::Prepare(
+              graph_, state.path, options_.engine, ctx, cache_.get());
           if (prepared.ok()) {
             state.searcher = std::make_unique<TopKSearcher>(std::move(*prepared));
           } else {

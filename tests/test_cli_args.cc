@@ -103,6 +103,21 @@ TEST(CliArgs, GetDoubleParsesAndValidates) {
   EXPECT_FALSE(args.GetDouble("rate", 0, /*min=*/20.0).ok());
 }
 
+TEST(CliArgs, GetChoiceValidatesVocabulary) {
+  const Args args = MustParse({"topk", "--algo=frontier", "--mode", "bogus"});
+  ASSERT_TRUE(args.GetChoice("algo", "pruned", {"pruned", "frontier"}).ok());
+  EXPECT_EQ(*args.GetChoice("algo", "pruned", {"pruned", "frontier"}),
+            "frontier");
+  // Absent key yields the fallback even when the fallback is not listed.
+  EXPECT_EQ(*args.GetChoice("absent", "default", {"a", "b"}), "default");
+  Result<std::string> bad = args.GetChoice("mode", "a", {"a", "b"});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  // The error names the flag and enumerates the vocabulary.
+  EXPECT_NE(bad.status().message().find("--mode"), std::string::npos);
+  EXPECT_NE(bad.status().message().find("a | b"), std::string::npos);
+}
+
 TEST(CliArgs, ZeroStaysValidForDeadlineStyleFlags) {
   // `--deadline-ms 0` (already-expired deadline -> truncation contract)
   // must keep parsing: validation rejects garbage, not zero.

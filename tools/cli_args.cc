@@ -83,4 +83,22 @@ Result<double> Args::GetDouble(const std::string& key, double fallback,
   return *parsed;
 }
 
+Result<std::string> Args::GetChoice(
+    const std::string& key, const std::string& fallback,
+    std::initializer_list<std::string_view> allowed) const {
+  auto value = Get(key);
+  if (!value) return fallback;
+  for (std::string_view choice : allowed) {
+    if (*value == choice) return *value;
+  }
+  std::string expected = "one of";
+  const char* separator = " ";
+  for (std::string_view choice : allowed) {
+    expected += separator;
+    expected += choice;
+    separator = " | ";
+  }
+  return BadFlag(key, *value, expected.c_str());
+}
+
 }  // namespace hetesim::cli

@@ -2,10 +2,12 @@
 #define HETESIM_TOOLS_CLI_ARGS_H_
 
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/result.h"
 
@@ -55,6 +57,15 @@ struct Args {
       const std::string& key, double fallback,
       double min = std::numeric_limits<double>::lowest(),
       double max = std::numeric_limits<double>::max()) const;
+
+  /// `--key WORD` restricted to an enumerated vocabulary (e.g.
+  /// `--algo exhaustive|pruned|frontier`). An absent key yields `fallback`;
+  /// a present key must match one of `allowed` exactly, otherwise
+  /// `InvalidArgument` naming the flag and the choices — a usage error
+  /// (exit 2) at the CLI layer.
+  [[nodiscard]] Result<std::string> GetChoice(
+      const std::string& key, const std::string& fallback,
+      std::initializer_list<std::string_view> allowed) const;
 };
 
 }  // namespace hetesim::cli
