@@ -38,7 +38,13 @@ Result<SparseVector> ApplyHop(const SparseVector& x, const SparseMatrix& m,
       ctx.Reserve(out_bound * (sizeof(Index) + sizeof(double)) * 2));
   std::unordered_map<Index, double> acc;
   acc.reserve(out_bound);
+  // Hops are unbounded work (a hub row can touch the whole target type), so
+  // the gather polls at an adaptive stride rather than only at hop entry.
+  PollStrideController poller(/*fixed_stride=*/0);
   for (size_t i = 0; i < x.indices.size(); ++i) {
+    if (i > 0 && poller.ShouldPoll(i)) {
+      HETESIM_RETURN_NOT_OK(ctx.CheckAlive());
+    }
     const Index row = x.indices[i];
     const double xv = x.values[i];
     const auto cols = m.RowIndices(row);
@@ -63,7 +69,9 @@ Result<SparseVector> ApplyHop(const SparseVector& x, const SparseMatrix& m,
   y.dropped_mass = x.dropped_mass;
   y.indices.reserve(entries.size());
   y.values.reserve(entries.size());
-  for (const auto& [col, value] : entries) {
+  // Bounded pass over the already-reserved accumulator; the gather loop
+  // above is where the hop's unbounded work (and polling) lives.
+  for (const auto& [col, value] : entries) {  // hetesim-lint: allow(cancel-poll)
     if (cutoff > 0.0 && std::abs(value) < cutoff) {
       y.dropped_mass += std::abs(value);
       continue;
@@ -361,8 +369,18 @@ Result<TopKResult> FrontierExecutor::TopK(Index source, int k,
   // contract as the pruned path.
   std::vector<Scored> candidates;
   candidates.reserve(touched.size());
-  const bool rescore = result.bound_exit;
+  bool rescore = result.bound_exit;
+  // Rescoring is itself O(touched * nnz), so it keeps polling on the phase-1
+  // controller (the item counter continues past `processed` to keep the
+  // stride monotonic). On expiry the remaining candidates fall back to
+  // their partial dots — the same valid-lower-bound contract as a phase-1
+  // deadline truncation.
+  size_t rescore_item = processed;
   for (Index t : touched) {
+    if (rescore && poller.ShouldPoll(rescore_item++) && ctx.Expired()) {
+      result.truncated = true;
+      rescore = false;
+    }
     double score =
         rescore ? ExactRowDot(right_->RowIndices(t), right_->RowValues(t), u)
                 : partial[static_cast<size_t>(t)];

@@ -207,7 +207,9 @@ Result<DenseMatrix> HeteSimEngine::ComputeTraced(const MetaPath& path,
           region_status.Update(std::move(alive));
           return;
         }
-        for (Index a = row_begin; a < row_end; ++a) {
+        // Chunks are cost-model sized, so the entry check above bounds the
+        // time between polls.
+        for (Index a = row_begin; a < row_end; ++a) {  // hetesim-lint: allow(cancel-poll)
           double* row = scores.RowData(a);
           const double na = left_norms[static_cast<size_t>(a)];
           // Skip unreachable source rows; non-finite norms (poisoned input
@@ -342,7 +344,8 @@ Result<std::vector<double>> HeteSimEngine::ComputePairsTraced(
   }
   const Index num_sources = graph_.NumNodes(path.SourceType());
   const Index num_targets = graph_.NumNodes(path.TargetType());
-  for (const auto& [source, target] : pairs) {
+  // O(1) range check per pair, before any compute starts.
+  for (const auto& [source, target] : pairs) {  // hetesim-lint: allow(cancel-poll)
     if (source < 0 || source >= num_sources) {
       return Status::OutOfRange("source id out of range");
     }
@@ -416,7 +419,9 @@ Result<std::vector<double>> HeteSimEngine::ComputePairsTraced(
             region_status.Update(std::move(alive));
             return;
           }
-          for (int64_t p = pair_begin; p < pair_end; ++p) {
+          // Chunk-granular poll at lambda entry; chunks are cost-model
+          // sized.
+          for (int64_t p = pair_begin; p < pair_end; ++p) {  // hetesim-lint: allow(cancel-poll)
             const auto& [source, target] = pairs[static_cast<size_t>(p)];
             scores[static_cast<size_t>(p)] =
                 options_.normalized ? left->RowCosine(source, *right, target)

@@ -170,7 +170,8 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetRightWithReuse(
         // the hops it leaves uncovered, left-to-right.
         auto plan_flops = [&chain](MatrixEstimate acc, size_t next) {
           double flops = 0.0;
-          for (size_t s = next; s < chain.size(); ++s) {
+          // Planning loop over the meta-path length (a handful of hops).
+          for (size_t s = next; s < chain.size(); ++s) {  // hetesim-lint: allow(cancel-poll)
             const MatrixEstimate step = EstimateOf(chain[s]);
             flops += EstimateProductFlops(acc, step);
             acc = EstimateProduct(acc, step);
@@ -180,7 +181,9 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetRightWithReuse(
         PartialHit best;
         if (!chain.empty()) {
           double best_flops = plan_flops(EstimateOf(chain[0]), 1);
-          for (const PartialHit& hit : hits) {
+          // One candidate plan per cached partial — at most chain-length
+          // entries.
+          for (const PartialHit& hit : hits) {  // hetesim-lint: allow(cancel-poll)
             if (hit.matrix == nullptr || hit.steps_covered < 1 ||
                 static_cast<size_t>(hit.steps_covered) > chain.size()) {
               continue;

@@ -254,7 +254,8 @@ Result<TopKResult> TopKSearcher::QueryTraced(Index source, int k,
   result.candidates_examined = static_cast<Index>(touched.size());
   std::vector<Scored> candidates;
   candidates.reserve(touched.size());
-  for (Index t : touched) {
+  // Bounded normalize-and-collect pass; the middle sweep above polls.
+  for (Index t : touched) {  // hetesim-lint: allow(cancel-poll)
     double s = scores[static_cast<size_t>(t)];
     if (options_.normalized) {
       const double nt = right_norms_[static_cast<size_t>(t)];

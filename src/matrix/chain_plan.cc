@@ -221,7 +221,8 @@ Result<SparseMatrix> ExecutePlan(const std::vector<SparseMatrix>& chain,
         std::to_string(plan.steps.size()) + " steps");
   }
   if (plan.steps.empty()) return chain[0];
-  for (size_t t = 0; t < plan.steps.size(); ++t) {
+  // Plan validation: O(steps) = chain length, before any compute starts.
+  for (size_t t = 0; t < plan.steps.size(); ++t) {  // hetesim-lint: allow(cancel-poll)
     // A step may reference inputs and intermediates of *earlier* steps only.
     const int ready = plan.num_inputs + static_cast<int>(t);
     if (plan.steps[t].left < 0 || plan.steps[t].left >= ready ||

@@ -1,0 +1,69 @@
+#include "common/context.h"
+
+// Cancellation-responsiveness fixture: an unpolled long loop (positive),
+// a polling loop, a delegating loop, a trivial loop, a suppressed loop,
+// and a context-free function that may loop freely.
+namespace hetesim {
+
+int UnpolledLoop(const QueryContext& ctx, int n) {
+  int sum = 0;
+  for (int i = 0; i < n; ++i) {
+    sum += i;
+    sum *= 2;
+    sum -= 1;
+    sum ^= 3;
+  }
+  return sum;
+}
+
+int PollingLoop(const QueryContext& ctx, int n) {
+  int sum = 0;
+  for (int i = 0; i < n; ++i) {
+    if (ctx.Expired()) break;
+    sum += i;
+    sum *= 2;
+    sum -= 1;
+  }
+  return sum;
+}
+
+int DelegatingLoop(const QueryContext& ctx, int n) {
+  int sum = 0;
+  for (int i = 0; i < n; ++i) {
+    sum += Process(i, ctx);
+    sum *= 2;
+    sum -= 1;
+    sum ^= 3;
+  }
+  return sum;
+}
+
+int TrivialLoop(const QueryContext& ctx, int n) {
+  int sum = 0;
+  for (int i = 0; i < n; ++i) sum += i;
+  return sum + static_cast<int>(ctx.Expired());
+}
+
+int SuppressedLoop(const QueryContext& ctx, int n) {
+  int sum = 0;
+  for (int i = 0; i < n; ++i) {  // hetesim-lint: allow(cancel-poll)
+    sum += i;
+    sum *= 2;
+    sum -= 1;
+    sum ^= 3;
+  }
+  return sum;
+}
+
+int NoContext(int n) {
+  int sum = 0;
+  for (int i = 0; i < n; ++i) {
+    sum += i;
+    sum *= 2;
+    sum -= 1;
+    sum ^= 3;
+  }
+  return sum;
+}
+
+}  // namespace hetesim

@@ -1,0 +1,16 @@
+#include "common/fault_injection.h"
+
+// Fault-registry fixture: one registered+tested site (clean), one
+// registered but untested, one unregistered (positive), one unregistered
+// but suppressed. The registry also lists a site that no longer exists.
+namespace hetesim {
+
+int Kernel() {
+  HETESIM_FAULT_POINT("k.alloc");
+  HETESIM_FAULT_POINT("k.untested");
+  HETESIM_FAULT_POINT("k.rogue");
+  HETESIM_FAULT_POINT("k.sneaky");  // hetesim-lint: allow(fault-unregistered)
+  return 0;
+}
+
+}  // namespace hetesim

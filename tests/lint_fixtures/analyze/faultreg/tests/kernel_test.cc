@@ -1,0 +1,5 @@
+// Fixture test file: its "k.alloc" reference is what marks that site as
+// covered; k.untested deliberately has no reference here.
+namespace hetesim {
+const char* kArmedSite = "k.alloc";
+}  // namespace hetesim

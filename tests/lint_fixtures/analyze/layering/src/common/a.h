@@ -1,0 +1,5 @@
+#include "common/b.h"
+// Half of a file-level include cycle (the other half is b.h).
+namespace hetesim {
+struct A {};
+}  // namespace hetesim

@@ -1,0 +1,5 @@
+#include "common/a.h"
+// Closes the a.h -> b.h -> a.h include cycle.
+namespace hetesim {
+struct B {};
+}  // namespace hetesim

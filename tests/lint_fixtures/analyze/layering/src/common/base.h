@@ -1,0 +1,4 @@
+// Layer 0: depends on nothing.
+namespace hetesim {
+struct Base {};
+}  // namespace hetesim

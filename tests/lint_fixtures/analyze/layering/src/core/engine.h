@@ -1,0 +1,5 @@
+#include "matrix/mat.h"
+// Legal: core (layer 3) -> matrix (layer 1).
+namespace hetesim {
+struct Engine { Mat m; };
+}  // namespace hetesim

@@ -1,0 +1,5 @@
+#include "common/base.h"
+// Legal: datagen (layer 4) -> common (layer 0).
+namespace hetesim {
+struct Gen : Base {};
+}  // namespace hetesim

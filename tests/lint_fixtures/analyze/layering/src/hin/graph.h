@@ -1,0 +1,5 @@
+#include "core/engine.h"
+// ILLEGAL: hin (layer 2) -> core (layer 3) points up-rank.
+namespace hetesim {
+struct Graph { Engine e; };
+}  // namespace hetesim

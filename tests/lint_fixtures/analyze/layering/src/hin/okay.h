@@ -1,0 +1,5 @@
+#include "core/engine.h"  // hetesim-lint: allow(layer-order)
+// Same upward edge as graph.h, excused by a same-line suppression.
+namespace hetesim {
+struct Okay { Engine e; };
+}  // namespace hetesim

@@ -1,0 +1,5 @@
+#include "service/api.h"
+// Allowlisted same-layer edge — but it closes a module cycle with api.h.
+namespace hetesim {
+struct Fit { Api a; };
+}  // namespace hetesim

@@ -1,0 +1,5 @@
+#include "common/base.h"
+// Legal: matrix (layer 1) -> common (layer 0) points down-rank.
+namespace hetesim {
+struct Mat : Base {};
+}  // namespace hetesim

@@ -1,0 +1,6 @@
+#include "learn/fit.h"
+// Allowlisted same-layer edge; with fit.h this forms learn <-> service,
+// which the module-cycle rule reports even though both edges are allowed.
+namespace hetesim {
+struct Api {};
+}  // namespace hetesim

@@ -1,0 +1,5 @@
+#include "workload/load.h"
+// ILLEGAL: service -> workload is a same-layer edge with no allowlist entry.
+namespace hetesim {
+struct Svc { Load l; };
+}  // namespace hetesim

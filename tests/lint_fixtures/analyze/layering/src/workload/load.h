@@ -1,0 +1,5 @@
+#include "datagen/gen.h"
+// Legal: workload -> datagen is same-layer but allowlisted.
+namespace hetesim {
+struct Load { Gen g; };
+}  // namespace hetesim

@@ -1,0 +1,90 @@
+#include "common/mutex.h"
+
+// Lock-order fixture: one direct AB/BA cycle (Pair), one cycle through a
+// call edge (Prop), one re-entry (Reentrant) plus its suppressed twin, and
+// a consistently ordered pair (Fine) that must stay silent.
+namespace hetesim {
+
+class Pair {
+ public:
+  void AThenB();
+  void BThenA();
+
+ private:
+  Mutex mu_a_;
+  Mutex mu_b_;
+};
+
+void Pair::AThenB() {
+  MutexLock lock(mu_a_);
+  MutexLock nested(mu_b_);
+}
+
+void Pair::BThenA() {
+  MutexLock lock(mu_b_);
+  MutexLock nested(mu_a_);
+}
+
+class Prop {
+ public:
+  void Outer();
+  void HelperTakesTwo();
+  void OtherOrder();
+
+ private:
+  Mutex mu_one_;
+  Mutex mu_two_;
+};
+
+void Prop::HelperTakesTwo() { MutexLock lock(mu_two_); }
+
+void Prop::Outer() {
+  MutexLock lock(mu_one_);
+  HelperTakesTwo();
+}
+
+void Prop::OtherOrder() {
+  MutexLock lock(mu_two_);
+  MutexLock nested(mu_one_);
+}
+
+class Reentrant {
+ public:
+  void Re();
+  void ReSuppressed();
+
+ private:
+  Mutex mu_;
+};
+
+void Reentrant::Re() {
+  MutexLock outer(mu_);
+  MutexLock inner(mu_);
+}
+
+void Reentrant::ReSuppressed() {
+  MutexLock outer(mu_);
+  MutexLock inner(mu_);  // hetesim-lint: allow(lock-reentry)
+}
+
+class Fine {
+ public:
+  void First();
+  void Second();
+
+ private:
+  Mutex mu_x_;
+  Mutex mu_y_;
+};
+
+void Fine::First() {
+  MutexLock lock(mu_x_);
+  MutexLock nested(mu_y_);
+}
+
+void Fine::Second() {
+  MutexLock lock(mu_x_);
+  MutexLock nested(mu_y_);
+}
+
+}  // namespace hetesim

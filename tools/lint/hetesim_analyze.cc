@@ -1,0 +1,190 @@
+// hetesim_analyze — the whole-program static analyzer (see analyzer.h for
+// the rule catalogue and DESIGN.md §15 for the policy). CI runs
+// `hetesim_analyze --root=. --format=sarif --out=analyze.sarif` and fails on
+// any unbaselined finding.
+//
+// Usage: hetesim_analyze [--root=DIR] [--format=text|json|sarif] [--out=FILE]
+//                        [--baseline=FILE] [--write-baseline=FILE]
+//                        [--allowlist=FILE] [--registry=FILE]
+// Exit:  0 clean (no unbaselined findings), 1 findings, 2 usage or
+//        unreadable input. `--write-baseline` accepts the current findings
+//        as the new baseline and exits 0.
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--root=DIR] [--format=text|json|sarif] "
+               "[--out=FILE]\n"
+               "          [--baseline=FILE] [--write-baseline=FILE]\n"
+               "          [--allowlist=FILE] [--registry=FILE]\n",
+               argv0);
+  return 2;
+}
+
+/// `path` made relative to `root` for the repo model ("./" and "root/"
+/// prefixes stripped, so module/role assignment sees "src/...").
+std::string Relativize(const std::string& root, const std::string& path) {
+  std::string prefix = root;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  std::string rel =
+      path.rfind(prefix, 0) == 0 ? path.substr(prefix.size()) : path;
+  while (rel.rfind("./", 0) == 0) rel = rel.substr(2);
+  return rel;
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << content;
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using hetesim::lint::Diagnostic;
+
+  std::string root = ".";
+  std::string format = "text";
+  std::string out_path;
+  std::string baseline_path;
+  std::string write_baseline_path;
+  std::string allowlist_path;
+  std::string registry_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* flag) {
+      const std::string prefix = std::string(flag) + "=";
+      return arg.rfind(prefix, 0) == 0 ? arg.substr(prefix.size())
+                                       : std::string();
+    };
+    if (!value("--root").empty()) {
+      root = value("--root");
+    } else if (!value("--format").empty()) {
+      format = value("--format");
+    } else if (!value("--out").empty()) {
+      out_path = value("--out");
+    } else if (!value("--baseline").empty()) {
+      baseline_path = value("--baseline");
+    } else if (!value("--write-baseline").empty()) {
+      write_baseline_path = value("--write-baseline");
+    } else if (!value("--allowlist").empty()) {
+      allowlist_path = value("--allowlist");
+    } else if (!value("--registry").empty()) {
+      registry_path = value("--registry");
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", arg.c_str());
+      return Usage(argv[0]);
+    }
+  }
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::fprintf(stderr, "error: unknown format '%s'\n", format.c_str());
+    return Usage(argv[0]);
+  }
+
+  // Model every source file under the root except fixture corpora, which
+  // contain violations on purpose.
+  std::vector<hetesim::lint::SourceFile> files;
+  for (const std::string& path :
+       hetesim::lint::CollectSourceFiles(root, {"lint_fixtures"})) {
+    hetesim::lint::SourceFile sf;
+    sf.path = Relativize(root, path);
+    if (!hetesim::lint::ReadFileToString(path, &sf.content)) {
+      std::fprintf(stderr, "error: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    files.push_back(std::move(sf));
+  }
+  if (files.empty()) {
+    std::fprintf(stderr, "error: no source files under '%s'\n", root.c_str());
+    return 2;
+  }
+
+  hetesim::lint::AnalyzerConfig config;
+  {
+    const std::string path = allowlist_path.empty()
+                                 ? root + "/" + config.layering_allow_path
+                                 : allowlist_path;
+    if (!hetesim::lint::ReadFileToString(path, &config.layering_allow) &&
+        !allowlist_path.empty()) {
+      std::fprintf(stderr, "error: cannot read allowlist %s\n", path.c_str());
+      return 2;  // an explicit flag must resolve; the default may be absent
+    }
+    if (!allowlist_path.empty()) config.layering_allow_path = allowlist_path;
+  }
+  {
+    const std::string path = registry_path.empty()
+                                 ? root + "/" + config.fault_registry_path
+                                 : registry_path;
+    config.has_fault_registry =
+        hetesim::lint::ReadFileToString(path, &config.fault_registry);
+    if (!config.has_fault_registry && !registry_path.empty()) {
+      std::fprintf(stderr, "error: cannot read registry %s\n", path.c_str());
+      return 2;
+    }
+    if (!registry_path.empty()) config.fault_registry_path = registry_path;
+  }
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) {
+    std::string content;
+    if (!hetesim::lint::ReadFileToString(baseline_path, &content)) {
+      std::fprintf(stderr, "error: cannot read baseline %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    baseline = hetesim::lint::ParseBaseline(content);
+  }
+
+  const hetesim::lint::AnalyzerReport report =
+      hetesim::lint::AnalyzeRepo(files, config);
+
+  if (!write_baseline_path.empty()) {
+    const std::string rendered =
+        hetesim::lint::RenderBaseline(report.findings);
+    if (!WriteStringToFile(write_baseline_path, rendered)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   write_baseline_path.c_str());
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "hetesim_analyze: baselined %zu finding(s) into %s\n",
+                 report.findings.size(), write_baseline_path.c_str());
+    return 0;
+  }
+
+  const std::vector<Diagnostic> fresh =
+      hetesim::lint::Unbaselined(report.findings, baseline);
+
+  std::string rendered;
+  if (format == "json") {
+    rendered = hetesim::lint::RenderJson(report, baseline);
+  } else if (format == "sarif") {
+    rendered = hetesim::lint::RenderSarif(report, baseline);
+  } else {
+    for (const Diagnostic& diag : fresh) {
+      rendered += hetesim::lint::FormatDiagnostic(diag) + "\n";
+    }
+  }
+  if (out_path.empty()) {
+    std::fputs(rendered.c_str(), stdout);
+  } else if (!WriteStringToFile(out_path, rendered)) {
+    std::fprintf(stderr, "error: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+
+  std::fprintf(stderr,
+               "hetesim_analyze: %zu file(s), %zu finding(s), %zu new, "
+               "%zu baselined\n",
+               report.files, report.findings.size(), fresh.size(),
+               report.findings.size() - fresh.size());
+  return fresh.empty() ? 0 : 1;
+}

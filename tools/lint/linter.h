@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "source_scan.h"
+
 /// \file
 /// \brief The `hetesim_lint` project checker: token-level enforcement of the
 /// project conventions the compiler cannot see (DESIGN.md §11).
@@ -74,13 +76,8 @@ std::vector<Diagnostic> LintSource(const std::string& path,
 /// nothing) when the file cannot be read.
 bool LintFile(const std::string& path, std::vector<Diagnostic>* out);
 
-/// All lintable sources (.h/.cc/.cpp) under `root`, sorted, recursing into
-/// subdirectories. Hidden directories and `build*` trees are skipped.
-std::vector<std::string> CollectSourceFiles(const std::string& root);
-
-/// Replaces comments and string/character-literal contents with spaces,
-/// preserving every newline so line numbers survive. Exposed for tests.
-std::string StripForScan(const std::string& content);
+// StripForScan / CollectSourceFiles and the other token-scan primitives the
+// fixtures exercise moved to source_scan.h (shared with hetesim_analyze).
 
 }  // namespace hetesim::lint
 

@@ -1,0 +1,219 @@
+#include "source_scan.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace hetesim::lint {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::string Basename(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+std::string Stem(const std::string& name) {
+  const size_t dot = name.find_last_of('.');
+  return dot == std::string::npos ? name : name.substr(0, dot);
+}
+
+std::vector<size_t> LineStarts(const std::string& content) {
+  std::vector<size_t> starts = {0};
+  for (size_t i = 0; i < content.size(); ++i) {
+    if (content[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+int LineOf(const std::vector<size_t>& starts, size_t offset) {
+  const auto it = std::upper_bound(starts.begin(), starts.end(), offset);
+  return static_cast<int>(it - starts.begin());
+}
+
+size_t FindWord(const std::string& text, const std::string& word, size_t from) {
+  for (size_t pos = text.find(word, from); pos != std::string::npos;
+       pos = text.find(word, pos + 1)) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    const size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !IsIdentChar(text[end]);
+    if (left_ok && right_ok) return pos;
+  }
+  return std::string::npos;
+}
+
+size_t SkipParens(const std::string& text, size_t open) {
+  int depth = 0;
+  for (size_t i = open; i < text.size(); ++i) {
+    if (text[i] == '(') ++depth;
+    if (text[i] == ')' && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+size_t SkipWs(const std::string& text, size_t i) {
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i])) != 0) {
+    ++i;
+  }
+  return i;
+}
+
+std::map<int, std::set<std::string>> ParseSuppressions(
+    const std::string& content) {
+  static const std::string kMarker = "hetesim-lint: allow(";
+  std::map<int, std::set<std::string>> allows;
+  const std::vector<size_t> starts = LineStarts(content);
+  for (size_t pos = content.find(kMarker); pos != std::string::npos;
+       pos = content.find(kMarker, pos + 1)) {
+    const size_t open = pos + kMarker.size();
+    const size_t close = content.find(')', open);
+    if (close == std::string::npos) continue;
+    std::stringstream list(content.substr(open, close - open));
+    std::string rule;
+    while (std::getline(list, rule, ',')) {
+      const size_t first = rule.find_first_not_of(" \t");
+      const size_t last = rule.find_last_not_of(" \t");
+      if (first == std::string::npos) continue;
+      allows[LineOf(starts, pos)].insert(rule.substr(first, last - first + 1));
+    }
+  }
+  return allows;
+}
+
+// GCC 12's -Wrestrict miscomputes overlap bounds for the raw-string
+// delimiter construction below at -O2 (GCC PR105329); the operands never
+// alias. Scoped to this one function.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wrestrict"
+#endif
+
+std::string StripForScan(const std::string& content) {
+  std::string out = content;
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLine;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlock;
+          out[i] = ' ';
+        } else if (c == '"') {
+          // Raw string literal? Look back for R (uR8 prefixes unused here).
+          if (i > 0 && content[i - 1] == 'R' &&
+              (i < 2 || !IsIdentChar(content[i - 2]))) {
+            const size_t open = content.find('(', i + 1);
+            if (open != std::string::npos) {
+              raw_delim = ")" + content.substr(i + 1, open - i - 1) + "\"";
+              state = State::kRaw;
+              break;
+            }
+          }
+          state = State::kString;
+        } else if (c == '\'' && (i == 0 || !IsIdentChar(content[i - 1]))) {
+          // Identifier boundary check keeps digit separators (1'000) code.
+          state = State::kChar;
+        }
+        break;
+      case State::kLine:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlock:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kRaw:
+        if (content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
+
+std::vector<std::string> CollectSourceFiles(
+    const std::string& root, const std::set<std::string>& skip_dirs) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> files;
+  std::error_code ec;
+  fs::recursive_directory_iterator it(root, ec);
+  const fs::recursive_directory_iterator end;
+  for (; !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (it->is_directory() &&
+        (name.rfind("build", 0) == 0 || name.rfind('.', 0) == 0 ||
+         skip_dirs.count(name) != 0)) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext == ".h" || ext == ".cc" || ext == ".cpp") {
+      files.push_back(it->path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace hetesim::lint
