@@ -1,0 +1,311 @@
+// bench_store — measures the disk-backed path-matrix store (DESIGN.md §16)
+// and writes BENCH_store.json.
+//
+// Two experiments:
+//
+//  1. Cold-vs-warm restart: drives bench/workloads/cold_restart.workload
+//     (a cache budget far below the working set) three times — with no
+//     store, with a fresh store directory ("cold"), and again over the
+//     now-populated directory ("warm"). The warm phase must serve its
+//     cache misses by reading partials back from disk (`store_hits` > 0)
+//     instead of recomputing, which is what moves its p99.
+//
+//  2. Codec comparison: materializes the scenario's partials once per
+//     codec (lossless, quantized), recording bytes on disk, write and
+//     read-back wall time, the recompute-vs-readback speedup, and (for
+//     the quantized codec) the worst absolute value error.
+//
+// Like bench_workload this is not a google-benchmark program: each
+// "iteration" is a whole scenario. Reduced scale by default (--queries
+// 400) so CI finishes in seconds; --queries 0 runs the configured 4000.
+// $HETESIM_BENCH_OUT or --out override the artifact path.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "core/materialize.h"
+#include "datagen/dblp_generator.h"
+#include "hin/digest.h"
+#include "hin/metapath.h"
+#include "store/codec.h"
+#include "store/store.h"
+#include "workload/config.h"
+#include "workload/report.h"
+#include "workload/runner.h"
+
+namespace {
+
+using namespace hetesim;
+using Clock = std::chrono::steady_clock;
+
+// The scenario's graph and meta-paths, mirrored here for the codec
+// micro-experiment (which bypasses the workload harness).
+constexpr int kPapers = 600;
+constexpr int kAuthors = 400;
+constexpr uint64_t kGraphSeed = 13;
+constexpr const char* kPaths[] = {"A-P-T-P-A", "A-P-C-P-A", "C-P-T-P-C"};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "bench_store: %s\n", message.c_str());
+  return 1;
+}
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// A fresh, unique directory under the system temp dir; removed by the
+/// caller via RemoveAll. PIDs keep parallel CI jobs apart.
+std::string FreshDir(const char* tag) {
+  static int counter = 0;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       StrFormat("hetesim_bench_store_%d_%s_%d", static_cast<int>(getpid()),
+                 tag, counter++))
+          .string();
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+void RemoveAll(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+}
+
+struct PhaseResult {
+  std::string name;
+  workload::ScenarioReport report;
+};
+
+void AppendPhaseJson(const PhaseResult& phase, std::ostringstream* out) {
+  *out << StrFormat("    {\n      \"name\": \"%s\",\n",
+                    phase.name.c_str())
+       << StrFormat("      \"throughput_qps\": %.3f,\n",
+                    phase.report.throughput_qps)
+       << StrFormat("      \"store_hits\": %zu,\n", phase.report.store_hits)
+       << StrFormat("      \"store_misses\": %zu,\n",
+                    phase.report.store_misses)
+       << StrFormat("      \"store_demotions\": %zu,\n",
+                    phase.report.store_demotions)
+       << StrFormat("      \"cache_evictions\": %zu,\n",
+                    phase.report.cache_evictions)
+       << "      \"classes\": [\n";
+  for (size_t c = 0; c < phase.report.classes.size(); ++c) {
+    const workload::ClassStats& cls = phase.report.classes[c];
+    *out << StrFormat(
+        "        {\"name\": \"%s\", \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+        "\"mean_ms\": %.3f}%s\n",
+        cls.name.c_str(), cls.p50_ms, cls.p99_ms, cls.mean_ms,
+        c + 1 < phase.report.classes.size() ? "," : "");
+  }
+  *out << "      ]\n    }";
+}
+
+struct CodecResult {
+  std::string name;
+  size_t bytes = 0;
+  double compute_seconds = 0;   ///< materializing the partials from scratch
+  double write_seconds = 0;     ///< FlushToStore (encode + fsync-less write)
+  double readback_seconds = 0;  ///< re-open + decode every entry
+  double max_abs_error = 0;     ///< worst |original - decoded| (quantized)
+};
+
+Result<CodecResult> RunCodecExperiment(const HinGraph& graph,
+                                       StoreCodec codec) {
+  CodecResult result;
+  result.name = StoreCodecToString(codec);
+  const std::string dir = FreshDir(result.name.c_str());
+
+  std::vector<MetaPath> paths;
+  for (const char* spec : kPaths) {
+    HETESIM_ASSIGN_OR_RETURN(MetaPath path,
+                             MetaPath::Parse(graph.schema(), spec));
+    paths.push_back(std::move(path));
+  }
+
+  // Compute the partials once on a plain cache — this is the "recompute"
+  // side of the ratio — then flush them through the codec under test.
+  PathMatrixCache cache;
+  const QueryContext ctx = QueryContext::Background();
+  std::vector<std::pair<std::string, std::shared_ptr<const SparseMatrix>>>
+      originals;
+  const Clock::time_point compute_start = Clock::now();
+  for (const MetaPath& path : paths) {
+    HETESIM_ASSIGN_OR_RETURN(std::shared_ptr<const SparseMatrix> left,
+                             cache.GetLeft(graph, path, ctx, /*num_threads=*/0));
+    HETESIM_ASSIGN_OR_RETURN(std::shared_ptr<const SparseMatrix> right,
+                             cache.GetRight(graph, path, ctx, /*num_threads=*/0));
+    originals.emplace_back(PathMatrixCache::LeftKey(path), left);
+    originals.emplace_back(PathMatrixCache::RightKey(path), right);
+  }
+  result.compute_seconds = SecondsSince(compute_start);
+
+  StoreOptions options;
+  options.directory = dir;
+  options.graph_digest = GraphDigest(graph);
+  options.codec = codec;
+  {
+    HETESIM_ASSIGN_OR_RETURN(std::unique_ptr<MatrixStore> store,
+                             MatrixStore::Open(options));
+    const Clock::time_point write_start = Clock::now();
+    for (const auto& [key, matrix] : originals) {
+      if (!store->Contains(key)) {
+        HETESIM_RETURN_NOT_OK(store->Put(key, *matrix));
+      }
+    }
+    result.write_seconds = SecondsSince(write_start);
+    result.bytes = store->stats().bytes;
+  }
+
+  // Re-open (fresh manifest parse, nothing resident) and decode everything:
+  // the "readback" side of the ratio, plus the quantization error audit.
+  HETESIM_ASSIGN_OR_RETURN(std::unique_ptr<MatrixStore> reopened,
+                           MatrixStore::Open(options));
+  const Clock::time_point read_start = Clock::now();
+  std::vector<SparseMatrix> decoded;
+  for (const auto& [key, matrix] : originals) {
+    HETESIM_ASSIGN_OR_RETURN(SparseMatrix loaded, reopened->Get(key));
+    decoded.push_back(std::move(loaded));
+  }
+  result.readback_seconds = SecondsSince(read_start);
+  for (size_t i = 0; i < originals.size(); ++i) {
+    const std::vector<double>& expected = originals[i].second->values();
+    const std::vector<double>& actual = decoded[i].values();
+    if (expected.size() != actual.size()) {
+      return Status::Internal("codec changed the sparsity structure");
+    }
+    for (size_t k = 0; k < expected.size(); ++k) {
+      const double err = std::abs(expected[k] - actual[k]);
+      if (err > result.max_abs_error) result.max_abs_error = err;
+    }
+  }
+  RemoveAll(dir);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  workload::RunOptions options;
+  options.override_queries = 400;  // reduced scale by default (CI-friendly)
+  options.realtime = false;
+  std::string out_path = "BENCH_store.json";
+  if (const char* env = std::getenv("HETESIM_BENCH_OUT"); env != nullptr) {
+    out_path = env;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_store: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--queries") {
+      Result<int64_t> queries = ParseInt64(value("--queries"));
+      if (!queries.ok() || *queries < 0) return Fail("--queries: bad value");
+      options.override_queries = *queries;
+    } else if (arg == "--out") {
+      out_path = value("--out");
+    } else {
+      return Fail("unknown flag '" + arg + "'");
+    }
+  }
+
+  const std::string scenario_file =
+      std::string(HETESIM_WORKLOAD_DIR) + "/cold_restart.workload";
+  Result<workload::WorkloadConfig> base =
+      workload::LoadWorkloadConfigFromFile(scenario_file);
+  if (!base.ok()) return Fail(base.status().ToString());
+
+  const std::string store_dir = FreshDir("restart");
+  std::vector<PhaseResult> phases;
+  struct PhaseSpec {
+    const char* name;
+    bool store_enabled;
+  };
+  // "cold" populates store_dir; "warm" replays the identical schedule over
+  // it — a simulated process restart with the RAM tier lost.
+  for (const PhaseSpec spec : {PhaseSpec{"no_store", false},
+                               PhaseSpec{"cold", true},
+                               PhaseSpec{"warm", true}}) {
+    workload::WorkloadConfig config = *base;
+    config.store.enabled = spec.store_enabled;
+    config.store.dir = store_dir;
+    Result<std::unique_ptr<workload::WorkloadRunner>> runner =
+        workload::WorkloadRunner::Create(config);
+    if (!runner.ok()) return Fail(runner.status().ToString());
+    Result<workload::ScenarioReport> report = (*runner)->Run(options);
+    if (!report.ok()) return Fail(report.status().ToString());
+    std::printf("[%s]\n%s", spec.name,
+                workload::RenderScenarioSummary(*report).c_str());
+    phases.push_back(PhaseResult{spec.name, std::move(*report)});
+  }
+  RemoveAll(store_dir);
+
+  Result<DblpDataset> dataset = [] {
+    DblpConfig config;
+    config.seed = kGraphSeed;
+    config.num_papers = kPapers;
+    config.num_authors = kAuthors;
+    return GenerateDblp(config);
+  }();
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  std::vector<CodecResult> codecs;
+  for (const StoreCodec codec : {StoreCodec::kLossless, StoreCodec::kQuantized}) {
+    Result<CodecResult> result = RunCodecExperiment(dataset->graph, codec);
+    if (!result.ok()) return Fail(result.status().ToString());
+    std::printf(
+        "codec %-9s: %zu bytes, compute %.3fs, write %.3fs, readback %.3fs "
+        "(%.1fx faster than recompute), max abs error %.3e\n",
+        result->name.c_str(), result->bytes, result->compute_seconds,
+        result->write_seconds, result->readback_seconds,
+        result->readback_seconds > 0
+            ? result->compute_seconds / result->readback_seconds
+            : 0.0,
+        result->max_abs_error);
+    codecs.push_back(std::move(*result));
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"scenario\": \"cold_restart\",\n"
+       << StrFormat("  \"queries\": %lld,\n",
+                    static_cast<long long>(options.override_queries))
+       << "  \"phases\": [\n";
+  for (size_t i = 0; i < phases.size(); ++i) {
+    AppendPhaseJson(phases[i], &json);
+    json << (i + 1 < phases.size() ? ",\n" : "\n");
+  }
+  json << "  ],\n  \"codecs\": [\n";
+  for (size_t i = 0; i < codecs.size(); ++i) {
+    const CodecResult& c = codecs[i];
+    json << StrFormat(
+        "    {\"name\": \"%s\", \"bytes\": %zu, \"compute_seconds\": %.6f, "
+        "\"write_seconds\": %.6f, \"readback_seconds\": %.6f, "
+        "\"recompute_vs_readback\": %.3f, \"max_abs_error\": %.3e}%s\n",
+        c.name.c_str(), c.bytes, c.compute_seconds, c.write_seconds,
+        c.readback_seconds,
+        c.readback_seconds > 0 ? c.compute_seconds / c.readback_seconds : 0.0,
+        c.max_abs_error, i + 1 < codecs.size() ? "," : "");
+  }
+  json << "  ]\n}\n";
+
+  {
+    std::ofstream file(out_path, std::ios::trunc);
+    if (!file.is_open()) return Fail("cannot open '" + out_path + "'");
+    file << json.str();
+    if (!file.good()) return Fail("failed writing '" + out_path + "'");
+  }
+  bench::MergeMetricsIntoBenchJson(out_path);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "matrix/cost_model.h"
 #include "matrix/serialize.h"
+#include "store/store.h"
 
 namespace hetesim {
 
@@ -31,6 +32,7 @@ struct CacheMetrics {
   Counter& suffix_probes;
   Counter& suffix_probe_hits;
   Counter& partial_reuse_bytes;
+  Counter& store_demotions;
 };
 
 CacheMetrics& GlobalCacheMetrics() {
@@ -53,6 +55,7 @@ CacheMetrics& GlobalCacheMetrics() {
           "hetesim_cache_suffix_probe_hits_total"),
       MetricsRegistry::Global().GetCounter(
           "hetesim_cache_partial_reuse_bytes_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_store_demotions_total"),
   };
   return metrics;
 }
@@ -226,6 +229,47 @@ void PathMatrixCache::SetMemoryBudget(std::shared_ptr<MemoryBudget> budget) {
   budget_ = std::move(budget);
 }
 
+void PathMatrixCache::AttachStore(std::shared_ptr<MatrixStore> store) {
+  MutexLock lock(mutex_);
+  store_ = std::move(store);
+}
+
+std::shared_ptr<MatrixStore> PathMatrixCache::store() const {
+  MutexLock lock(mutex_);
+  return store_;
+}
+
+Status PathMatrixCache::FlushToStore() {
+  std::shared_ptr<MatrixStore> store;
+  // (key, matrix, slot) — the slot pointer lets us mark the entry as
+  // persisted afterwards so a later eviction skips the redundant rewrite.
+  std::vector<std::tuple<std::string, std::shared_ptr<const SparseMatrix>,
+                         std::shared_ptr<Slot>>>
+      to_write;
+  {
+    MutexLock lock(mutex_);
+    store = store_;
+    if (store == nullptr) {
+      return Status::FailedPrecondition("no store attached to the cache");
+    }
+    for (const auto& [key, slot] : entries_) {
+      if (!slot->ready || slot->from_store) continue;
+      // Ready slots resolve immediately.
+      Result<std::shared_ptr<const SparseMatrix>> entry = slot->future.get();
+      if (!entry.ok()) continue;
+      to_write.emplace_back(key, *std::move(entry), slot);
+    }
+  }
+  for (auto& [key, matrix, slot] : to_write) {
+    if (!store->Contains(key)) {
+      HETESIM_RETURN_NOT_OK(store->Put(key, *matrix));
+    }
+    MutexLock lock(mutex_);
+    slot->from_store = true;
+  }
+  return Status::OK();
+}
+
 PathMatrixCache::Stats PathMatrixCache::stats() const {
   MutexLock lock(mutex_);
   Stats s;
@@ -242,6 +286,9 @@ PathMatrixCache::Stats PathMatrixCache::stats() const {
   s.suffix_probes = suffix_probes_;
   s.suffix_probe_hits = suffix_probe_hits_;
   s.partial_bytes_saved = partial_bytes_saved_;
+  s.store_hits = store_hits_;
+  s.store_misses = store_misses_;
+  s.store_demotions = store_demotions_;
   return s;
 }
 
@@ -320,11 +367,18 @@ void PathMatrixCache::Clear() {
   }
   entries_.clear();
   compute_counts_.clear();
+  // Queued demotion victims die with the entries: Clear is a full reset,
+  // and writing them after the fact would resurrect state the caller asked
+  // to drop.
+  pending_demotions_.clear();
   hits_ = 0;
   misses_ = 0;
   evictions_ = 0;
   failed_computes_ = 0;
   rejected_inserts_ = 0;
+  store_hits_ = 0;
+  store_misses_ = 0;
+  store_demotions_ = 0;
   if (MetricsEnabled()) {
     GlobalCacheMetrics().accounted_bytes.Add(
         -static_cast<int64_t>(accounted_bytes_));
@@ -394,29 +448,35 @@ Status PathMatrixCache::LoadFromDirectory(const std::string& directory) {
     loaded.emplace_back(key, ReadySlot(std::make_shared<const SparseMatrix>(
                                  *std::move(matrix))));
   }
-  MutexLock lock(mutex_);
-  for (auto& [key, slot] : entries_) {
-    slot->reservation.reset();
+  {
+    MutexLock lock(mutex_);
+    for (auto& [key, slot] : entries_) {
+      slot->reservation.reset();
+    }
+    entries_.clear();
+    compute_counts_.clear();
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+    failed_computes_ = 0;
+    rejected_inserts_ = 0;
+    store_hits_ = 0;
+    store_misses_ = 0;
+    store_demotions_ = 0;
+    if (MetricsEnabled()) {
+      GlobalCacheMetrics().accounted_bytes.Add(
+          -static_cast<int64_t>(accounted_bytes_));
+    }
+    accounted_bytes_ = 0;
+    peak_accounted_bytes_ = 0;
+    clock_ = 0;
+    for (auto& [key, slot] : loaded) {
+      if (entries_.count(key) != 0) continue;
+      if (!AdmitLocked(*slot)) continue;  // budget full even after eviction
+      entries_.emplace(key, std::move(slot));
+    }
   }
-  entries_.clear();
-  compute_counts_.clear();
-  hits_ = 0;
-  misses_ = 0;
-  evictions_ = 0;
-  failed_computes_ = 0;
-  rejected_inserts_ = 0;
-  if (MetricsEnabled()) {
-    GlobalCacheMetrics().accounted_bytes.Add(
-        -static_cast<int64_t>(accounted_bytes_));
-  }
-  accounted_bytes_ = 0;
-  peak_accounted_bytes_ = 0;
-  clock_ = 0;
-  for (auto& [key, slot] : loaded) {
-    if (entries_.count(key) != 0) continue;
-    if (!AdmitLocked(*slot)) continue;  // budget full even after eviction
-    entries_.emplace(key, std::move(slot));
-  }
+  FlushPendingDemotions();  // admissions above may have evicted
   return Status::OK();
 }
 
@@ -443,6 +503,7 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetOrCompute(
     HETESIM_RETURN_NOT_OK(ctx.CheckAlive());
     std::promise<Result<std::shared_ptr<const SparseMatrix>>> promise;
     std::shared_ptr<Slot> slot;
+    std::shared_ptr<MatrixStore> store;  // captured at claim time
     bool claimed = false;
     {
       MutexLock lock(mutex_);
@@ -455,13 +516,14 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetOrCompute(
       } else {
         // First requester claims the key; everyone arriving from here on
         // finds the slot above and waits, so each key is computed at most
-        // once per residency.
+        // once per residency. The claimant alone probes the store below,
+        // which is what makes disk reads exactly-once per residency too.
         ++misses_;
         if (MetricsEnabled()) GlobalCacheMetrics().misses.Increment();
-        ++compute_counts_[key];
         slot = std::make_shared<Slot>();
         slot->future = promise.get_future().share();
         entries_.emplace(key, slot);
+        store = store_;
         claimed = true;
       }
     }
@@ -492,7 +554,54 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetOrCompute(
       continue;
     }
 
-    // We claimed the key: compute outside the lock.
+    // We claimed the key. Probe the persistent tier first: a promoted
+    // matrix is served without recomputation (and without touching
+    // ComputeCount — reading back is not a computation). The store
+    // validates checksum and structure; anything wrong there surfaces as a
+    // plain NotFound-style miss and we fall through to compute.
+    if (store != nullptr) {
+      Result<SparseMatrix> promoted = store->Get(key);
+      {
+        MutexLock lock(mutex_);
+        if (promoted.ok()) {
+          ++store_hits_;
+        } else {
+          ++store_misses_;
+        }
+      }
+      if (promoted.ok()) {
+        auto matrix =
+            std::make_shared<const SparseMatrix>(*std::move(promoted));
+        // Same publish-then-admit ordering as the compute path below.
+        promise.set_value(Result<std::shared_ptr<const SparseMatrix>>(matrix));
+        {
+          MutexLock lock(mutex_);
+          auto it = entries_.find(key);
+          if (it != entries_.end() && it->second == slot) {
+            slot->bytes = matrix->ApproxBytes();
+            slot->compute_seconds = 0.0;  // re-readable for free-ish
+            slot->from_store = true;
+            if (AdmitLocked(*slot)) {
+              slot->ready = true;
+            } else {
+              ++rejected_inserts_;
+              if (MetricsEnabled()) {
+                GlobalCacheMetrics().rejected_inserts.Increment();
+              }
+              entries_.erase(it);
+            }
+          }
+        }
+        FlushPendingDemotions();
+        return matrix;
+      }
+    }
+
+    // Store miss (or no store): compute outside the lock.
+    {
+      MutexLock lock(mutex_);
+      ++compute_counts_[key];
+    }
     const auto start = std::chrono::steady_clock::now();
     Result<SparseMatrix> computed = compute();
     const double seconds =
@@ -536,6 +645,7 @@ Result<std::shared_ptr<const SparseMatrix>> PathMatrixCache::GetOrCompute(
       // else: Clear()/Load() raced us and already dropped the slot; the
       // matrix is still delivered to us and any waiters, just not retained.
     }
+    FlushPendingDemotions();
     return matrix;
   }
 }
@@ -569,6 +679,15 @@ bool PathMatrixCache::EvictOneLocked() {
   }
   if (victim == entries_.end()) return false;
   Slot& slot = *victim->second;
+  // Demote instead of drop: a victim not yet on disk is queued for the
+  // store (no IO under the lock — FlushPendingDemotions writes it after
+  // the caller releases mutex_). Ready slots resolve immediately.
+  if (store_ != nullptr && !slot.from_store) {
+    Result<std::shared_ptr<const SparseMatrix>> entry = slot.future.get();
+    if (entry.ok()) {
+      pending_demotions_.emplace_back(victim->first, *std::move(entry));
+    }
+  }
   // GreedyDual-Size aging: the clock rises to the evicted priority, so
   // long-untouched survivors gradually lose their head start.
   clock_ = std::max(clock_, slot.priority);
@@ -582,6 +701,34 @@ bool PathMatrixCache::EvictOneLocked() {
   }
   entries_.erase(victim);
   return true;
+}
+
+void PathMatrixCache::FlushPendingDemotions() {
+  std::vector<std::pair<std::string, std::shared_ptr<const SparseMatrix>>>
+      pending;
+  std::shared_ptr<MatrixStore> store;
+  {
+    MutexLock lock(mutex_);
+    if (pending_demotions_.empty()) return;
+    pending.swap(pending_demotions_);
+    store = store_;
+  }
+  if (store == nullptr) return;  // detached while victims were queued
+  size_t written = 0;
+  for (const auto& [key, matrix] : pending) {
+    // Best-effort: the entry is already evicted either way; if the write
+    // fails (disk full, injected store.write.alloc) the next miss simply
+    // recomputes, which is the pre-store behavior.
+    if (store->Put(key, *matrix).ok()) ++written;
+  }
+  if (written == 0) return;
+  {
+    MutexLock lock(mutex_);
+    store_demotions_ += written;
+  }
+  if (MetricsEnabled()) {
+    GlobalCacheMetrics().store_demotions.Increment(written);
+  }
 }
 
 void PathMatrixCache::TouchLocked(Slot& slot) {

@@ -18,6 +18,8 @@
 
 namespace hetesim {
 
+class MatrixStore;  // store/store.h; optional second tier
+
 /// \brief Cache of materialized reachable-probability products, the
 /// Section 4.6 acceleration: "for frequently-used relevance paths, the
 /// relatedness matrix can be calculated off-line" and "the concatenation of
@@ -67,6 +69,18 @@ namespace hetesim {
 /// fit it is returned to callers *uncached*. Accounted bytes therefore
 /// never exceed the budget limit, which is the `--max-cache-mb` guarantee.
 /// In-flight entries are never evicted.
+///
+/// Two-tier operation: with a `MatrixStore` attached (`AttachStore`), the
+/// cache becomes the RAM tier over a persistent compressed tier. A miss
+/// probes the store before recomputing (the promoted matrix is checksum-
+/// validated by the store and budget-charged through the normal admission
+/// path, with `ComputeCount` untouched — serving from disk is not a
+/// computation), and eviction *demotes* entries to the store instead of
+/// dropping them, so the working set survives restarts and budgets smaller
+/// than the working set stop costing recomputes. Store IO never happens
+/// under the cache mutex: demotion victims are queued under the lock and
+/// written after it is released, on the thread that triggered the
+/// admission (see DESIGN.md §16).
 class PathMatrixCache {
  public:
   PathMatrixCache() = default;
@@ -155,10 +169,25 @@ class PathMatrixCache {
   /// reserved.
   void SetMemoryBudget(std::shared_ptr<MemoryBudget> budget) EXCLUDES(mutex_);
 
+  /// Attaches the persistent demotion/promotion tier (nullptr detaches).
+  /// Attach before populating: existing entries are not retroactively
+  /// demotable until they are next touched by eviction.
+  void AttachStore(std::shared_ptr<MatrixStore> store) EXCLUDES(mutex_);
+  /// The attached store, or nullptr.
+  std::shared_ptr<MatrixStore> store() const EXCLUDES(mutex_);
+
+  /// Writes every READY cached entry not already on disk to the attached
+  /// store (the offline `materialize` workflow: compute the partials for a
+  /// path list, then flush). In-flight entries are skipped. Fails if no
+  /// store is attached or a write fails; already-persisted keys are not
+  /// rewritten.
+  [[nodiscard]] Status FlushToStore() EXCLUDES(mutex_);
+
   /// Cache effectiveness counters. A request that finds the key present —
   /// ready or still being computed by another thread — counts as a hit; a
-  /// request that claims a fresh key (and therefore computes it) counts as
-  /// a miss, so `misses` is also the total number of computations started.
+  /// request that claims a fresh key counts as a miss. A miss is served
+  /// from the store when possible (`store_hits`), so the number of
+  /// computations started is `misses - store_hits`.
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
@@ -173,14 +202,20 @@ class PathMatrixCache {
     size_t suffix_probes = 0;       ///< `ProbePartials` calls, right halves
     size_t suffix_probe_hits = 0;   ///< ...that found >= 1 ready partial
     size_t partial_bytes_saved = 0;  ///< recompute bytes avoided via reuse
+    size_t store_hits = 0;       ///< misses served from the attached store
+    size_t store_misses = 0;     ///< misses the store could not serve
+    size_t store_demotions = 0;  ///< evicted entries written to the store
   };
   Stats stats() const EXCLUDES(mutex_);
 
   /// How many times the value for `key` has been computed since the last
   /// `Clear()`/`LoadFromDirectory()`. Exactly 1 after a miss-storm on a
   /// resident key (the at-most-once-per-residency guarantee); higher only
-  /// when the entry was evicted or a failed computation was redone. Keys
-  /// come from `LeftKey`/`RightKey`/`ReachKey`.
+  /// when the entry was evicted or a failed computation was redone. A miss
+  /// served by promoting the key from the attached store does NOT count —
+  /// reading back is not a computation — so with a store underneath, a
+  /// demote/promote cycle leaves the count at 1. Keys come from
+  /// `LeftKey`/`RightKey`/`ReachKey`.
   size_t ComputeCount(const std::string& key) const EXCLUDES(mutex_);
 
   /// Drops all entries and resets counters (releasing any budget bytes).
@@ -206,6 +241,7 @@ class PathMatrixCache {
   struct Slot {
     std::shared_future<Result<std::shared_ptr<const SparseMatrix>>> future;
     bool ready = false;        ///< future resolved OK; admission decided
+    bool from_store = false;   ///< already on disk; eviction skips demotion
     size_t bytes = 0;          ///< ApproxBytes of the matrix once ready
     double compute_seconds = 0;  ///< measured cost of the materialization
     double priority = 0;       ///< GreedyDual-Size eviction priority
@@ -225,9 +261,16 @@ class PathMatrixCache {
   /// the entry and the matrix is served uncached.
   bool AdmitLocked(Slot& slot) REQUIRES(mutex_);
   /// Evicts the lowest-priority ready entry; false when none is evictable.
+  /// With a store attached, a not-yet-persisted victim is queued on
+  /// `pending_demotions_` (written later, outside the lock — never IO
+  /// here) instead of being lost.
   bool EvictOneLocked() REQUIRES(mutex_);
   /// Refreshes `slot`'s GreedyDual-Size priority on access (locked).
   void TouchLocked(Slot& slot) REQUIRES(mutex_);
+  /// Drains `pending_demotions_` to the store. Called after every section
+  /// that may have evicted; takes and releases `mutex_` itself, doing the
+  /// actual writes unlocked on the calling (query) thread.
+  void FlushPendingDemotions() EXCLUDES(mutex_);
 
   mutable Mutex mutex_;
   // budget_ must be declared before entries_: slot destructors release
@@ -238,6 +281,11 @@ class PathMatrixCache {
   // waiters; every other Slot field is only touched under mutex_ (see the
   // DESIGN.md §11 lock table).
   std::shared_ptr<MemoryBudget> budget_ GUARDED_BY(mutex_);
+  /// The persistent tier; copied out under the lock, IO'd without it.
+  std::shared_ptr<MatrixStore> store_ GUARDED_BY(mutex_);
+  /// Eviction victims awaiting their demotion write (key, matrix).
+  std::vector<std::pair<std::string, std::shared_ptr<const SparseMatrix>>>
+      pending_demotions_ GUARDED_BY(mutex_);
   std::unordered_map<std::string, std::shared_ptr<Slot>> entries_ GUARDED_BY(mutex_);
   std::unordered_map<std::string, size_t> compute_counts_ GUARDED_BY(mutex_);
   /// GreedyDual-Size aging clock (max evicted priority).
@@ -254,6 +302,9 @@ class PathMatrixCache {
   size_t suffix_probes_ GUARDED_BY(mutex_) = 0;
   size_t suffix_probe_hits_ GUARDED_BY(mutex_) = 0;
   size_t partial_bytes_saved_ GUARDED_BY(mutex_) = 0;
+  size_t store_hits_ GUARDED_BY(mutex_) = 0;
+  size_t store_misses_ GUARDED_BY(mutex_) = 0;
+  size_t store_demotions_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace hetesim

@@ -1,0 +1,62 @@
+#include "hin/digest.h"
+
+#include <cstring>
+
+namespace hetesim {
+
+namespace {
+
+/// Incremental FNV-1a 64-bit. Length-prefixing every variable-size field
+/// keeps the fold injective over field boundaries ("ab","c" != "a","bc").
+class Fnv1a {
+ public:
+  void Bytes(const void* data, size_t size) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ ^= p[i];
+      hash_ *= 1099511628211ull;
+    }
+  }
+  void U64(uint64_t value) { Bytes(&value, sizeof(value)); }
+  void Str(const std::string& s) {
+    U64(s.size());
+    Bytes(s.data(), s.size());
+  }
+  template <typename T>
+  void Vec(const std::vector<T>& v) {
+    U64(v.size());
+    Bytes(v.data(), v.size() * sizeof(T));
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 1469598103934665603ull;
+};
+
+}  // namespace
+
+uint64_t GraphDigest(const HinGraph& graph) {
+  const Schema& schema = graph.schema();
+  Fnv1a fold;
+  fold.U64(static_cast<uint64_t>(schema.NumObjectTypes()));
+  for (TypeId t = 0; t < schema.NumObjectTypes(); ++t) {
+    fold.Str(schema.TypeName(t));
+    fold.U64(static_cast<uint64_t>(schema.TypeCode(t)));
+    fold.U64(static_cast<uint64_t>(graph.NumNodes(t)));
+  }
+  fold.U64(static_cast<uint64_t>(schema.NumRelations()));
+  for (RelationId r = 0; r < schema.NumRelations(); ++r) {
+    fold.Str(schema.RelationName(r));
+    fold.U64(static_cast<uint64_t>(schema.RelationSource(r)));
+    fold.U64(static_cast<uint64_t>(schema.RelationTarget(r)));
+    const SparseMatrix& adjacency = graph.Adjacency(r);
+    fold.U64(static_cast<uint64_t>(adjacency.rows()));
+    fold.U64(static_cast<uint64_t>(adjacency.cols()));
+    fold.Vec(adjacency.row_ptr());
+    fold.Vec(adjacency.col_idx());
+    fold.Vec(adjacency.values());
+  }
+  return fold.value();
+}
+
+}  // namespace hetesim

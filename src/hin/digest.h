@@ -1,0 +1,22 @@
+#ifndef HETESIM_HIN_DIGEST_H_
+#define HETESIM_HIN_DIGEST_H_
+
+#include <cstdint>
+
+#include "hin/graph.h"
+
+namespace hetesim {
+
+/// Structural digest of a graph: an FNV-1a fold of the schema (type names,
+/// codes, relation names and endpoints) and every relation's adjacency CSR
+/// arrays, values included. Two graphs share a digest exactly when every
+/// path matrix computed from them is identical, which is the validity
+/// condition for reusing a `MatrixStore` (store/store.h): a store opened
+/// under a different digest would serve partials of some other graph as
+/// silently wrong answers. Node names are deliberately excluded — renaming
+/// nodes changes no matrix. O(edges); computed once per store open.
+uint64_t GraphDigest(const HinGraph& graph);
+
+}  // namespace hetesim
+
+#endif  // HETESIM_HIN_DIGEST_H_

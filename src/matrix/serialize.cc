@@ -1,5 +1,6 @@
 #include "matrix/serialize.h"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -139,6 +140,12 @@ Result<SparseMatrix> ReadSparseMatrix(std::istream& stream) {
       if (c < 0 || c >= cols) {
         return Status::InvalidArgument("corrupt CSR column index");
       }
+      // Every legitimate writer serializes finite values only; a NaN/Inf
+      // payload is bit rot or an attack, and letting it in would poison
+      // every product computed from the matrix.
+      if (!std::isfinite(values[static_cast<size_t>(k)])) {
+        return Status::InvalidArgument("non-finite sparse matrix value");
+      }
       triplets.push_back({r, c, values[static_cast<size_t>(k)]});
     }
   }
@@ -185,6 +192,11 @@ Result<DenseMatrix> ReadDenseMatrix(std::istream& stream) {
   std::vector<double> data;
   if (!ReadArray(stream, static_cast<size_t>(rows * cols), &data)) {
     return Status::IOError("truncated dense matrix payload");
+  }
+  for (const double v : data) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("non-finite dense matrix value");
+    }
   }
   return DenseMatrix(rows, cols, std::move(data));
 }

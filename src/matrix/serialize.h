@@ -18,7 +18,8 @@ namespace hetesim {
 /// Format (little-endian, host order — files are machine-local artifacts):
 ///   sparse: "HSM1" | rows i64 | cols i64 | nnz i64 | row_ptr | col_idx | values
 ///   dense:  "HDM1" | rows i64 | cols i64 | values row-major
-/// Readers validate magic, sizes and CSR monotonicity before constructing.
+/// Readers validate magic, sizes, CSR monotonicity, and value finiteness
+/// (NaN/Inf payloads are corruption and are rejected) before constructing.
 
 /// Writes `matrix` to `stream` in HSM1 format.
 [[nodiscard]] Status WriteSparseMatrix(const SparseMatrix& matrix, std::ostream& stream);

@@ -87,6 +87,9 @@ std::unique_ptr<QueryService> QueryService::Create(const HinGraph& graph,
     if (service->budget_ != nullptr) {
       service->cache_->SetMemoryBudget(service->budget_);
     }
+    if (options.store != nullptr) {
+      service->cache_->AttachStore(options.store);
+    }
   }
   service->engine_ = std::make_unique<HeteSimEngine>(graph, options.engine,
                                                      service->cache_);

@@ -29,6 +29,12 @@ struct ServiceOptions {
   size_t memory_mb = 0;
   /// Share one `PathMatrixCache` across queries (the §4.6 acceleration).
   bool cache_enabled = true;
+  /// Optional persistent tier under the shared cache (DESIGN.md §16):
+  /// misses are served from it before recomputing and evictions are
+  /// demoted into it, so a restarted server warms from disk. Opened by the
+  /// caller (`hetesim_serve --store-dir`) so open failures surface there;
+  /// ignored when `cache_enabled` is false.
+  std::shared_ptr<MatrixStore> store;
   /// Engine options for admitted queries. `num_threads` here is per-query
   /// intra-query parallelism; inter-query parallelism is
   /// `admission.workers`.

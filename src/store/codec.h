@@ -1,0 +1,61 @@
+#ifndef HETESIM_STORE_CODEC_H_
+#define HETESIM_STORE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "matrix/sparse.h"
+
+namespace hetesim {
+
+/// \brief Compressed on-disk encoding of path-matrix partials (HPS1), the
+/// byte format underneath `MatrixStore`.
+///
+/// Reachable-probability partials are sparse row-sorted CSR matrices whose
+/// column ids are strictly ascending within a row — ideal for delta coding —
+/// and whose values are probabilities, so a fixed-point quantization with a
+/// per-matrix scale loses almost nothing. Layout (little-endian):
+///
+///   "HPS1" | codec u8 |
+///   varint rows | varint cols | varint nnz |
+///   rows x varint row_nnz |                      (row lengths, not offsets)
+///   per row: varint first_col, then varint(delta - 1) per later column |
+///   values:
+///     lossless (0):  nnz x raw 8-byte double     (bitwise round trip)
+///     quantized (1): scale f64 (max |value|), then nnz x int32 fixed point
+///                    q = round(value / scale * (2^31 - 1)); max abs error
+///                    scale * 4.7e-10, far inside the 1e-6 contract
+///
+/// Varints are LEB128 (7 bits per byte, low first), at most 10 bytes.
+/// `DecodeStoreEntry` trusts nothing: magic, codec byte, dimension bounds,
+/// row-length sums, column monotonicity/range, value finiteness, and exact
+/// buffer consumption are all verified before a matrix is constructed, so a
+/// corrupt or truncated entry is a clean `InvalidArgument`, never UB.
+
+/// Value encoding of a store entry.
+enum class StoreCodec : uint8_t {
+  kLossless = 0,   ///< raw doubles; demote -> promote is bitwise
+  kQuantized = 1,  ///< int32 fixed point; ~2.4x smaller values section
+};
+
+/// Parses "lossless" / "quantized".
+[[nodiscard]] Result<StoreCodec> StoreCodecFromString(std::string_view name);
+/// Canonical name of a codec.
+std::string_view StoreCodecToString(StoreCodec codec);
+
+/// Appends the HPS1 encoding of `matrix` to `out`.
+[[nodiscard]] Status EncodeStoreEntry(const SparseMatrix& matrix,
+                                      StoreCodec codec, std::string* out);
+
+/// Decodes an HPS1 entry, validating every structural invariant.
+[[nodiscard]] Result<SparseMatrix> DecodeStoreEntry(std::string_view bytes);
+
+/// FNV-1a 64-bit checksum of `bytes`; the manifest records one per entry so
+/// bit flips in a payload are detected before decoding is even attempted.
+uint64_t StoreChecksum(std::string_view bytes);
+
+}  // namespace hetesim
+
+#endif  // HETESIM_STORE_CODEC_H_

@@ -1,0 +1,335 @@
+#include "store/store.h"
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/fault_injection.h"
+#include "common/metrics.h"
+#include "common/string_util.h"
+
+namespace hetesim {
+
+namespace {
+
+/// Manifest header tokens. Bumping the format bumps `kVersion`; an old
+/// process reading a new manifest (or vice versa) treats it as foreign and
+/// starts empty rather than misparse it.
+constexpr const char* kManifestMagic = "HETESIM-STORE";
+constexpr const char* kVersion = "v1";
+constexpr const char* kManifestName = "manifest.txt";
+
+/// Process-wide store instruments (DESIGN.md §12), resolved once. The
+/// demotion counter lives with the cache (core/materialize.cc), which is
+/// the layer that decides to demote.
+struct StoreMetrics {
+  Counter& hits;
+  Counter& misses;
+  Counter& corrupt_entries;
+  Counter& writes;
+  Gauge& bytes;
+};
+
+StoreMetrics& GlobalStoreMetrics() {
+  static StoreMetrics metrics{
+      MetricsRegistry::Global().GetCounter("hetesim_store_hits_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_store_misses_total"),
+      MetricsRegistry::Global().GetCounter(
+          "hetesim_store_corrupt_entries_total"),
+      MetricsRegistry::Global().GetCounter("hetesim_store_writes_total"),
+      MetricsRegistry::Global().GetGauge("hetesim_store_bytes"),
+  };
+  return metrics;
+}
+
+std::string HexDigest(uint64_t value) {
+  return StrFormat("%016llx", static_cast<unsigned long long>(value));
+}
+
+bool ParseHex64(std::string_view text, uint64_t* value) {
+  if (text.empty() || text.size() > 16) return false;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, *value, 16);
+  return ec == std::errc() && ptr == end;
+}
+
+/// Reads a whole file into `out`; false on open/read failure.
+bool ReadFileBytes(const std::filesystem::path& path, std::string* out) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return false;
+  *out = buffer.str();
+  return true;
+}
+
+/// Write-temp-then-rename: `bytes` lands at `target` atomically or not at
+/// all. `tmp` must be unique to this call (same filesystem as `target`).
+Status WriteFileAtomic(const std::filesystem::path& tmp,
+                       const std::filesystem::path& target,
+                       std::string_view bytes) {
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file.is_open()) {
+      return Status::IOError("cannot open '" + tmp.string() + "' for writing");
+    }
+    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    file.flush();
+    if (!file.good()) {
+      return Status::IOError("short write to '" + tmp.string() + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, target, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);  // best-effort cleanup
+    return Status::IOError("cannot publish '" + target.string() +
+                           "': " + ec.message());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+MatrixStore::MatrixStore(std::string directory, uint64_t graph_digest,
+                         StoreCodec codec)
+    : directory_(std::move(directory)),
+      graph_digest_(graph_digest),
+      codec_(codec) {}
+
+Result<std::unique_ptr<MatrixStore>> MatrixStore::Open(
+    const StoreOptions& options) {
+  namespace fs = std::filesystem;
+  if (options.directory.empty()) {
+    return Status::InvalidArgument("store directory must not be empty");
+  }
+  std::error_code ec;
+  fs::create_directories(options.directory, ec);
+  if (ec) {
+    return Status::IOError("cannot create store directory '" +
+                           options.directory + "': " + ec.message());
+  }
+  // Private constructor (factory enforces the validated-open invariant),
+  // so make_unique cannot reach it.
+  std::unique_ptr<MatrixStore> store(
+      new MatrixStore(  // hetesim-lint: allow(no-naked-new)
+          options.directory, options.graph_digest, options.codec));
+  store->LoadManifest();
+  return store;
+}
+
+void MatrixStore::LoadManifest() {
+  namespace fs = std::filesystem;
+  std::ifstream manifest(fs::path(directory_) / kManifestName);
+  if (!manifest.is_open()) return;  // fresh store: nothing to load
+
+  // Any structural damage from here on makes the remainder of the manifest
+  // untrusted: keep the entries parsed so far (each was fully published
+  // before the manifest line referencing it) and record one corruption.
+  std::map<std::string, Entry> loaded;
+  size_t loaded_bytes = 0;
+  int max_file_seq = -1;
+  bool damaged = false;
+
+  std::string line;
+  if (!std::getline(manifest, line) ||
+      line != std::string(kManifestMagic) + "\t" + kVersion) {
+    damaged = true;  // stale format magic / version, or empty file
+  } else if (!std::getline(manifest, line)) {
+    damaged = true;
+  } else {
+    uint64_t digest = 0;
+    const std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != 2 || fields[0] != "digest" ||
+        !ParseHex64(fields[1], &digest)) {
+      damaged = true;
+    } else if (digest != graph_digest_) {
+      // Foreign store: partials of some other graph. Serving them would be
+      // silently wrong answers, so start empty.
+      damaged = true;
+    }
+  }
+
+  while (!damaged && std::getline(manifest, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() == 2 && fields[0] == "codec") continue;  // informational
+    uint64_t checksum = 0;
+    const Result<uint64_t> seq =
+        fields.size() >= 2 ? ParseUint64(fields[1]) : Result<uint64_t>(0);
+    const Result<uint64_t> bytes =
+        fields.size() >= 3 ? ParseUint64(fields[2]) : Result<uint64_t>(0);
+    if (fields.size() != 5 || fields[0] != "entry" || !seq.ok() ||
+        !bytes.ok() || !ParseHex64(fields[3], &checksum)) {
+      damaged = true;  // torn/garbled tail: trust nothing past this line
+      break;
+    }
+    const std::string& key = fields[4];
+    max_file_seq = std::max(max_file_seq, static_cast<int>(*seq));
+    loaded_bytes += static_cast<size_t>(*bytes);
+    loaded[key] =
+        Entry{static_cast<int>(*seq), static_cast<size_t>(*bytes), checksum};
+  }
+
+  MutexLock lock(mutex_);
+  entries_ = std::move(loaded);
+  bytes_ = loaded_bytes;
+  next_file_ = max_file_seq + 1;
+  if (damaged) {
+    ++corrupt_entries_;
+    if (MetricsEnabled()) GlobalStoreMetrics().corrupt_entries.Increment();
+  }
+  if (MetricsEnabled()) {
+    GlobalStoreMetrics().bytes.Add(static_cast<int64_t>(bytes_));
+  }
+}
+
+Result<SparseMatrix> MatrixStore::Get(const std::string& key) {
+  Entry entry;
+  {
+    MutexLock lock(mutex_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++misses_;
+      if (MetricsEnabled()) GlobalStoreMetrics().misses.Increment();
+      return Status::NotFound("store has no entry for '" + key + "'");
+    }
+    entry = it->second;
+    ++read_counts_[key];
+  }
+
+  // Payload IO happens outside the lock; the entry copy pins what we
+  // expect to find on disk.
+  const std::string file = StrFormat("entry_%06d.hps", entry.seq);
+  std::string bytes;
+  Status failure = Status::OK();
+  if (HETESIM_FAULT_POINT("store.read.corrupt")) {
+    failure = Status::InvalidArgument("injected: store.read.corrupt");
+  } else if (!ReadFileBytes(std::filesystem::path(directory_) / file,
+                            &bytes)) {
+    failure = Status::IOError("cannot read store entry '" + file + "'");
+  } else if (bytes.size() != entry.bytes) {
+    failure = Status::InvalidArgument(
+        StrFormat("store entry '%s' is %zu bytes, manifest says %zu",
+                  file.c_str(), bytes.size(), entry.bytes));
+  } else if (StoreChecksum(bytes) != entry.checksum) {
+    failure =
+        Status::InvalidArgument("store entry '" + file + "' fails its checksum");
+  }
+  Result<SparseMatrix> decoded =
+      failure.ok() ? DecodeStoreEntry(bytes) : Result<SparseMatrix>(failure);
+  MutexLock lock(mutex_);
+  if (!decoded.ok()) {
+    // Damaged entry: drop it from the in-memory index so it is never
+    // retried, and report a plain miss — the caller recomputes. The
+    // on-disk manifest is NOT rewritten here: readers of a shared (or
+    // read-only, e.g. a committed corpus) store must never mutate it.
+    ++corrupt_entries_;
+    if (MetricsEnabled()) GlobalStoreMetrics().corrupt_entries.Increment();
+    auto it = entries_.find(key);
+    if (it != entries_.end() && it->second.seq == entry.seq) {
+      bytes_ -= it->second.bytes;
+      if (MetricsEnabled()) {
+        GlobalStoreMetrics().bytes.Add(-static_cast<int64_t>(it->second.bytes));
+      }
+      entries_.erase(it);
+    }
+    return Status::NotFound("store entry for '" + key + "' is corrupt (" +
+                            decoded.status().message() + ")");
+  }
+  ++hits_;
+  if (MetricsEnabled()) GlobalStoreMetrics().hits.Increment();
+  return decoded;
+}
+
+Status MatrixStore::Put(const std::string& key, const SparseMatrix& matrix) {
+  if (key.find('\n') != std::string::npos ||
+      key.find('\t') != std::string::npos) {
+    return Status::InvalidArgument("store key contains a tab or newline");
+  }
+  if (HETESIM_FAULT_POINT("store.write.alloc")) {
+    return Status::ResourceExhausted("injected: store.write.alloc");
+  }
+  std::string bytes;
+  HETESIM_RETURN_NOT_OK(EncodeStoreEntry(matrix, codec_, &bytes));
+  const uint64_t checksum = StoreChecksum(bytes);
+
+  int file_seq = 0;
+  {
+    MutexLock lock(mutex_);
+    // Overwrites reuse the key's file sequence (the rename is atomic, so a
+    // reader holding the old Entry copy still sees a consistent file);
+    // fresh keys claim the next one. The sequence doubles as a unique tmp
+    // suffix, so concurrent Puts never collide on the temp file either.
+    auto it = entries_.find(key);
+    file_seq = it != entries_.end() ? it->second.seq : next_file_++;
+  }
+  const std::string file = StrFormat("entry_%06d.hps", file_seq);
+  namespace fs = std::filesystem;
+  HETESIM_RETURN_NOT_OK(WriteFileAtomic(
+      fs::path(directory_) / (file + ".tmp"), fs::path(directory_) / file,
+      bytes));
+
+  MutexLock lock(mutex_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    bytes_ -= it->second.bytes;
+    if (MetricsEnabled()) {
+      GlobalStoreMetrics().bytes.Add(-static_cast<int64_t>(it->second.bytes));
+    }
+  }
+  entries_[key] = Entry{file_seq, bytes.size(), checksum};
+  bytes_ += bytes.size();
+  ++writes_;
+  if (MetricsEnabled()) {
+    StoreMetrics& metrics = GlobalStoreMetrics();
+    metrics.writes.Increment();
+    metrics.bytes.Add(static_cast<int64_t>(bytes.size()));
+  }
+  return PublishManifestLocked();
+}
+
+Status MatrixStore::PublishManifestLocked() {
+  std::ostringstream out;
+  out << kManifestMagic << "\t" << kVersion << "\n";
+  out << "digest\t" << HexDigest(graph_digest_) << "\n";
+  out << "codec\t" << StoreCodecToString(codec_) << "\n";
+  for (const auto& [key, entry] : entries_) {
+    out << "entry\t" << entry.seq << "\t" << entry.bytes << "\t"
+        << HexDigest(entry.checksum) << "\t" << key << "\n";
+  }
+  namespace fs = std::filesystem;
+  return WriteFileAtomic(fs::path(directory_) / (std::string(kManifestName) + ".tmp"),
+                         fs::path(directory_) / kManifestName, out.str());
+}
+
+bool MatrixStore::Contains(const std::string& key) const {
+  MutexLock lock(mutex_);
+  return entries_.count(key) != 0;
+}
+
+size_t MatrixStore::ReadCount(const std::string& key) const {
+  MutexLock lock(mutex_);
+  auto it = read_counts_.find(key);
+  return it == read_counts_.end() ? 0 : it->second;
+}
+
+MatrixStore::Stats MatrixStore::stats() const {
+  MutexLock lock(mutex_);
+  Stats s;
+  s.entries = entries_.size();
+  s.hits = hits_;
+  s.misses = misses_;
+  s.corrupt_entries = corrupt_entries_;
+  s.writes = writes_;
+  s.bytes = bytes_;
+  return s;
+}
+
+}  // namespace hetesim

@@ -1,0 +1,132 @@
+#ifndef HETESIM_STORE_STORE_H_
+#define HETESIM_STORE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/annotations.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "matrix/sparse.h"
+#include "store/codec.h"
+
+namespace hetesim {
+
+/// Configuration of a `MatrixStore`.
+struct StoreOptions {
+  std::string directory;  ///< created on first write if missing
+  /// Digest of the graph the stored partials were computed from (see
+  /// `GraphDigest`, hin/digest.h — computed by the caller so the store
+  /// stays below the hin layer). A manifest recorded under a different
+  /// digest is foreign: the store opens empty rather than serving partials
+  /// of some other graph.
+  uint64_t graph_digest = 0;
+  StoreCodec codec = StoreCodec::kLossless;  ///< codec for NEW entries
+};
+
+/// \brief Durable second tier for materialized path matrices: a directory
+/// of HPS1-encoded entries (store/codec.h) plus a text manifest recording
+/// format version, graph digest, and per-entry file/codec/bytes/checksum.
+///
+/// This is the paper's Section 4.6 offline materialization made restart-
+/// proof: `hetesim_cli materialize` fills a store ahead of time, and
+/// `PathMatrixCache` demotes cold entries here instead of dropping them,
+/// promoting them back (checksum-validated) on a later miss.
+///
+/// Durability contract — a crash never publishes a torn entry:
+///  * Entry payloads are written to `<name>.tmp` and atomically renamed
+///    into place; the manifest is rewritten the same way. An entry file is
+///    therefore only ever referenced by a manifest written AFTER the entry
+///    was fully on disk.
+///  * Readers trust nothing: a missing/truncated/stale-version manifest, a
+///    digest mismatch, a short or bit-flipped payload (checksum), or a
+///    structurally invalid encoding all degrade to a clean miss —
+///    `corrupt_entries` is incremented and the entry is dropped from the
+///    index so it is never retried. No corruption mode crashes or yields a
+///    wrong matrix.
+///
+/// Thread-safe. The index mutex is never held across file IO for payloads
+/// (reads/writes happen on local copies); only the small manifest rewrite
+/// is serialized.
+class MatrixStore {
+ public:
+  /// Opens the store, reading an existing manifest if one is present. A
+  /// manifest that is foreign (version/digest mismatch) or damaged yields
+  /// an EMPTY store, not an error — the caller can always proceed and
+  /// recompute; `stats().corrupt_entries` records that something was wrong.
+  /// Only a directory that can be neither read nor created is an error.
+  static Result<std::unique_ptr<MatrixStore>> Open(const StoreOptions& options);
+
+  MatrixStore(const MatrixStore&) = delete;
+  MatrixStore& operator=(const MatrixStore&) = delete;
+
+  /// Reads, checksum-validates, and decodes the entry for `key`.
+  /// `NotFound` when absent; corrupt entries are dropped (see class
+  /// comment) and also reported as `NotFound`. Any other error code means
+  /// the store itself misbehaved (e.g. the directory vanished).
+  [[nodiscard]] Result<SparseMatrix> Get(const std::string& key)
+      EXCLUDES(mutex_);
+
+  /// Encodes and durably writes `matrix` under `key` (overwriting any
+  /// previous entry), then republishes the manifest. On error the previous
+  /// manifest is still in place — a failed write never corrupts the store.
+  [[nodiscard]] Status Put(const std::string& key, const SparseMatrix& matrix)
+      EXCLUDES(mutex_);
+
+  /// True iff the manifest currently lists `key` (no payload IO).
+  bool Contains(const std::string& key) const EXCLUDES(mutex_);
+
+  /// How many times `Get(key)` performed an actual disk read (hit or
+  /// corrupt). Lets tests assert exactly-once promotion under miss-storms.
+  size_t ReadCount(const std::string& key) const EXCLUDES(mutex_);
+
+  struct Stats {
+    size_t entries = 0;          ///< keys currently listed in the manifest
+    size_t hits = 0;             ///< Get calls served with a valid matrix
+    size_t misses = 0;           ///< Get calls for absent keys
+    size_t corrupt_entries = 0;  ///< entries dropped as damaged/foreign
+    size_t writes = 0;           ///< successful Put calls
+    size_t bytes = 0;            ///< payload bytes currently on disk
+  };
+  Stats stats() const EXCLUDES(mutex_);
+
+  StoreCodec codec() const { return codec_; }
+  const std::string& directory() const { return directory_; }
+
+ private:
+  MatrixStore(std::string directory, uint64_t graph_digest, StoreCodec codec);
+
+  struct Entry {
+    int seq = 0;            ///< payload file is `entry_<seq>.hps`
+    size_t bytes = 0;       ///< payload size (manifest cross-check)
+    uint64_t checksum = 0;  ///< FNV-1a of the payload bytes
+  };
+
+  /// Rewrites manifest.tmp from the current index and renames it into
+  /// place. Holds `mutex_` (the manifest is small; payload IO never does).
+  [[nodiscard]] Status PublishManifestLocked() REQUIRES(mutex_);
+
+  /// Parses an existing manifest into the index; any damage empties the
+  /// index and counts one corrupt entry.
+  void LoadManifest() EXCLUDES(mutex_);
+
+  const std::string directory_;
+  const uint64_t graph_digest_;
+  const StoreCodec codec_;
+
+  mutable Mutex mutex_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mutex_);
+  std::map<std::string, size_t> read_counts_ GUARDED_BY(mutex_);
+  size_t hits_ GUARDED_BY(mutex_) = 0;
+  size_t misses_ GUARDED_BY(mutex_) = 0;
+  size_t corrupt_entries_ GUARDED_BY(mutex_) = 0;
+  size_t writes_ GUARDED_BY(mutex_) = 0;
+  size_t bytes_ GUARDED_BY(mutex_) = 0;
+  int next_file_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace hetesim
+
+#endif  // HETESIM_STORE_STORE_H_

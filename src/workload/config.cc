@@ -232,6 +232,32 @@ Status ParseCacheLine(const Line& line, OptionReader& reader,
   return Status::OK();
 }
 
+Status ParseStoreLine(const Line& line, OptionReader& reader,
+                      WorkloadConfig* config) {
+  if (!line.positional.empty()) {
+    if (line.positional[0] == "off") {
+      config->store = StoreSpec{};
+      return Status::OK();
+    }
+    return LineError(line, "unknown store mode '" + line.positional[0] +
+                               "' (want off | dir=PATH [codec=NAME])");
+  }
+  auto dir = reader.Take("dir");
+  if (!dir || dir->empty()) {
+    return LineError(line, "store needs dir=PATH (or 'store off')");
+  }
+  config->store.enabled = true;
+  config->store.dir = *dir;
+  if (auto codec = reader.Take("codec"); codec) {
+    if (*codec != "lossless" && *codec != "quantized") {
+      return LineError(line, "unknown store codec '" + *codec +
+                                 "' (want lossless | quantized)");
+    }
+    config->store.codec = *codec;
+  }
+  return Status::OK();
+}
+
 Status ParseServiceLine(const Line& line, OptionReader& reader,
                         WorkloadConfig* config) {
   if (line.positional.size() != 1) {
@@ -391,6 +417,8 @@ Result<WorkloadConfig> ParseWorkloadConfig(std::string_view text) {
                                ParseAlgoWord(line, line.positional[0]));
     } else if (line.directive == "cache") {
       HETESIM_RETURN_NOT_OK(ParseCacheLine(line, reader, &config));
+    } else if (line.directive == "store") {
+      HETESIM_RETURN_NOT_OK(ParseStoreLine(line, reader, &config));
     } else if (line.directive == "service") {
       HETESIM_RETURN_NOT_OK(ParseServiceLine(line, reader, &config));
     } else if (line.directive == "class") {

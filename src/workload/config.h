@@ -31,6 +31,7 @@ namespace hetesim::workload {
 ///   popularity zipf s=1.05                        # or: uniform | nurand
 ///   algo frontier                                 # or: exhaustive | pruned (default)
 ///   cache mb=64                                   # or: cache off | cache unlimited
+///   store dir=/tmp/hs_store codec=lossless        # persistent tier (or: store off)
 ///   service on workers=2 queue_depth=8 memory_mb=64 retries=2   # admission pipeline
 ///   class pair_hot type=pair   path=A-P-A   weight=0.3 deadline_ms=200
 ///   class topk_c   type=topk   path=C-P-A   weight=0.5 k=10 deadline_ms=100 deadline_jitter_pct=50 popularity=nurand algo=frontier
@@ -104,6 +105,19 @@ struct ServiceSpec {
   int retries = 0;
 };
 
+/// Persistent path-matrix tier (`store dir=PATH [codec=...]` directive):
+/// the runner opens a `MatrixStore` at `dir` against the scenario graph's
+/// digest and attaches it under the cache (DESIGN.md §16), so cache misses
+/// read from disk before recomputing and evictions demote instead of
+/// dropping. The cold/warm-restart benchmark drives the same scenario file
+/// twice against one directory to measure the readback advantage.
+struct StoreSpec {
+  bool enabled = false;
+  std::string dir;
+  /// Demotion encoding: "lossless" | "quantized" (store/codec.h).
+  std::string codec = "lossless";
+};
+
 /// Where the graph under load comes from.
 struct GraphSpec {
   enum class Kind { kDblp, kAcm, kFile };
@@ -133,6 +147,7 @@ struct WorkloadConfig {
   RelevanceAlgo algo = RelevanceAlgo::kPruned;
   bool cache_enabled = true;
   size_t cache_mb = 0;  ///< 0 = unlimited (no memory budget)
+  StoreSpec store;
   ServiceSpec service;
   std::vector<QueryClassSpec> classes;
 };

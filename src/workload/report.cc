@@ -102,6 +102,12 @@ std::string RenderWorkloadReportsJson(
           << StrFormat("      \"cache_evictions\": %zu,\n",
                        report.cache_evictions);
     }
+    if (report.store_enabled) {
+      out << StrFormat("      \"store_hits\": %zu,\n", report.store_hits)
+          << StrFormat("      \"store_misses\": %zu,\n", report.store_misses)
+          << StrFormat("      \"store_demotions\": %zu,\n",
+                       report.store_demotions);
+    }
     out << "      \"classes\": [\n";
     for (size_t c = 0; c < report.classes.size(); ++c) {
       AppendClassJson(report.classes[c], &out);

@@ -34,6 +34,14 @@ struct ScenarioReport {
   size_t cache_peak_bytes = 0;
   size_t cache_limit_bytes = 0;
   size_t cache_evictions = 0;
+  /// Persistent-tier counters, present when the scenario declared a
+  /// `store` directive. `store_hits` are cache misses served by reading
+  /// the store back instead of recomputing — the cold/warm-restart
+  /// benchmark's core measurement.
+  bool store_enabled = false;
+  size_t store_hits = 0;
+  size_t store_misses = 0;
+  size_t store_demotions = 0;
   /// Service-mode summary (DESIGN.md §13), present when queries went
   /// through a QueryService admission pipeline instead of straight into
   /// the engine.

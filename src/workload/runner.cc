@@ -11,9 +11,11 @@
 #include "datagen/acm_generator.h"
 #include "datagen/dblp_generator.h"
 #include "datagen/io.h"
+#include "hin/digest.h"
 #include "hin/metapath.h"
 #include "service/client.h"
 #include "service/protocol.h"
+#include "store/store.h"
 
 namespace hetesim::workload {
 namespace {
@@ -112,6 +114,27 @@ Result<std::unique_ptr<WorkloadRunner>> WorkloadRunner::Create(
     }
   }
 
+  // `store dir=...` — the persistent tier. Attached before searcher
+  // preparation so a warm restart serves even the one-time materialization
+  // from disk (that is the whole point of the cold_restart benchmark).
+  std::shared_ptr<MatrixStore> store;
+  if (config.store.enabled) {
+    if (!config.cache_enabled) {
+      return Status::InvalidArgument(
+          "scenario '" + config.name +
+          "': 'store' needs the cache ('cache off' conflicts with it)");
+    }
+    StoreOptions store_options;
+    store_options.directory = config.store.dir;
+    store_options.graph_digest = GraphDigest(*runner->graph_);
+    HETESIM_ASSIGN_OR_RETURN(store_options.codec,
+                             StoreCodecFromString(config.store.codec));
+    HETESIM_ASSIGN_OR_RETURN(std::unique_ptr<MatrixStore> opened,
+                             MatrixStore::Open(store_options));
+    store = std::move(opened);
+    runner->cache_->AttachStore(store);
+  }
+
   HeteSimOptions options;
   options.num_threads = 1;  // per-query sequential; concurrency = in-flight queries
   options.algo = config.algo;
@@ -154,6 +177,7 @@ Result<std::unique_ptr<WorkloadRunner>> WorkloadRunner::Create(
     service_options.admission.tenant_burst = config.service.tenant_burst;
     service_options.memory_mb = config.service.memory_mb;
     service_options.cache_enabled = config.cache_enabled;
+    service_options.store = store;
     service_options.truncate_slice_ms = config.service.truncate_slice_ms;
     service_options.engine.num_threads = 1;  // same convention as direct mode
     // Per-class overrides do not reach service mode: the service holds one
@@ -409,6 +433,17 @@ Result<ScenarioReport> WorkloadRunner::Run(const RunOptions& options) {
     report.cache_peak_bytes = stats.peak_accounted_bytes;
     report.cache_limit_bytes = budget_->limit_bytes();
     report.cache_evictions = stats.evictions;
+  }
+  if (cache_ != nullptr && cache_->store() != nullptr) {
+    // Graceful-shutdown persistence: write the resident working set out so
+    // the next run against this directory restarts warm even if nothing
+    // was ever evicted. Best effort — a full disk must not fail the run.
+    HETESIM_IGNORE_STATUS(cache_->FlushToStore());
+    const PathMatrixCache::Stats stats = cache_->stats();
+    report.store_enabled = true;
+    report.store_hits = stats.store_hits;
+    report.store_misses = stats.store_misses;
+    report.store_demotions = stats.store_demotions;
   }
   return report;
 }

@@ -1,0 +1,123 @@
+// gen_bad_store — regenerates the damaged-store corpus in this directory.
+//
+// Each subdirectory is a complete `MatrixStore` directory (manifest.txt +
+// entry files) damaged in exactly one way; tests/test_store.cc opens every
+// one with `kCorpusDigest` below and asserts that the damage degrades to a
+// clean miss (plus a `corrupt_entries` tick) — never a crash, never a
+// wrong matrix. The corpus is checked in so the reader is exercised
+// against literal on-disk bytes, not bytes the same build just wrote.
+//
+// Regenerate (from the repo root, after building) with:
+//
+//   c++ -std=c++20 -Isrc tests/data/bad_store/gen_bad_store.cc \
+//       build/src/libhetesim.a -o /tmp/gen_bad_store
+//   /tmp/gen_bad_store tests/data/bad_store
+//
+// The payload matrix and manifest constants here must stay in sync with
+// the CorpusMatrix()/kCorpusDigest constants in tests/test_store.cc.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "matrix/sparse.h"
+#include "store/codec.h"
+
+namespace {
+
+using namespace hetesim;
+
+// The digest the tests open the corpus with. Fixed (not derived from any
+// real graph) so the corpus survives changes to GraphDigest.
+constexpr uint64_t kCorpusDigest = 0x0123456789abcdefull;
+constexpr const char* kKey = "PM:A-P";
+
+SparseMatrix CorpusMatrix() {
+  return SparseMatrix::FromTriplets(3, 4,
+                                    {{0, 0, 0.5},
+                                     {0, 2, 0.25},
+                                     {1, 1, 1.0},
+                                     {2, 0, 0.125},
+                                     {2, 3, 0.0625}});
+}
+
+void WriteFile(const std::filesystem::path& path, const std::string& bytes) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  if (!file.good()) {
+    std::fprintf(stderr, "write failed: %s\n", path.string().c_str());
+    std::exit(1);
+  }
+}
+
+std::string Hex16(uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: gen_bad_store OUTPUT_DIR\n");
+    return 2;
+  }
+  namespace fs = std::filesystem;
+  const fs::path root = argv[1];
+
+  std::string payload;
+  if (!EncodeStoreEntry(CorpusMatrix(), StoreCodec::kLossless, &payload).ok()) {
+    std::fprintf(stderr, "encode failed\n");
+    return 1;
+  }
+  const std::string entry_line =
+      "entry\t0\t" + std::to_string(payload.size()) + "\t" +
+      Hex16(StoreChecksum(payload)) + "\t" + kKey + "\n";
+  const std::string header = std::string("HETESIM-STORE\tv1\n") + "digest\t" +
+                             Hex16(kCorpusDigest) + "\ncodec\tlossless\n";
+
+  auto emit = [&](const char* name, const std::string& manifest,
+                  const std::string& entry_bytes) {
+    const fs::path dir = root / name;
+    fs::create_directories(dir);
+    WriteFile(dir / "manifest.txt", manifest);
+    WriteFile(dir / "entry_000000.hps", entry_bytes);
+    std::printf("wrote %s\n", dir.string().c_str());
+  };
+
+  // 1. Torn manifest tail: the first entry line is intact (its payload was
+  //    fully published before the line was written), the second is cut
+  //    mid-record by the simulated crash. The reader must keep the prefix.
+  emit("truncated_manifest", header + entry_line + "entry\t1\t42", payload);
+
+  // 2. One flipped bit in the payload: the manifest checksum no longer
+  //    matches, so Get must drop the entry instead of decoding garbage.
+  std::string flipped = payload;
+  flipped[flipped.size() / 2] = static_cast<char>(
+      static_cast<unsigned char>(flipped[flipped.size() / 2]) ^ 0x10);
+  emit("bit_flipped_values", header + entry_line, flipped);
+
+  // 3. Digest of some other graph: the store must open EMPTY (serving
+  //    another graph's partials would be silently wrong answers).
+  emit("wrong_digest",
+       std::string("HETESIM-STORE\tv1\n") + "digest\t" +
+           Hex16(0xfedcba9876543210ull) + "\ncodec\tlossless\n" + entry_line,
+       payload);
+
+  // 4. Stale format version: a manifest from a hypothetical older build.
+  emit("stale_magic",
+       std::string("HETESIM-STORE\tv0\n") + "digest\t" + Hex16(kCorpusDigest) +
+           "\ncodec\tlossless\n" + entry_line,
+       payload);
+
+  // 5. Payload shorter than the manifest's byte count (crash between entry
+  //    write and manifest publish cannot cause this — the rename is atomic
+  //    — but disk-level truncation can).
+  emit("truncated_payload", header + entry_line,
+       payload.substr(0, payload.size() / 2));
+
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -86,6 +87,43 @@ TEST(DenseSerialize, RejectsHeaderClaimingMoreThanPayloadHolds) {
   std::istringstream in(bytes);
   Status status = ReadDenseMatrix(in).status();
   EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+}
+
+TEST(SparseSerialize, RejectsNonFiniteValues) {
+  // A NaN or Inf in a matrix file is bit rot, not data: one poisoned cell
+  // would propagate through every product computed from the matrix, so the
+  // reader must refuse it outright. The values array is the payload tail,
+  // so patching the final 8 bytes corrupts exactly one value.
+  SparseMatrix original = SparseMatrix::FromTriplets(2, 2, {{0, 0, 0.5}});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteSparseMatrix(original, out).ok());
+  const std::string bytes = out.str();
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()}) {
+    std::string patched = bytes;
+    std::memcpy(patched.data() + patched.size() - sizeof(double), &bad,
+                sizeof(double));
+    std::istringstream in(patched);
+    Status status = ReadSparseMatrix(in).status();
+    EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  }
+}
+
+TEST(DenseSerialize, RejectsNonFiniteValues) {
+  DenseMatrix original(2, 2, {1, 2, 3, 4});
+  std::ostringstream out;
+  ASSERT_TRUE(WriteDenseMatrix(original, out).ok());
+  const std::string bytes = out.str();
+  for (const double bad : {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    std::string patched = bytes;
+    std::memcpy(patched.data() + patched.size() - sizeof(double), &bad,
+                sizeof(double));
+    std::istringstream in(patched);
+    Status status = ReadDenseMatrix(in).status();
+    EXPECT_TRUE(status.IsInvalidArgument()) << status.ToString();
+  }
 }
 
 TEST(SparseSerialize, RejectsDenseMagic) {

@@ -1,0 +1,735 @@
+// Store suite: the HPS1 codec, the on-disk MatrixStore, the damaged-store
+// corpus (tests/data/bad_store/), and the cache's two-tier demote/promote
+// behavior.
+//
+// The claims proven here back DESIGN.md §16 ("Persistent path-matrix
+// store"):
+//  * the lossless codec round-trips bitwise and the quantized codec stays
+//    far inside its 1e-6 contract;
+//  * truncating an encoded entry at ANY byte boundary, appending trailing
+//    bytes, or flipping any single payload bit is detected and degrades to
+//    a clean error — never UB, never a wrong matrix;
+//  * every corruption mode in the checked-in corpus (torn manifest tail,
+//    bit-flipped payload, foreign digest, stale format version, short
+//    payload) loads as a clean miss with `corrupt_entries` incremented;
+//  * with a store attached, a demote/promote cycle leaves `ComputeCount`
+//    at 1, a cold restart leaves it at 0, and a budget far smaller than
+//    the working set stops costing recomputes after one warmup pass;
+//  * store-backed answers are identical (1e-12, in fact bitwise for the
+//    lossless codec) to storeless ones, even when every payload file on
+//    disk has been bit-flipped between runs.
+//
+// Fault-dependent tests ("store.write.alloc", "store.read.corrupt") skip
+// themselves unless the build compiles the hooks in
+// (-DHETESIM_FAULT_INJECTION=ON), matching tests/test_resilience.cc.
+
+#include "store/store.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "core/hetesim.h"
+#include "core/materialize.h"
+#include "core/topk.h"
+#include "datagen/dblp_generator.h"
+#include "store/codec.h"
+#include "test_util.h"
+
+namespace hetesim {
+namespace {
+
+namespace fs = std::filesystem;
+
+MetaPath Parse(const HinGraph& g, const char* spec) {
+  return *MetaPath::Parse(g.schema(), spec);
+}
+
+/// A fresh (deleted if left over) directory unique to the calling test.
+fs::path FreshDir(const char* tag) {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const fs::path dir = fs::path(::testing::TempDir()) /
+                       (std::string("hetesim_store_") + info->name() + "_" + tag);
+  fs::remove_all(dir);
+  return dir;
+}
+
+uint64_t BitsOf(double value) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+/// Bitwise structural equality: same CSR arrays, values compared as bit
+/// patterns (stricter than ==, which would conflate 0.0 and -0.0).
+void ExpectBitwiseEqual(const SparseMatrix& a, const SparseMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  ASSERT_EQ(a.row_ptr(), b.row_ptr());
+  ASSERT_EQ(a.col_idx(), b.col_idx());
+  ASSERT_EQ(a.values().size(), b.values().size());
+  for (size_t i = 0; i < a.values().size(); ++i) {
+    ASSERT_EQ(BitsOf(a.values()[i]), BitsOf(b.values()[i])) << "value " << i;
+  }
+}
+
+/// Real reachable-probability partials: every half of a handful of Fig-4
+/// paths plus the halves of a small generated DBLP network, and the
+/// degenerate shapes (empty, identity, zero-dimension) a codec must not
+/// choke on.
+std::vector<SparseMatrix> SamplePartials() {
+  std::vector<SparseMatrix> out;
+  HinGraph fig4 = testing::BuildFig4Graph();
+  PathMatrixCache fig4_cache;
+  for (const char* spec : {"APC", "APA", "APCPA", "CPC", "AP"}) {
+    const MetaPath path = Parse(fig4, spec);
+    out.push_back(*fig4_cache.GetLeft(fig4, path));
+    out.push_back(*fig4_cache.GetRight(fig4, path));
+    out.push_back(*fig4_cache.GetReach(fig4, path));
+  }
+  DblpConfig config;
+  config.num_papers = 120;
+  config.num_authors = 80;
+  config.num_terms = 80;
+  config.seed = 7;
+  const DblpDataset dblp = *GenerateDblp(config);
+  PathMatrixCache dblp_cache;
+  for (const char* spec : {"A-P-C", "A-P-T", "C-P-T"}) {
+    const MetaPath path = Parse(dblp.graph, spec);
+    out.push_back(*dblp_cache.GetLeft(dblp.graph, path));
+    out.push_back(*dblp_cache.GetRight(dblp.graph, path));
+  }
+  out.push_back(SparseMatrix(3, 4));  // no non-zeros
+  out.push_back(SparseMatrix(0, 0));
+  out.push_back(SparseMatrix(0, 5));
+  out.push_back(SparseMatrix(5, 0));
+  out.push_back(SparseMatrix::Identity(6));
+  out.push_back(SparseMatrix::FromTriplets(1, 1, {{0, 0, -0.0}}));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// HPS1 codec.
+// ---------------------------------------------------------------------------
+
+TEST(StoreCodec, LosslessRoundTripIsBitwise) {
+  for (const SparseMatrix& matrix : SamplePartials()) {
+    std::string bytes;
+    ASSERT_TRUE(EncodeStoreEntry(matrix, StoreCodec::kLossless, &bytes).ok());
+    Result<SparseMatrix> decoded = DecodeStoreEntry(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ExpectBitwiseEqual(matrix, *decoded);
+  }
+}
+
+TEST(StoreCodec, QuantizedRoundTripWithinContract) {
+  for (const SparseMatrix& matrix : SamplePartials()) {
+    std::string bytes;
+    ASSERT_TRUE(EncodeStoreEntry(matrix, StoreCodec::kQuantized, &bytes).ok());
+    Result<SparseMatrix> decoded = DecodeStoreEntry(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    // Structure is never quantized — only values are.
+    ASSERT_EQ(matrix.row_ptr(), decoded->row_ptr());
+    ASSERT_EQ(matrix.col_idx(), decoded->col_idx());
+    double scale = 0.0;
+    for (const double v : matrix.values()) scale = std::max(scale, std::fabs(v));
+    for (size_t i = 0; i < matrix.values().size(); ++i) {
+      const double error = std::fabs(matrix.values()[i] - decoded->values()[i]);
+      EXPECT_LE(error, 1e-6) << "value " << i;       // the documented contract
+      EXPECT_LE(error, scale * 1e-9) << "value " << i;  // the actual bound
+    }
+  }
+}
+
+TEST(StoreCodec, QuantizedIsSmallerThanLossless) {
+  // A real partial with a few hundred non-zeros: the 4-byte fixed-point
+  // values section must beat the 8-byte raw doubles.
+  DblpConfig config;
+  config.num_papers = 120;
+  config.num_authors = 80;
+  config.num_terms = 80;
+  config.seed = 7;
+  const DblpDataset dblp = *GenerateDblp(config);
+  PathMatrixCache cache;
+  const SparseMatrix matrix =
+      *cache.GetLeft(dblp.graph, Parse(dblp.graph, "A-P-T"));
+  ASSERT_GT(matrix.NumNonZeros(), 100);
+  std::string lossless;
+  std::string quantized;
+  ASSERT_TRUE(EncodeStoreEntry(matrix, StoreCodec::kLossless, &lossless).ok());
+  ASSERT_TRUE(EncodeStoreEntry(matrix, StoreCodec::kQuantized, &quantized).ok());
+  EXPECT_LT(quantized.size(), lossless.size());
+}
+
+TEST(StoreCodec, TruncationAtEveryLengthFailsCleanly) {
+  const SparseMatrix matrix = SparseMatrix::FromTriplets(
+      3, 4, {{0, 0, 0.5}, {0, 2, 0.25}, {1, 1, 1.0}, {2, 3, 0.125}});
+  for (const StoreCodec codec : {StoreCodec::kLossless, StoreCodec::kQuantized}) {
+    std::string bytes;
+    ASSERT_TRUE(EncodeStoreEntry(matrix, codec, &bytes).ok());
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      Result<SparseMatrix> decoded =
+          DecodeStoreEntry(std::string_view(bytes.data(), len));
+      EXPECT_FALSE(decoded.ok()) << "prefix of " << len << " bytes decoded";
+    }
+  }
+}
+
+TEST(StoreCodec, TrailingBytesAreRejected) {
+  std::string bytes;
+  ASSERT_TRUE(EncodeStoreEntry(SparseMatrix::Identity(3), StoreCodec::kLossless,
+                               &bytes)
+                  .ok());
+  bytes.push_back('\0');
+  EXPECT_FALSE(DecodeStoreEntry(bytes).ok());
+}
+
+TEST(StoreCodec, BadMagicAndCodecByteAreRejected) {
+  std::string bytes;
+  ASSERT_TRUE(EncodeStoreEntry(SparseMatrix::Identity(3), StoreCodec::kLossless,
+                               &bytes)
+                  .ok());
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DecodeStoreEntry(bad_magic).ok());
+  std::string bad_codec = bytes;
+  bad_codec[4] = 7;  // byte 4 is the codec id; only 0 and 1 exist
+  EXPECT_FALSE(DecodeStoreEntry(bad_codec).ok());
+}
+
+TEST(StoreCodec, NonFiniteValuesNeverEscape) {
+  // Encoding refuses non-finite values outright...
+  const double inf = std::numeric_limits<double>::infinity();
+  std::string bytes;
+  EXPECT_FALSE(EncodeStoreEntry(SparseMatrix::FromTriplets(1, 1, {{0, 0, inf}}),
+                                StoreCodec::kLossless, &bytes)
+                   .ok());
+  // ...and decoding rejects a NaN smuggled into the raw values section of
+  // an otherwise valid entry (a 1-nnz lossless payload ends with the 8
+  // value bytes).
+  bytes.clear();
+  ASSERT_TRUE(EncodeStoreEntry(SparseMatrix::FromTriplets(1, 1, {{0, 0, 0.5}}),
+                               StoreCodec::kLossless, &bytes)
+                  .ok());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::memcpy(bytes.data() + bytes.size() - sizeof(double), &nan, sizeof(double));
+  EXPECT_FALSE(DecodeStoreEntry(bytes).ok());
+}
+
+TEST(StoreCodec, ChecksumDetectsEverySingleBitFlip) {
+  std::string bytes;
+  ASSERT_TRUE(EncodeStoreEntry(
+                  SparseMatrix::FromTriplets(2, 3, {{0, 1, 0.25}, {1, 2, 0.75}}),
+                  StoreCodec::kLossless, &bytes)
+                  .ok());
+  const uint64_t clean = StoreChecksum(bytes);
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = bytes;
+      flipped[byte] = static_cast<char>(static_cast<unsigned char>(flipped[byte]) ^
+                                        (1u << bit));
+      EXPECT_NE(StoreChecksum(flipped), clean)
+          << "flip of byte " << byte << " bit " << bit << " went undetected";
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MatrixStore semantics on a fresh directory.
+// ---------------------------------------------------------------------------
+
+class MatrixStoreTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<MatrixStore> OpenStore(const fs::path& dir,
+                                         uint64_t digest = 42,
+                                         StoreCodec codec = StoreCodec::kLossless) {
+    StoreOptions options;
+    options.directory = dir.string();
+    options.graph_digest = digest;
+    options.codec = codec;
+    Result<std::unique_ptr<MatrixStore>> store = MatrixStore::Open(options);
+    HETESIM_CHECK(store.ok());
+    return std::move(*store);
+  }
+  const SparseMatrix matrix_ = SparseMatrix::FromTriplets(
+      3, 4, {{0, 0, 0.5}, {1, 1, 0.25}, {2, 3, 0.125}});
+};
+
+TEST_F(MatrixStoreTest, PutGetRoundTrip) {
+  const fs::path dir = FreshDir("roundtrip");
+  std::unique_ptr<MatrixStore> store = OpenStore(dir);
+  ASSERT_TRUE(store->Put("PM:A-P-C", matrix_).ok());
+  EXPECT_TRUE(store->Contains("PM:A-P-C"));
+  Result<SparseMatrix> back = store->Get("PM:A-P-C");
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectBitwiseEqual(matrix_, *back);
+  const MatrixStore::Stats stats = store->stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.writes, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.corrupt_entries, 0u);
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST_F(MatrixStoreTest, AbsentKeyIsNotFound) {
+  std::unique_ptr<MatrixStore> store = OpenStore(FreshDir("absent"));
+  Result<SparseMatrix> missing = store->Get("PM:nope");
+  EXPECT_TRUE(missing.status().IsNotFound());
+  EXPECT_FALSE(store->Contains("PM:nope"));
+  EXPECT_EQ(store->stats().misses, 1u);
+}
+
+TEST_F(MatrixStoreTest, OverwriteReplacesTheEntry) {
+  std::unique_ptr<MatrixStore> store = OpenStore(FreshDir("overwrite"));
+  ASSERT_TRUE(store->Put("PM:A-P", matrix_).ok());
+  const SparseMatrix second = SparseMatrix::Identity(4);
+  ASSERT_TRUE(store->Put("PM:A-P", second).ok());
+  EXPECT_EQ(store->stats().entries, 1u);
+  Result<SparseMatrix> back = store->Get("PM:A-P");
+  ASSERT_TRUE(back.ok());
+  ExpectBitwiseEqual(second, *back);
+}
+
+TEST_F(MatrixStoreTest, KeysWithTabOrNewlineAreRejected) {
+  // The manifest is tab-separated lines; such keys would tear it.
+  std::unique_ptr<MatrixStore> store = OpenStore(FreshDir("badkey"));
+  EXPECT_TRUE(store->Put("PM:a\tb", matrix_).IsInvalidArgument());
+  EXPECT_TRUE(store->Put("PM:a\nb", matrix_).IsInvalidArgument());
+  EXPECT_EQ(store->stats().entries, 0u);
+}
+
+TEST_F(MatrixStoreTest, ReopenSeesPersistedEntries) {
+  const fs::path dir = FreshDir("reopen");
+  {
+    std::unique_ptr<MatrixStore> store = OpenStore(dir);
+    ASSERT_TRUE(store->Put("PM:A-P-C", matrix_).ok());
+  }
+  std::unique_ptr<MatrixStore> reopened = OpenStore(dir);
+  EXPECT_EQ(reopened->stats().entries, 1u);
+  EXPECT_EQ(reopened->stats().corrupt_entries, 0u);
+  Result<SparseMatrix> back = reopened->Get("PM:A-P-C");
+  ASSERT_TRUE(back.ok());
+  ExpectBitwiseEqual(matrix_, *back);
+  // New writes after a reopen must not clobber existing payload files.
+  ASSERT_TRUE(reopened->Put("PM:C-P", SparseMatrix::Identity(2)).ok());
+  ExpectBitwiseEqual(matrix_, *reopened->Get("PM:A-P-C"));
+}
+
+TEST_F(MatrixStoreTest, ReopenWithDifferentDigestStartsEmpty) {
+  const fs::path dir = FreshDir("digest");
+  {
+    std::unique_ptr<MatrixStore> store = OpenStore(dir, /*digest=*/42);
+    ASSERT_TRUE(store->Put("PM:A-P-C", matrix_).ok());
+  }
+  std::unique_ptr<MatrixStore> foreign = OpenStore(dir, /*digest=*/43);
+  EXPECT_EQ(foreign->stats().entries, 0u);
+  EXPECT_EQ(foreign->stats().corrupt_entries, 1u);
+  EXPECT_TRUE(foreign->Get("PM:A-P-C").status().IsNotFound());
+}
+
+TEST_F(MatrixStoreTest, ReadCountCountsDiskReads) {
+  std::unique_ptr<MatrixStore> store = OpenStore(FreshDir("readcount"));
+  ASSERT_TRUE(store->Put("PM:A-P", matrix_).ok());
+  EXPECT_EQ(store->ReadCount("PM:A-P"), 0u);
+  ASSERT_TRUE(store->Get("PM:A-P").ok());
+  ASSERT_TRUE(store->Get("PM:A-P").ok());
+  EXPECT_EQ(store->ReadCount("PM:A-P"), 2u);
+  EXPECT_EQ(store->ReadCount("PM:other"), 0u);
+}
+
+TEST_F(MatrixStoreTest, QuantizedStoreStaysWithinContract) {
+  std::unique_ptr<MatrixStore> store =
+      OpenStore(FreshDir("quant"), 42, StoreCodec::kQuantized);
+  ASSERT_TRUE(store->Put("PM:A-P", matrix_).ok());
+  Result<SparseMatrix> back = store->Get("PM:A-P");
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->NumNonZeros(), matrix_.NumNonZeros());
+  for (size_t i = 0; i < matrix_.values().size(); ++i) {
+    EXPECT_NEAR(matrix_.values()[i], back->values()[i], 1e-6);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The checked-in damaged-store corpus (tests/data/bad_store/). Each case is
+// a real on-disk store broken in exactly one way; opening and probing it
+// must degrade to clean misses with `corrupt_entries` ticks — never crash,
+// never serve a wrong matrix. Regeneration: see the corpus README.md.
+// ---------------------------------------------------------------------------
+
+class BadStoreCorpusTest : public ::testing::Test {
+ protected:
+  // Must match gen_bad_store.cc.
+  static constexpr uint64_t kCorpusDigest = 0x0123456789abcdefull;
+  static constexpr const char* kKey = "PM:A-P";
+
+  std::unique_ptr<MatrixStore> OpenCase(const char* name) {
+    StoreOptions options;
+    options.directory =
+        std::string(HETESIM_TEST_DATA_DIR) + "/bad_store/" + name;
+    options.graph_digest = kCorpusDigest;
+    Result<std::unique_ptr<MatrixStore>> store = MatrixStore::Open(options);
+    HETESIM_CHECK(store.ok());
+    return std::move(*store);
+  }
+  static SparseMatrix CorpusMatrix() {
+    return SparseMatrix::FromTriplets(3, 4,
+                                      {{0, 0, 0.5},
+                                       {0, 2, 0.25},
+                                       {1, 1, 1.0},
+                                       {2, 0, 0.125},
+                                       {2, 3, 0.0625}});
+  }
+};
+
+TEST_F(BadStoreCorpusTest, TruncatedManifestKeepsThePublishedPrefix) {
+  std::unique_ptr<MatrixStore> store = OpenCase("truncated_manifest");
+  // The torn tail costs one corruption tick, but entry 0 was fully
+  // published before the crash and must survive intact.
+  EXPECT_EQ(store->stats().entries, 1u);
+  EXPECT_EQ(store->stats().corrupt_entries, 1u);
+  Result<SparseMatrix> back = store->Get(kKey);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ExpectBitwiseEqual(CorpusMatrix(), *back);
+}
+
+TEST_F(BadStoreCorpusTest, BitFlippedPayloadIsACleanMiss) {
+  std::unique_ptr<MatrixStore> store = OpenCase("bit_flipped_values");
+  EXPECT_EQ(store->stats().corrupt_entries, 0u);  // manifest itself is fine
+  EXPECT_TRUE(store->Contains(kKey));
+  EXPECT_TRUE(store->Get(kKey).status().IsNotFound());
+  EXPECT_EQ(store->stats().corrupt_entries, 1u);
+  // Dropped from the index so it is never retried...
+  EXPECT_FALSE(store->Contains(kKey));
+  EXPECT_TRUE(store->Get(kKey).status().IsNotFound());
+  EXPECT_EQ(store->stats().corrupt_entries, 1u);
+  // ...but the read-only corpus on disk is never rewritten: a second open
+  // still lists the entry.
+  EXPECT_TRUE(OpenCase("bit_flipped_values")->Contains(kKey));
+}
+
+TEST_F(BadStoreCorpusTest, WrongGraphDigestOpensEmpty) {
+  std::unique_ptr<MatrixStore> store = OpenCase("wrong_digest");
+  EXPECT_EQ(store->stats().entries, 0u);
+  EXPECT_EQ(store->stats().corrupt_entries, 1u);
+  EXPECT_TRUE(store->Get(kKey).status().IsNotFound());
+}
+
+TEST_F(BadStoreCorpusTest, StaleFormatVersionOpensEmpty) {
+  std::unique_ptr<MatrixStore> store = OpenCase("stale_magic");
+  EXPECT_EQ(store->stats().entries, 0u);
+  EXPECT_EQ(store->stats().corrupt_entries, 1u);
+  EXPECT_TRUE(store->Get(kKey).status().IsNotFound());
+}
+
+TEST_F(BadStoreCorpusTest, TruncatedPayloadIsACleanMiss) {
+  std::unique_ptr<MatrixStore> store = OpenCase("truncated_payload");
+  EXPECT_TRUE(store->Contains(kKey));
+  EXPECT_TRUE(store->Get(kKey).status().IsNotFound());
+  EXPECT_EQ(store->stats().corrupt_entries, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Two-tier cache behavior: demote on eviction, promote on miss.
+// ---------------------------------------------------------------------------
+
+class TwoTierTest : public ::testing::Test {
+ protected:
+  TwoTierTest() : graph_(testing::BuildFig4Graph()) {}
+
+  MetaPath Path(const char* spec) const { return Parse(graph_, spec); }
+
+  std::shared_ptr<MatrixStore> OpenStore(const fs::path& dir) {
+    StoreOptions options;
+    options.directory = dir.string();
+    options.graph_digest = 42;  // any constant — all opens here agree
+    Result<std::unique_ptr<MatrixStore>> store = MatrixStore::Open(options);
+    HETESIM_CHECK(store.ok());
+    return std::shared_ptr<MatrixStore>(std::move(*store));
+  }
+
+  /// Byte size of the largest of the given left halves, measured on a
+  /// throwaway cache — the budget that lets exactly one of them reside.
+  size_t LargestLeftBytes(const std::vector<const char*>& specs) {
+    PathMatrixCache probe;
+    size_t largest = 0;
+    for (const char* spec : specs) {
+      largest = std::max(largest,
+                         probe.GetLeft(graph_, Path(spec))->ApproxBytes());
+    }
+    return largest;
+  }
+
+  HinGraph graph_;
+};
+
+TEST_F(TwoTierTest, DemotePromoteLeavesComputeCountAtOne) {
+  auto store = OpenStore(FreshDir("demote"));
+  PathMatrixCache cache;
+  cache.SetMemoryBudget(
+      std::make_shared<MemoryBudget>(LargestLeftBytes({"APC", "CPA"})));
+  cache.AttachStore(store);
+
+  const std::string key = PathMatrixCache::LeftKey(Path("APC"));
+  std::shared_ptr<const SparseMatrix> first = cache.GetLeft(graph_, Path("APC"));
+  EXPECT_EQ(cache.ComputeCount(key), 1u);
+
+  // Admitting a second half exceeds the one-entry budget: the first is
+  // evicted and — store attached — demoted to disk instead of dropped.
+  cache.GetLeft(graph_, Path("CPA"));
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_GE(cache.stats().store_demotions, 1u);
+  EXPECT_TRUE(store->Contains(key));
+
+  // The re-request is a miss served by promotion: exactly one disk read,
+  // no recomputation, and (lossless codec) a bitwise-identical matrix.
+  std::shared_ptr<const SparseMatrix> promoted =
+      cache.GetLeft(graph_, Path("APC"));
+  EXPECT_EQ(cache.ComputeCount(key), 1u);
+  EXPECT_EQ(cache.stats().store_hits, 1u);
+  EXPECT_EQ(store->ReadCount(key), 1u);
+  ExpectBitwiseEqual(*first, *promoted);
+}
+
+TEST_F(TwoTierTest, ColdRestartServesMissesFromDiskWithoutComputing) {
+  const fs::path dir = FreshDir("coldstart");
+  std::shared_ptr<const SparseMatrix> original;
+  {
+    // "hetesim_cli materialize": compute, then flush the cache to disk.
+    auto store = OpenStore(dir);
+    PathMatrixCache warm;
+    warm.AttachStore(store);
+    original = warm.GetLeft(graph_, Path("APCPA"));
+    ASSERT_TRUE(warm.FlushToStore().ok());
+  }
+  // The restarted process: fresh cache over the reopened store.
+  auto store = OpenStore(dir);
+  PathMatrixCache cold;
+  cold.AttachStore(store);
+  const std::string key = PathMatrixCache::LeftKey(Path("APCPA"));
+  std::shared_ptr<const SparseMatrix> served = cold.GetLeft(graph_, Path("APCPA"));
+  EXPECT_EQ(cold.ComputeCount(key), 0u);  // reading back is not a computation
+  EXPECT_EQ(cold.stats().store_hits, 1u);
+  EXPECT_EQ(cold.stats().misses, 1u);
+  ExpectBitwiseEqual(*original, *served);
+}
+
+TEST_F(TwoTierTest, TooSmallBudgetRecomputesNothingAfterWarmup) {
+  // The ISSUE's acceptance scenario: a budget that holds ONE of the three
+  // working-set halves. Without a store every pass would recompute what
+  // the previous pass evicted; with one, only the warmup pass computes.
+  const std::vector<const char*> specs = {"APC", "CPA", "APCPA"};
+  auto store = OpenStore(FreshDir("warmup"));
+  PathMatrixCache cache;
+  cache.SetMemoryBudget(std::make_shared<MemoryBudget>(LargestLeftBytes(specs)));
+  cache.AttachStore(store);
+
+  for (const char* spec : specs) cache.GetLeft(graph_, Path(spec));  // warmup
+  for (const char* spec : specs) {
+    ASSERT_EQ(cache.ComputeCount(PathMatrixCache::LeftKey(Path(spec))), 1u);
+  }
+
+  for (int pass = 0; pass < 4; ++pass) {
+    for (const char* spec : specs) cache.GetLeft(graph_, Path(spec));
+  }
+  // Zero recomputes after warmup: every key is still at one computation,
+  // and every post-warmup miss was served by the store.
+  for (const char* spec : specs) {
+    EXPECT_EQ(cache.ComputeCount(PathMatrixCache::LeftKey(Path(spec))), 1u)
+        << spec;
+  }
+  const PathMatrixCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.misses, stats.store_hits + specs.size());
+  EXPECT_GT(stats.store_hits, 0u);
+}
+
+TEST_F(TwoTierTest, GoldenScoresUnchangedByStoreBackedCache) {
+  const MetaPath path = Path("APCPA");
+  HeteSimEngine baseline(graph_);
+  const DenseMatrix expected = baseline.Compute(path);
+  TopKSearcher baseline_searcher(graph_, path);
+
+  auto store = OpenStore(FreshDir("golden"));
+  auto cache = std::make_shared<PathMatrixCache>();
+  cache->SetMemoryBudget(
+      std::make_shared<MemoryBudget>(LargestLeftBytes({"APC", "CPA", "APCPA"})));
+  cache->AttachStore(store);
+  HeteSimEngine engine(graph_, {}, cache);
+
+  // Twice: the second pass exercises promotions of what the first demoted.
+  for (int pass = 0; pass < 2; ++pass) {
+    const DenseMatrix scores = engine.Compute(path);
+    EXPECT_TRUE(scores.ApproxEquals(expected, 1e-12)) << "pass " << pass;
+  }
+
+  // Top-k through the store-backed cache matches the storeless searcher.
+  Result<TopKSearcher> prepared =
+      TopKSearcher::Prepare(graph_, path, {}, QueryContext(), cache.get());
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  for (Index source = 0; source < 3; ++source) {
+    Result<TopKResult> want = baseline_searcher.Query(source, 3);
+    Result<TopKResult> got = prepared->Query(source, 3);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(want->items.size(), got->items.size());
+    for (size_t i = 0; i < want->items.size(); ++i) {
+      EXPECT_EQ(want->items[i].id, got->items[i].id);
+      EXPECT_NEAR(want->items[i].score, got->items[i].score, 1e-12);
+    }
+  }
+}
+
+TEST_F(TwoTierTest, GoldenScoresSurviveOnDiskCorruption) {
+  const MetaPath path = Path("APCPA");
+  HeteSimEngine baseline(graph_);
+  const DenseMatrix expected = baseline.Compute(path);
+
+  const fs::path dir = FreshDir("bitrot");
+  {
+    auto store = OpenStore(dir);
+    auto warm = std::make_shared<PathMatrixCache>();
+    warm->AttachStore(store);
+    HeteSimEngine engine(graph_, {}, warm);
+    engine.Compute(path);
+    ASSERT_TRUE(warm->FlushToStore().ok());
+    ASSERT_GT(store->stats().entries, 0u);
+  }
+
+  // Bit-rot every payload file in place (the manifest stays intact, so the
+  // reopened store still lists the entries — the damage is only caught at
+  // read time, by the checksum).
+  size_t flipped_files = 0;
+  for (const fs::directory_entry& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".hps") continue;
+    std::string bytes;
+    {
+      std::ifstream in(entry.path(), std::ios::binary);
+      std::ostringstream buffer;
+      buffer << in.rdbuf();
+      bytes = buffer.str();
+    }
+    ASSERT_FALSE(bytes.empty());
+    bytes[bytes.size() / 2] = static_cast<char>(
+        static_cast<unsigned char>(bytes[bytes.size() / 2]) ^ 0x01);
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    ++flipped_files;
+  }
+  ASSERT_GT(flipped_files, 0u);
+
+  // The restarted process promotes nothing — every checksum fails — but
+  // every failure is a clean miss followed by a recompute, so the answers
+  // are still golden.
+  auto store = OpenStore(dir);
+  auto cold = std::make_shared<PathMatrixCache>();
+  cold->AttachStore(store);
+  HeteSimEngine engine(graph_, {}, cold);
+  const DenseMatrix scores = engine.Compute(path);
+  EXPECT_TRUE(scores.ApproxEquals(expected, 1e-12));
+  EXPECT_EQ(cold->stats().store_hits, 0u);
+  EXPECT_GE(store->stats().corrupt_entries, 1u);
+  EXPECT_LE(store->stats().corrupt_entries, flipped_files);
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic store faults (registered in tools/lint/fault_sites.txt).
+// ---------------------------------------------------------------------------
+
+class StoreFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!FaultInjector::CompiledIn()) {
+      GTEST_SKIP() << "built without HETESIM_FAULT_INJECTION";
+    }
+    FaultInjector::Global().Reset();
+  }
+  void TearDown() override {
+    if (FaultInjector::CompiledIn()) FaultInjector::Global().Reset();
+  }
+  const SparseMatrix matrix_ = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 0.5}, {1, 1, 0.25}});
+};
+
+TEST_F(StoreFaultTest, WriteAllocFaultFailsPutCleanly) {
+  StoreOptions options;
+  options.directory = FreshDir("faultwrite").string();
+  options.graph_digest = 42;
+  std::unique_ptr<MatrixStore> store = *MatrixStore::Open(options);
+
+  FaultInjector::Global().Arm("store.write.alloc", 1.0);
+  const Status failed = store->Put("PM:A-P", matrix_);
+  EXPECT_TRUE(failed.IsResourceExhausted()) << failed.ToString();
+  EXPECT_GE(FaultInjector::Global().StatsFor("store.write.alloc").failures, 1u);
+  // A failed write publishes nothing.
+  EXPECT_FALSE(store->Contains("PM:A-P"));
+  EXPECT_EQ(store->stats().entries, 0u);
+
+  // Recovery: once the fault stops, the same write succeeds.
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(store->Put("PM:A-P", matrix_).ok());
+  ExpectBitwiseEqual(matrix_, *store->Get("PM:A-P"));
+}
+
+TEST_F(StoreFaultTest, ReadCorruptFaultIsACleanMiss) {
+  StoreOptions options;
+  options.directory = FreshDir("faultread").string();
+  options.graph_digest = 42;
+  std::unique_ptr<MatrixStore> store = *MatrixStore::Open(options);
+  ASSERT_TRUE(store->Put("PM:A-P", matrix_).ok());
+
+  FaultInjector::Global().Arm("store.read.corrupt", 1.0, /*max_failures=*/1);
+  EXPECT_TRUE(store->Get("PM:A-P").status().IsNotFound());
+  EXPECT_EQ(store->stats().corrupt_entries, 1u);
+  EXPECT_GE(FaultInjector::Global().StatsFor("store.read.corrupt").failures, 1u);
+  // The entry is dropped from the index — a caller above recomputes.
+  EXPECT_FALSE(store->Contains("PM:A-P"));
+}
+
+TEST_F(StoreFaultTest, DemotionWriteFaultNeverFailsTheQuery) {
+  // Demotion is best-effort: an injected write failure loses the disk copy
+  // (the next miss recomputes, the pre-store behavior) but the query that
+  // triggered the eviction must succeed untouched.
+  HinGraph graph = testing::BuildFig4Graph();
+  StoreOptions options;
+  options.directory = FreshDir("faultdemote").string();
+  options.graph_digest = 42;
+  std::shared_ptr<MatrixStore> store = *MatrixStore::Open(options);
+
+  PathMatrixCache probe;
+  const MetaPath apc = Parse(graph, "APC");
+  const MetaPath cpa = Parse(graph, "CPA");
+  const size_t budget_bytes =
+      std::max(probe.GetLeft(graph, apc)->ApproxBytes(),
+               probe.GetLeft(graph, cpa)->ApproxBytes());
+
+  PathMatrixCache cache;
+  cache.SetMemoryBudget(std::make_shared<MemoryBudget>(budget_bytes));
+  cache.AttachStore(store);
+  cache.GetLeft(graph, apc);
+
+  FaultInjector::Global().Arm("store.write.alloc", 1.0);
+  std::shared_ptr<const SparseMatrix> survivor = cache.GetLeft(graph, cpa);
+  ASSERT_NE(survivor, nullptr);  // the query itself is untouched
+  EXPECT_GE(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().store_demotions, 0u);  // the demotion was lost
+  EXPECT_FALSE(store->Contains(PathMatrixCache::LeftKey(apc)));
+
+  // With the fault gone the evicted half is recomputed, not corrupted.
+  FaultInjector::Global().Reset();
+  ExpectBitwiseEqual(*probe.GetLeft(graph, apc), *cache.GetLeft(graph, apc));
+  EXPECT_EQ(cache.ComputeCount(PathMatrixCache::LeftKey(apc)), 2u);
+}
+
+}  // namespace
+}  // namespace hetesim

@@ -14,9 +14,21 @@
 //                        [--exclude-diagonal]
 //   hetesim_cli matrix   --graph FILE --path SPEC --out FILE.csv
 //                        [--threads N] [--deadline-ms N] [--max-cache-mb N]
+//   hetesim_cli materialize --graph FILE --store-dir DIR
+//                        --paths SPEC[,SPEC...]
+//                        [--store-codec lossless|quantized] [--threads N]
 //   hetesim_cli workload --config FILE[,FILE...] [--out FILE.json]
 //                        [--queries N] [--workers N] [--no-realtime]
 //                        [--service-socket PATH] [--algo NAME]
+//
+// `materialize` is the paper's Section 4.6 offline step: it computes the
+// left/right reachable-probability partials of every listed path and writes
+// them, compressed, into the on-disk store at --store-dir. Query commands
+// (`pair`, `topk`, `matrix`) then accept `--store-dir DIR` (plus
+// `--store-codec` for demotion writes): misses are served from the store
+// before recomputing, and evicted entries are demoted to it instead of
+// dropped. A store recorded against a different graph is detected via a
+// digest in its manifest and ignored.
 //
 // Exit codes: 0 success, 2 usage error (unparseable command line or invalid
 // arguments), 1 runtime failure.
@@ -69,11 +81,13 @@
 #include "datagen/acm_generator.h"
 #include "datagen/dblp_generator.h"
 #include "datagen/io.h"
+#include "hin/digest.h"
 #include "hin/dot.h"
 #include "hin/enumerate.h"
 #include "hin/metapath.h"
 #include "hin/stats.h"
 #include "learn/spectral.h"
+#include "store/store.h"
 #include "workload/config.h"
 #include "workload/report.h"
 #include "workload/runner.h"
@@ -109,7 +123,25 @@ struct QueryBounds {
 /// lifetime brackets the command dispatch and the final RenderJson.
 Trace* g_trace = nullptr;
 
-Result<QueryBounds> MakeQueryBounds(const Args& args) {
+/// Opens the --store-dir/--store-codec store against `graph`'s digest.
+/// Shared by MakeQueryBounds and `materialize`.
+Result<std::shared_ptr<MatrixStore>> OpenStoreArg(const Args& args,
+                                                  const HinGraph& graph,
+                                                  const std::string& dir) {
+  if (dir.empty()) return Status::InvalidArgument("--store-dir needs a path");
+  StoreOptions options;
+  options.directory = dir;
+  options.graph_digest = GraphDigest(graph);
+  HETESIM_ASSIGN_OR_RETURN(
+      const std::string codec_word,
+      args.GetChoice("store-codec", "lossless", {"lossless", "quantized"}));
+  HETESIM_ASSIGN_OR_RETURN(options.codec, StoreCodecFromString(codec_word));
+  HETESIM_ASSIGN_OR_RETURN(std::unique_ptr<MatrixStore> store,
+                           MatrixStore::Open(options));
+  return std::shared_ptr<MatrixStore>(std::move(store));
+}
+
+Result<QueryBounds> MakeQueryBounds(const Args& args, const HinGraph& graph) {
   QueryBounds bounds;
   if (args.Has("deadline-ms")) {
     HETESIM_ASSIGN_OR_RETURN(
@@ -126,6 +158,14 @@ Result<QueryBounds> MakeQueryBounds(const Args& args) {
     bounds.budget = std::make_shared<MemoryBudget>(limit);
     bounds.cache = std::make_shared<PathMatrixCache>();
     bounds.cache->SetMemoryBudget(bounds.budget);
+  }
+  if (auto dir = args.Get("store-dir"); dir) {
+    HETESIM_ASSIGN_OR_RETURN(std::shared_ptr<MatrixStore> store,
+                             OpenStoreArg(args, graph, *dir));
+    if (bounds.cache == nullptr) {
+      bounds.cache = std::make_shared<PathMatrixCache>();
+    }
+    bounds.cache->AttachStore(std::move(store));
   }
   if (g_trace != nullptr) bounds.ctx = bounds.ctx.WithTrace(g_trace);
   return bounds;
@@ -155,10 +195,16 @@ Result<RelevanceAlgo> GetAlgoArg(const Args& args) {
 void PrintCacheStats(const QueryBounds& bounds) {
   if (bounds.cache == nullptr) return;
   const PathMatrixCache::Stats stats = bounds.cache->stats();
-  std::printf(
-      "cache: %zu entries, %zu evictions, %zu uncached; peak %zu of %zu bytes\n",
-      stats.entries, stats.evictions, stats.rejected_inserts,
-      stats.peak_accounted_bytes, bounds.budget->limit_bytes());
+  if (bounds.budget != nullptr) {
+    std::printf(
+        "cache: %zu entries, %zu evictions, %zu uncached; peak %zu of %zu bytes\n",
+        stats.entries, stats.evictions, stats.rejected_inserts,
+        stats.peak_accounted_bytes, bounds.budget->limit_bytes());
+  }
+  if (bounds.cache->store() != nullptr) {
+    std::printf("store: %zu hits, %zu misses, %zu demotions\n",
+                stats.store_hits, stats.store_misses, stats.store_demotions);
+  }
 }
 
 Result<TypeId> ResolveType(const Schema& schema, const std::string& token) {
@@ -302,13 +348,14 @@ Status RunPair(const Args& args) {
   options.normalized = !args.Has("unnormalized");
   HETESIM_ASSIGN_OR_RETURN(options.num_threads, GetThreadsArg(args));
   HETESIM_ASSIGN_OR_RETURN(options.algo, GetAlgoArg(args));
-  HETESIM_ASSIGN_OR_RETURN(const QueryBounds bounds, MakeQueryBounds(args));
+  HETESIM_ASSIGN_OR_RETURN(const QueryBounds bounds, MakeQueryBounds(args, graph));
   HeteSimEngine engine(graph, options, bounds.cache);
   HETESIM_ASSIGN_OR_RETURN(
       std::vector<double> scores,
       engine.ComputePairs(path, {{source, target}}, bounds.ctx));
   std::printf("HeteSim(%s, %s | %s) = %.6f\n", source_name->c_str(),
               target_name->c_str(), path.ToString().c_str(), scores[0]);
+  PrintCacheStats(bounds);
   return Status::OK();
 }
 
@@ -322,7 +369,7 @@ Status RunTopK(const Args& args) {
   HETESIM_ASSIGN_OR_RETURN(const int k, GetKArg(args, 10));
   HeteSimOptions options;
   HETESIM_ASSIGN_OR_RETURN(options.algo, GetAlgoArg(args));
-  HETESIM_ASSIGN_OR_RETURN(const QueryBounds bounds, MakeQueryBounds(args));
+  HETESIM_ASSIGN_OR_RETURN(const QueryBounds bounds, MakeQueryBounds(args, graph));
   Result<TopKSearcher> searcher = TopKSearcher::Prepare(
       graph, path, options, bounds.ctx, bounds.cache.get());
   if (searcher.status().IsDeadlineExceeded()) {
@@ -351,6 +398,7 @@ Status RunTopK(const Args& args) {
         static_cast<long long>(result.middle_processed),
         static_cast<long long>(result.middle_total));
   }
+  PrintCacheStats(bounds);
   return Status::OK();
 }
 
@@ -378,7 +426,7 @@ Status RunMatrix(const Args& args) {
   if (!out) return Status::InvalidArgument("matrix needs --out FILE.csv");
   HeteSimOptions options;
   HETESIM_ASSIGN_OR_RETURN(options.num_threads, GetThreadsArg(args));
-  HETESIM_ASSIGN_OR_RETURN(const QueryBounds bounds, MakeQueryBounds(args));
+  HETESIM_ASSIGN_OR_RETURN(const QueryBounds bounds, MakeQueryBounds(args, graph));
   HeteSimEngine engine(graph, options, bounds.cache);
   HETESIM_ASSIGN_OR_RETURN(DenseMatrix scores, engine.Compute(path, bounds.ctx));
   std::ofstream file(*out);
@@ -403,6 +451,52 @@ Status RunMatrix(const Args& args) {
               static_cast<long long>(scores.cols()), path.ToString().c_str(),
               out->c_str());
   PrintCacheStats(bounds);
+  return Status::OK();
+}
+
+/// The Section 4.6 offline step: compute the left/right partials of every
+/// listed path and flush them into the on-disk store. Existing store
+/// entries short-circuit the compute (the cache probes the store on a
+/// miss), so re-running after adding one path to the list only pays for
+/// the new path.
+Status RunMaterialize(const Args& args) {
+  HETESIM_ASSIGN_OR_RETURN(HinGraph graph, LoadGraphArg(args));
+  auto dir = args.Get("store-dir");
+  if (!dir) return Status::InvalidArgument("materialize needs --store-dir DIR");
+  auto specs_arg = args.Get("paths");
+  if (!specs_arg || specs_arg->empty()) {
+    return Status::InvalidArgument("materialize needs --paths SPEC[,SPEC...]");
+  }
+  HETESIM_ASSIGN_OR_RETURN(const int threads, GetThreadsArg(args));
+  HETESIM_ASSIGN_OR_RETURN(std::shared_ptr<MatrixStore> store,
+                           OpenStoreArg(args, graph, *dir));
+  auto cache = std::make_shared<PathMatrixCache>();
+  cache->AttachStore(store);
+  QueryContext ctx;
+  if (g_trace != nullptr) ctx = ctx.WithTrace(g_trace);
+  for (size_t start = 0; start <= specs_arg->size();) {
+    size_t comma = specs_arg->find(',', start);
+    if (comma == std::string::npos) comma = specs_arg->size();
+    if (comma > start) {
+      const std::string spec = specs_arg->substr(start, comma - start);
+      HETESIM_ASSIGN_OR_RETURN(MetaPath path,
+                               MetaPath::Parse(graph.schema(), spec));
+      HETESIM_RETURN_NOT_OK(
+          cache->GetLeft(graph, path, ctx, threads).status());
+      HETESIM_RETURN_NOT_OK(
+          cache->GetRight(graph, path, ctx, threads).status());
+      std::printf("materialized %s\n", path.ToString().c_str());
+    }
+    start = comma + 1;
+  }
+  HETESIM_RETURN_NOT_OK(cache->FlushToStore());
+  const MatrixStore::Stats stats = store->stats();
+  const PathMatrixCache::Stats cache_stats = cache->stats();
+  std::printf(
+      "store %s: %zu entries, %zu bytes on disk "
+      "(%zu reused from a previous run, %zu written)\n",
+      dir->c_str(), stats.entries, stats.bytes, cache_stats.store_hits,
+      stats.writes);
   return Status::OK();
 }
 
@@ -484,11 +578,17 @@ void PrintUsage() {
                "[--exclude-diagonal]\n"
                "  matrix   --graph FILE --path SPEC --out FILE.csv "
                "[--threads N] [--deadline-ms N] [--max-cache-mb N]\n"
+               "  materialize --graph FILE --store-dir DIR "
+               "--paths SPEC[,SPEC...] "
+               "[--store-codec lossless|quantized] [--threads N]\n"
                "  workload --config FILE[,FILE...] [--out FILE.json] "
                "[--queries N] [--workers N] [--no-realtime] "
                "[--service-socket PATH] [--algo NAME]\n"
                "--algo NAME picks the relevance strategy: "
                "exhaustive | pruned | frontier (default pruned)\n"
+               "--store-dir DIR (pair, topk, matrix) serves cache misses "
+               "from an on-disk store and demotes evictions into it; "
+               "--store-codec picks the demotion encoding\n"
                "observability (any command):\n"
                "  --metrics-out=FILE  dump the metrics registry "
                "(.json -> JSON, else Prometheus text)\n"
@@ -538,6 +638,8 @@ int main(int argc, char** argv) {
     status = RunTopKPairs(*args);
   } else if (args->command == "matrix") {
     status = RunMatrix(*args);
+  } else if (args->command == "materialize") {
+    status = RunMaterialize(*args);
   } else if (args->command == "workload") {
     status = RunWorkload(*args);
   } else if (args->command == "help" || args->command == "--help") {

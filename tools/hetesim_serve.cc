@@ -6,6 +6,10 @@
 //       [--queue-depth N]        admission queue capacity (64)
 //       [--memory-mb N]          service memory budget, 0 = unlimited (0)
 //       [--no-cache]             disable the shared path-matrix cache
+//       [--store-dir DIR]        persistent tier under the cache: misses
+//                                read from it, evictions demote into it,
+//                                so restarts are warm (DESIGN.md §16)
+//       [--store-codec NAME]     demotion encoding: lossless | quantized
 //       [--tenant-rate X]        per-tenant quota, cost-seconds/second (0 = off)
 //       [--tenant-burst X]       per-tenant burst allowance, cost-seconds (1.0)
 //       [--truncate-slice-ms X]  degraded top-k deadline slice (10)
@@ -39,9 +43,11 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "datagen/io.h"
+#include "hin/digest.h"
 #include "hin/graph.h"
 #include "service/server.h"
 #include "service/service.h"
+#include "store/store.h"
 
 namespace hetesim {
 namespace {
@@ -107,6 +113,22 @@ Result<ServerOptions> ServerOptionsFromArgs(const Args& args) {
   HETESIM_ASSIGN_OR_RETURN(ServerOptions server_options,
                            ServerOptionsFromArgs(args));
   HETESIM_ASSIGN_OR_RETURN(HinGraph graph, LoadHinGraphFromFile(*graph_path));
+  if (auto store_dir = args.Get("store-dir")) {
+    if (store_dir->empty()) {
+      return Status::InvalidArgument("--store-dir needs a path");
+    }
+    StoreOptions store_options;
+    store_options.directory = *store_dir;
+    store_options.graph_digest = GraphDigest(graph);
+    HETESIM_ASSIGN_OR_RETURN(
+        const std::string codec_word,
+        args.GetChoice("store-codec", "lossless", {"lossless", "quantized"}));
+    HETESIM_ASSIGN_OR_RETURN(store_options.codec,
+                             StoreCodecFromString(codec_word));
+    HETESIM_ASSIGN_OR_RETURN(std::unique_ptr<MatrixStore> store,
+                             MatrixStore::Open(store_options));
+    service_options.store = std::move(store);
+  }
 
   if (pipe(g_signal_pipe) != 0) {
     return Status::IOError(std::string("pipe(): ") + strerror(errno));

@@ -56,7 +56,8 @@ struct FileModel {
 /// module) unless the allowlist sanctions a same-rank edge.
 const std::map<std::string, int>& LayerRanks() {
   static const std::map<std::string, int> kRanks = {
-      {"common", 0},   {"matrix", 1},   {"hin", 2},       {"core", 3},
+      {"common", 0},   {"matrix", 1},   {"hin", 2},       {"store", 2},
+      {"core", 3},
       {"workload", 4}, {"service", 4},  {"learn", 4},     {"datagen", 4},
       {"baselines", 4},
       {"tools", 5},    {"bench", 5},    {"tests", 5},     {"examples", 5}};
